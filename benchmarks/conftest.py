@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# The benchmarks are runnable straight from a source checkout.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+
+
+@pytest.fixture(scope="session")
+def prep_circuits():
+    """State-preparation circuits for all evaluation codes (built once)."""
+    circuits = {}
+    for name in available_codes():
+        code = get_code(name)
+        circuits[name] = (code, state_preparation_circuit(code))
+    return circuits

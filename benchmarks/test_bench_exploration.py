@@ -1,0 +1,19 @@
+"""Benchmark of the architecture design-space exploration (Sec. V-C)."""
+
+import pytest
+
+from repro.evaluation import run_architecture_exploration
+from repro.evaluation.exploration import format_exploration
+
+
+@pytest.mark.parametrize("code_name", ["steane", "surface", "shor"])
+def test_bench_architecture_exploration(benchmark, code_name):
+    """Sweep the three evaluation layouts for a small code."""
+    results = benchmark.pedantic(
+        run_architecture_exploration, args=(code_name,), rounds=1, iterations=1
+    )
+    print()
+    print(format_exploration(results))
+    by_name = {result.architecture: result for result in results}
+    assert by_name["bottom storage"].asp > by_name["no shielding"].asp
+    assert by_name["double-sided storage"].asp >= by_name["bottom storage"].asp - 1e-9

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 4 (ASP differences vs. the baseline)."""
+
+import pytest
+
+from repro.evaluation import figure4_from_rows, format_figure4, run_table1
+
+
+def test_bench_figure4(benchmark):
+    """Regenerate the Figure 4 bars and check their qualitative shape."""
+
+    def figure4():
+        rows = run_table1()
+        return rows, figure4_from_rows(rows)
+
+    rows, bars = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    print()
+    print(format_figure4(bars))
+
+    # Every bar is positive: the shielded layouts always win (paper Fig. 4).
+    assert all(bar.delta_asp > 0 for bar in bars)
+
+    # The improvement grows with the code size: the largest code (honeycomb)
+    # gains more than the smallest (Steane), as in the paper.
+    by_code = {}
+    for bar in bars:
+        by_code.setdefault(bar.code, []).append(bar.delta_asp)
+    assert max(by_code["honeycomb"]) > max(by_code["steane"])
+    assert max(by_code["hamming"]) > max(by_code["steane"])

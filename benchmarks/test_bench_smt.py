@@ -1,0 +1,58 @@
+"""Benchmarks of the exact SMT backend (the paper's ⌛ column).
+
+The paper reports Z3 solving times ranging from sub-second (small codes) to
+hundreds of hours (large codes).  With a pure-Python SAT core the same
+encoding is exercised here on reduced-but-structurally-identical instances;
+the benchmark also cross-checks the optimal stage counts against the
+architecture's shielding behaviour (storage zone => extra transfer stage).
+"""
+
+import pytest
+
+from repro.arch import reduced_layout
+from repro.core.scheduler import SMTScheduler
+from repro.core.validator import validate_schedule
+
+INSTANCES = {
+    "single-gate": (2, [(0, 1)]),
+    "chain-2": (3, [(0, 1), (1, 2)]),
+    "disjoint-pairs": (4, [(0, 1), (2, 3)]),
+    "triangle": (3, [(0, 1), (1, 2), (0, 2)]),
+}
+
+
+@pytest.mark.parametrize("layout_kind", ["none", "bottom"])
+@pytest.mark.parametrize("instance_name", list(INSTANCES))
+def test_bench_smt_optimal_scheduling(benchmark, layout_kind, instance_name):
+    """Time the full iterative-deepening optimal solve of a small instance."""
+    num_qubits, gates = INSTANCES[instance_name]
+    architecture = reduced_layout(layout_kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+    scheduler = SMTScheduler(architecture, time_limit_per_instance=120)
+
+    def solve():
+        return scheduler.schedule(num_qubits, gates)
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.found
+    assert result.optimal
+    validate_schedule(result.schedule, require_shielding=architecture.has_storage)
+
+
+def test_bench_smt_shielding_costs_one_stage(benchmark):
+    """The zoned architecture needs exactly one more stage on the chained
+    instance (the Fig. 2 shielding behaviour)."""
+
+    def compare():
+        results = {}
+        for kind in ("none", "bottom"):
+            architecture = reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+            scheduler = SMTScheduler(architecture, time_limit_per_instance=120)
+            results[kind] = scheduler.schedule(3, [(0, 1), (1, 2)])
+        return results
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    unshielded = results["none"].schedule
+    shielded = results["bottom"].schedule
+    assert unshielded.num_stages == 2
+    assert shielded.num_stages == 3
+    assert shielded.num_transfer_stages == unshielded.num_transfer_stages + 1

@@ -1,0 +1,65 @@
+"""Benchmarks of the substrates: circuit synthesis and the SAT/SMT core.
+
+These do not correspond to a specific table of the paper but make the cost
+of the building blocks visible (the paper's pipeline relies on both).
+"""
+
+import random
+
+import pytest
+
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+from repro.qec.verification import prepares_logical_zero
+from repro.sat import CDCLSolver, SolveResult
+from repro.smt import Solver
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+def test_bench_state_prep_synthesis(benchmark, code_name):
+    """Graph-state reduction + circuit synthesis for each evaluation code."""
+    code = get_code(code_name)
+    prep = benchmark(state_preparation_circuit, code)
+    assert prep.num_cz_gates > 0
+
+
+@pytest.mark.parametrize("code_name", ["steane", "surface", "shor"])
+def test_bench_state_prep_verification(benchmark, code_name):
+    """Tableau-simulator verification of the synthesised circuits."""
+    code = get_code(code_name)
+    prep = state_preparation_circuit(code)
+    assert benchmark(prepares_logical_zero, prep, code)
+
+
+def test_bench_sat_solver_random_3sat(benchmark):
+    """CDCL solver on a fixed satisfiable random 3-SAT instance."""
+    rng = random.Random(42)
+    num_vars, num_clauses = 60, 240
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+
+    def solve():
+        solver = CDCLSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    result = benchmark(solve)
+    assert result in (SolveResult.SAT, SolveResult.UNSAT)
+
+
+def test_bench_smt_bit_blasting(benchmark):
+    """Encoding + solving a small arithmetic constraint system."""
+
+    def solve():
+        solver = Solver()
+        xs = [solver.int_var(f"x{i}", 0, 7) for i in range(6)]
+        for a, b in zip(xs, xs[1:]):
+            solver.add(a < b)
+        solver.add(xs[-1] - xs[0] >= 5)
+        return solver.check()
+
+    result = benchmark(solve)
+    assert result.is_sat()

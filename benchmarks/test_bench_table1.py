@@ -1,0 +1,51 @@
+"""Benchmark regenerating Table I (layout comparison).
+
+Each benchmark schedules one code on one layout (the unit of work behind a
+Table I cell); the session-scoped report prints the full table — the same
+rows the paper reports — at the end of the run.
+"""
+
+import pytest
+
+from repro.arch import evaluation_layouts
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import validate_schedule
+from repro.evaluation import format_table1, run_table1
+from repro.metrics import approximate_success_probability
+from repro.qec import available_codes
+
+LAYOUTS = evaluation_layouts()
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+@pytest.mark.parametrize("layout_name", list(LAYOUTS))
+def test_bench_table1_cell(benchmark, prep_circuits, code_name, layout_name):
+    """Schedule + validate + score one (code, layout) cell of Table I."""
+    code, prep = prep_circuits[code_name]
+    architecture = LAYOUTS[layout_name]
+
+    def cell():
+        schedule = StructuredScheduler(architecture).schedule(
+            prep.num_qubits, prep.cz_gates
+        )
+        validate_schedule(schedule, require_shielding=architecture.has_storage)
+        return approximate_success_probability(schedule, prep)
+
+    breakdown = benchmark(cell)
+    assert 0.0 < breakdown.asp <= 1.0
+
+
+def test_bench_table1_full_report(benchmark):
+    """Regenerate the whole of Table I and check the paper's main claims."""
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    for row in rows:
+        baseline = row.layouts["(1) No Shielding"]
+        bottom = row.layouts["(2) Bottom Storage"]
+        double = row.layouts["(3) Double-Sided Storage"]
+        # Paper, Sec. V-C: shielding consistently improves the ASP ...
+        assert bottom.asp > baseline.asp
+        assert double.asp > baseline.asp
+        # ... and the double-sided layout is at least as good as bottom-only.
+        assert double.asp >= bottom.asp - 1e-9

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Design-space exploration for future zoned architectures (Sec. V-C).
+
+The paper highlights that the scheduling approach "provides valuable
+insights for the design of future quantum devices".  This example sweeps a
+small design space — the three evaluation layouts plus variants with fewer
+AOD lines and narrower storage zones — for a chosen code and reports the
+resulting execution time and ASP.
+"""
+
+import argparse
+from dataclasses import replace
+
+from repro.arch import (
+    bottom_storage_layout,
+    double_sided_storage_layout,
+    no_shielding_layout,
+)
+from repro.evaluation.exploration import format_exploration, run_architecture_exploration
+from repro.qec import available_codes
+
+
+def design_space() -> dict:
+    """The evaluation layouts plus AOD-budget variations."""
+    designs = {
+        "no shielding": no_shielding_layout(),
+        "bottom storage": bottom_storage_layout(),
+        "double-sided storage": double_sided_storage_layout(),
+    }
+    # Variations: a bottom-storage machine with fewer AOD lines (cheaper
+    # hardware) and one with more offsets per site (denser sites).
+    base = bottom_storage_layout()
+    designs["bottom storage, 4 AOD lines"] = replace(base, name="bottom-4aod", c_max=3, r_max=3)
+    designs["bottom storage, 8 AOD lines"] = replace(base, name="bottom-8aod", c_max=7, r_max=7)
+    return designs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "code",
+        nargs="?",
+        choices=available_codes(),
+        default="surface",
+        help="code whose preparation circuit is explored (default: surface)",
+    )
+    args = parser.parse_args()
+
+    results = run_architecture_exploration(args.code, designs=design_space())
+    print(f"design-space exploration for code {args.code!r}")
+    print(format_exploration(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation: Table I and Figure 4.
+
+Runs every evaluation code (Steane, Surface, Shor, Hamming, Tetrahedral,
+Honeycomb) on the three architecture layouts and prints
+
+* a Table I-style layout comparison (scheduling time, #R, #T, execution
+  time, ASP), and
+* the Figure 4 bars (ASP difference of the shielded layouts vs. the
+  no-shielding baseline).
+
+Use ``--codes steane surface`` to restrict the run to specific codes.
+"""
+
+import argparse
+
+from repro.evaluation import (
+    figure4_from_rows,
+    format_figure4,
+    format_table1,
+    run_table1,
+)
+from repro.qec import available_codes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--codes",
+        nargs="*",
+        choices=available_codes(),
+        default=None,
+        help="restrict the evaluation to these codes (default: all six)",
+    )
+    args = parser.parse_args()
+
+    rows = run_table1(codes=args.codes)
+    print("Table I — layout comparison")
+    print(format_table1(rows))
+    print()
+    print("Figure 4 — ASP improvement over the no-shielding baseline")
+    print(format_figure4(figure4_from_rows(rows)))
+
+
+if __name__ == "__main__":
+    main()

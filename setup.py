@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment used for this reproduction has setuptools but no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation`` on systems with ``wheel`` available) keeps working via
+this shim; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of *Optimal State Preparation for Logical Arrays on
+Zoned Neutral Atom Quantum Computers* (DATE 2025).
+
+The package is organised as a stack of self-contained substrates with the
+paper's contribution on top:
+
+``repro.sat``
+    A CDCL SAT solver (the decision procedure underlying the SMT layer).
+``repro.smt``
+    A quantifier-free finite-domain SMT layer (bounded integers and booleans)
+    bit-blasted onto the SAT core.  This replaces Z3 in the paper.
+``repro.qec``
+    Stabilizer codes, the six evaluation codes, and graph-state based
+    state-preparation circuit synthesis (the STABGRAPH step of the paper).
+``repro.simulator``
+    A stabilizer (tableau) simulator used to verify circuits and schedules.
+``repro.circuit``
+    A small quantum-circuit IR (|+>-init, CZ layers, final Hadamards).
+``repro.arch``
+    The zoned neutral-atom architecture model: zones, geometry, AOD rules and
+    the hardware figures of merit from the paper's Sec. V-A.
+``repro.core``
+    The paper's contribution: symbolic formulation (V1-V3), constraints
+    (C1-C6), and the optimal state-preparation scheduler plus structured and
+    greedy baselines.
+``repro.metrics``
+    Execution-time model and Approximated Success Probability (ASP).
+``repro.evaluation``
+    The harness regenerating Table I and Figure 4.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

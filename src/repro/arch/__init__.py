@@ -1,0 +1,35 @@
+"""The zoned neutral-atom architecture model.
+
+Captures the hardware abstractions of the paper's Sec. II-B / III / V-A:
+
+* interaction sites on a grid, each with one SLM trap and surrounding AOD
+  trap offsets,
+* spatially separated zones (entangling / storage / readout),
+* AOD columns and rows whose relative order must be preserved while moving,
+* the fidelity and duration figures of merit used for the ASP.
+"""
+
+from repro.arch.zones import Zone, ZoneKind
+from repro.arch.architecture import ZonedArchitecture, Position
+from repro.arch.layouts import (
+    bottom_storage_layout,
+    double_sided_storage_layout,
+    evaluation_layouts,
+    no_shielding_layout,
+    reduced_layout,
+)
+from repro.arch.operations import OperationParameters, DEFAULT_OPERATION_PARAMETERS
+
+__all__ = [
+    "DEFAULT_OPERATION_PARAMETERS",
+    "OperationParameters",
+    "Position",
+    "Zone",
+    "ZoneKind",
+    "ZonedArchitecture",
+    "bottom_storage_layout",
+    "double_sided_storage_layout",
+    "evaluation_layouts",
+    "no_shielding_layout",
+    "reduced_layout",
+]

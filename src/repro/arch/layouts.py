@@ -1,0 +1,154 @@
+"""The architecture layouts used in the paper's evaluation (Sec. V-A).
+
+All three layouts share the same overall extent (eight site columns,
+``Xmax = 7``, and seven site rows, ``Ymax = 6``), six AOD lines per direction
+(``Cmax = Rmax = 5``), offsets up to two (``Hmax = Vmax = 2``) and an
+interaction radius of two:
+
+1. **No shielding** — a single entangling zone covering all rows
+   (``Emin = 0``, ``Emax = 6``); idling qubits cannot be shielded.
+2. **Bottom storage** — one two-row storage zone below the entangling zone
+   (``Emin = 2``, ``Emax = 6``).
+3. **Double-sided storage** — two-row storage zones below *and* above the
+   entangling zone (``Emin = 2``, ``Emax = 4``).
+
+``reduced_layout`` additionally provides smaller instances of the same three
+shapes for the exact SMT backend (the paper ran Z3 for up to 320 hours per
+instance; the reduced bounds keep the pure-Python solver in the seconds-to-
+minutes range while exercising exactly the same constraint system).
+"""
+
+from __future__ import annotations
+
+from repro.arch.architecture import ZonedArchitecture
+from repro.arch.operations import DEFAULT_OPERATION_PARAMETERS, OperationParameters
+from repro.arch.zones import Zone, ZoneKind
+
+#: Shared evaluation-scale extents (Sec. V-A).
+_EVAL_X_MAX = 7
+_EVAL_Y_MAX = 6
+_EVAL_H_MAX = 2
+_EVAL_V_MAX = 2
+_EVAL_C_MAX = 5
+_EVAL_R_MAX = 5
+_EVAL_RADIUS = 2
+
+
+def no_shielding_layout(
+    parameters: OperationParameters = DEFAULT_OPERATION_PARAMETERS,
+) -> ZonedArchitecture:
+    """Layout (1): a single entangling zone, no storage."""
+    return ZonedArchitecture(
+        name="no-shielding",
+        x_max=_EVAL_X_MAX,
+        y_max=_EVAL_Y_MAX,
+        h_max=_EVAL_H_MAX,
+        v_max=_EVAL_V_MAX,
+        c_max=_EVAL_C_MAX,
+        r_max=_EVAL_R_MAX,
+        interaction_radius=_EVAL_RADIUS,
+        zones=(Zone(ZoneKind.ENTANGLING, 0, _EVAL_Y_MAX, name="entangling"),),
+        parameters=parameters,
+    )
+
+
+def bottom_storage_layout(
+    parameters: OperationParameters = DEFAULT_OPERATION_PARAMETERS,
+) -> ZonedArchitecture:
+    """Layout (2): a two-row storage zone below the entangling zone."""
+    return ZonedArchitecture(
+        name="bottom-storage",
+        x_max=_EVAL_X_MAX,
+        y_max=_EVAL_Y_MAX,
+        h_max=_EVAL_H_MAX,
+        v_max=_EVAL_V_MAX,
+        c_max=_EVAL_C_MAX,
+        r_max=_EVAL_R_MAX,
+        interaction_radius=_EVAL_RADIUS,
+        zones=(
+            Zone(ZoneKind.STORAGE, 0, 1, name="bottom storage"),
+            Zone(ZoneKind.ENTANGLING, 2, _EVAL_Y_MAX, name="entangling"),
+        ),
+        parameters=parameters,
+    )
+
+
+def double_sided_storage_layout(
+    parameters: OperationParameters = DEFAULT_OPERATION_PARAMETERS,
+) -> ZonedArchitecture:
+    """Layout (3): storage zones on both sides of the entangling zone."""
+    return ZonedArchitecture(
+        name="double-sided-storage",
+        x_max=_EVAL_X_MAX,
+        y_max=_EVAL_Y_MAX,
+        h_max=_EVAL_H_MAX,
+        v_max=_EVAL_V_MAX,
+        c_max=_EVAL_C_MAX,
+        r_max=_EVAL_R_MAX,
+        interaction_radius=_EVAL_RADIUS,
+        zones=(
+            Zone(ZoneKind.STORAGE, 0, 1, name="bottom storage"),
+            Zone(ZoneKind.ENTANGLING, 2, 4, name="entangling"),
+            Zone(ZoneKind.STORAGE, 5, 6, name="top storage"),
+        ),
+        parameters=parameters,
+    )
+
+
+def evaluation_layouts(
+    parameters: OperationParameters = DEFAULT_OPERATION_PARAMETERS,
+) -> dict[str, ZonedArchitecture]:
+    """The three Table I layouts, keyed by their table label."""
+    return {
+        "(1) No Shielding": no_shielding_layout(parameters),
+        "(2) Bottom Storage": bottom_storage_layout(parameters),
+        "(3) Double-Sided Storage": double_sided_storage_layout(parameters),
+    }
+
+
+def reduced_layout(
+    kind: str = "bottom",
+    x_max: int = 3,
+    h_max: int = 1,
+    v_max: int = 1,
+    c_max: int = 3,
+    r_max: int = 2,
+    parameters: OperationParameters = DEFAULT_OPERATION_PARAMETERS,
+) -> ZonedArchitecture:
+    """A small architecture with the same zone structure as the evaluation.
+
+    *kind* is one of ``"none"`` (no storage), ``"bottom"`` (one storage zone
+    below a two-row entangling zone) or ``"double"`` (storage above and
+    below).  Used by tests and by the exact SMT backend.
+    """
+    kind = kind.lower()
+    if kind == "none":
+        zones = (Zone(ZoneKind.ENTANGLING, 0, 2, name="entangling"),)
+        y_max = 2
+    elif kind == "bottom":
+        zones = (
+            Zone(ZoneKind.STORAGE, 0, 0, name="bottom storage"),
+            Zone(ZoneKind.ENTANGLING, 1, 2, name="entangling"),
+        )
+        y_max = 2
+    elif kind == "double":
+        zones = (
+            Zone(ZoneKind.STORAGE, 0, 0, name="bottom storage"),
+            Zone(ZoneKind.ENTANGLING, 1, 2, name="entangling"),
+            Zone(ZoneKind.STORAGE, 3, 3, name="top storage"),
+        )
+        y_max = 3
+    else:
+        raise ValueError(f"unknown reduced layout kind {kind!r}")
+    return ZonedArchitecture(
+        name=f"reduced-{kind}",
+        x_max=x_max,
+        y_max=y_max,
+        h_max=h_max,
+        v_max=v_max,
+        c_max=c_max,
+        r_max=r_max,
+        interaction_radius=2,
+        zones=zones,
+        parameters=parameters,
+    )

@@ -1,0 +1,87 @@
+"""Hardware figures of merit (fidelities, durations, speeds).
+
+The values are the ones given in the table of Sec. V-A of the paper (taken
+there from Bluvstein et al. 2023 and Evered et al. 2023):
+
+==================  ==========  ==============  =================
+Operation           Fidelity    Duration [µs]   Speed [µs/µm]
+==================  ==========  ==============  =================
+CZ / Id(Rydberg)    0.995/0.998 0.27            --
+local RZ            0.999       12              --
+global RY           0.9999      1               --
+Load / Store        0.999       200             --
+Shuttling           1.0         --              0.55
+==================  ==========  ==============  =================
+
+together with the effective idle coherence time ``T_eff = 1 s`` used in the
+Approximated Success Probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperationParameters:
+    """Fidelity/duration model of the zoned neutral-atom architecture."""
+
+    # Fidelities -----------------------------------------------------------
+    cz_fidelity: float = 0.995
+    rydberg_idle_fidelity: float = 0.998
+    local_rz_fidelity: float = 0.999
+    global_ry_fidelity: float = 0.9999
+    transfer_fidelity: float = 0.999  # one load or store operation
+    shuttling_fidelity: float = 1.0
+
+    # Durations in microseconds --------------------------------------------
+    cz_duration_us: float = 0.27
+    local_rz_duration_us: float = 12.0
+    global_ry_duration_us: float = 1.0
+    transfer_duration_us: float = 200.0
+
+    # Shuttling speed: time per micrometre moved ----------------------------
+    shuttling_speed_us_per_um: float = 0.55
+
+    # Effective coherence time for the ASP idle-time penalty -----------------
+    effective_coherence_time_us: float = 1_000_000.0  # T_eff = 1 s
+
+    # Geometry (Sec. V-A) ----------------------------------------------------
+    intra_site_spacing_um: float = 1.0
+    site_spacing_um: float = 14.0
+    zone_separation_um: float = 20.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "cz_fidelity",
+            "rydberg_idle_fidelity",
+            "local_rz_fidelity",
+            "global_ry_fidelity",
+            "transfer_fidelity",
+            "shuttling_fidelity",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{field_name} must lie in (0, 1], got {value}")
+        for field_name in (
+            "cz_duration_us",
+            "local_rz_duration_us",
+            "global_ry_duration_us",
+            "transfer_duration_us",
+            "shuttling_speed_us_per_um",
+            "effective_coherence_time_us",
+            "intra_site_spacing_um",
+            "site_spacing_um",
+            "zone_separation_um",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{field_name} must be non-negative, got {value}")
+
+    def shuttling_duration_us(self, distance_um: float) -> float:
+        """Time to shuttle a set of AOD qubits by *distance_um* micrometres."""
+        return self.shuttling_speed_us_per_um * float(distance_um)
+
+
+#: Default parameters exactly as used for the paper's evaluation.
+DEFAULT_OPERATION_PARAMETERS = OperationParameters()

@@ -1,0 +1,47 @@
+"""Zone definitions for the zoned neutral-atom architecture."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ZoneKind(enum.Enum):
+    """The three kinds of zones described in Sec. III of the paper."""
+
+    ENTANGLING = "entangling"
+    STORAGE = "storage"
+    READOUT = "readout"
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A horizontal band of interaction-site rows with a common purpose.
+
+    Rows are inclusive: the zone covers all interaction sites with
+    ``y_min <= y <= y_max``.
+    """
+
+    kind: ZoneKind
+    y_min: int
+    y_max: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.y_min > self.y_max:
+            raise ValueError(f"zone with empty row range: [{self.y_min}, {self.y_max}]")
+        if self.y_min < 0:
+            raise ValueError("zone rows must be non-negative")
+
+    @property
+    def num_rows(self) -> int:
+        """Number of interaction-site rows covered by the zone."""
+        return self.y_max - self.y_min + 1
+
+    def contains_row(self, y: int) -> bool:
+        """True when row *y* lies inside the zone."""
+        return self.y_min <= y <= self.y_max
+
+    def __str__(self) -> str:
+        label = self.name or self.kind.value
+        return f"{label}[rows {self.y_min}..{self.y_max}]"

@@ -1,0 +1,24 @@
+"""A minimal quantum-circuit intermediate representation.
+
+The state-preparation circuits handled by the paper have a rigid structure
+(Fig. 1b): every qubit is initialised in ``|+>``, a set of CZ gates creates a
+graph state, and a final layer of single-qubit Cliffords (Hadamards, plus
+phase/Pauli corrections produced by the graph-state reduction) maps the graph
+state to the logical basis state.  This package provides that representation
+plus generic gate/circuit types, CZ layering (edge colouring) and OpenQASM 2
+import/export.
+"""
+
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.circuit import Circuit
+from repro.circuit.state_prep_circuit import StatePrepCircuit
+from repro.circuit.layers import cz_layers, interaction_graph
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateKind",
+    "StatePrepCircuit",
+    "cz_layers",
+    "interaction_graph",
+]

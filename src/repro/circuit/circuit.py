@@ -1,0 +1,171 @@
+"""Generic circuit container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.gates import Gate, GateKind
+
+
+class Circuit:
+    """An ordered list of gates over ``num_qubits`` qubits.
+
+    The circuit assumes all qubits start in ``|0>``; explicit state
+    preparation (e.g. the ``|+>`` initialisation of the paper's circuits) is
+    expressed with Hadamard gates.
+    """
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()) -> None:
+        if num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        self._num_qubits = num_qubits
+        self._gates: list[Gate] = []
+        for gate in gates:
+            self.append(gate)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the circuit acts on."""
+        return self._num_qubits
+
+    @property
+    def gates(self) -> Sequence[Gate]:
+        """The gate list (read-only view)."""
+        return tuple(self._gates)
+
+    def append(self, gate: Gate) -> None:
+        """Append a gate, validating qubit indices."""
+        if any(q >= self._num_qubits for q in gate.qubits):
+            raise ValueError(
+                f"gate {gate} addresses a qubit outside 0..{self._num_qubits - 1}"
+            )
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append several gates."""
+        for gate in gates:
+            self.append(gate)
+
+    # Convenience wrappers -------------------------------------------------
+    def h(self, qubit: int) -> "Circuit":
+        """Append a Hadamard and return ``self`` for chaining."""
+        self.append(Gate.h(qubit))
+        return self
+
+    def s(self, qubit: int) -> "Circuit":
+        """Append an S gate."""
+        self.append(Gate.s(qubit))
+        return self
+
+    def sdg(self, qubit: int) -> "Circuit":
+        """Append an S† gate."""
+        self.append(Gate.sdg(qubit))
+        return self
+
+    def x(self, qubit: int) -> "Circuit":
+        """Append a Pauli X."""
+        self.append(Gate.x(qubit))
+        return self
+
+    def y(self, qubit: int) -> "Circuit":
+        """Append a Pauli Y."""
+        self.append(Gate.y(qubit))
+        return self
+
+    def z(self, qubit: int) -> "Circuit":
+        """Append a Pauli Z."""
+        self.append(Gate.z(qubit))
+        return self
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        """Append a CZ gate."""
+        self.append(Gate.cz(a, b))
+        return self
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        """Append a CNOT gate."""
+        self.append(Gate.cx(control, target))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def count(self, kind: GateKind) -> int:
+        """Number of gates of the given kind."""
+        return sum(1 for gate in self._gates if gate.kind is kind)
+
+    @property
+    def cz_pairs(self) -> list[tuple[int, int]]:
+        """All CZ gates as (min, max) qubit pairs, in circuit order."""
+        return [
+            (min(gate.qubits), max(gate.qubits))
+            for gate in self._gates
+            if gate.kind is GateKind.CZ
+        ]
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one time step."""
+        busy_until = [0] * self._num_qubits
+        depth = 0
+        for gate in self._gates:
+            start = max(busy_until[q] for q in gate.qubits)
+            for q in gate.qubits:
+                busy_until[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Circuit(num_qubits={self._num_qubits}, num_gates={len(self._gates)})"
+
+    # ------------------------------------------------------------------ #
+    # OpenQASM 2 support
+    # ------------------------------------------------------------------ #
+    def to_qasm(self) -> str:
+        """Export as OpenQASM 2 text."""
+        lines = [
+            "OPENQASM 2.0;",
+            'include "qelib1.inc";',
+            f"qreg q[{self._num_qubits}];",
+        ]
+        for gate in self._gates:
+            operands = ",".join(f"q[{q}]" for q in gate.qubits)
+            lines.append(f"{gate.kind.value} {operands};")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_qasm(cls, text: str) -> "Circuit":
+        """Parse the (small) subset of OpenQASM 2 produced by :meth:`to_qasm`."""
+        num_qubits = None
+        gates: list[Gate] = []
+        for raw_line in text.splitlines():
+            line = raw_line.split("//")[0].strip()
+            if not line or line.startswith(("OPENQASM", "include")):
+                continue
+            if line.startswith("qreg"):
+                num_qubits = int(line[line.index("[") + 1 : line.index("]")])
+                continue
+            if not line.endswith(";"):
+                raise ValueError(f"malformed QASM line: {raw_line!r}")
+            body = line[:-1]
+            name, _, operands = body.partition(" ")
+            qubits = []
+            for operand in operands.split(","):
+                operand = operand.strip()
+                qubits.append(int(operand[operand.index("[") + 1 : operand.index("]")]))
+            try:
+                kind = GateKind(name)
+            except ValueError as exc:
+                raise ValueError(f"unsupported QASM gate {name!r}") from exc
+            gates.append(Gate(kind, tuple(qubits)))
+        if num_qubits is None:
+            raise ValueError("QASM text has no qreg declaration")
+        return cls(num_qubits, gates)

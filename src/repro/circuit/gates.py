@@ -1,0 +1,100 @@
+"""Gate definitions for the circuit IR."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class GateKind(enum.Enum):
+    """Supported gate kinds.
+
+    Only Clifford gates appear in state-preparation circuits for stabilizer
+    codes, so the set is deliberately small.
+    """
+
+    H = "h"
+    S = "s"
+    SDG = "sdg"
+    X = "x"
+    Y = "y"
+    Z = "z"
+    CZ = "cz"
+    CX = "cx"
+
+    @property
+    def num_qubits(self) -> int:
+        """Arity of the gate."""
+        return 2 if self in (GateKind.CZ, GateKind.CX) else 1
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True when the gate is diagonal in the computational basis."""
+        return self in (GateKind.S, GateKind.SDG, GateKind.Z, GateKind.CZ)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate applied to specific qubits.
+
+    Qubits are integers; two-qubit gates store their operands as a tuple in
+    the order given (CZ is symmetric, CX is control/target).
+    """
+
+    kind: GateKind
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.qubits) != self.kind.num_qubits:
+            raise ValueError(
+                f"{self.kind.value} expects {self.kind.num_qubits} qubit(s), "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in gate: {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"negative qubit index in gate: {self.qubits}")
+
+    @classmethod
+    def h(cls, qubit: int) -> "Gate":
+        """Hadamard."""
+        return cls(GateKind.H, (qubit,))
+
+    @classmethod
+    def s(cls, qubit: int) -> "Gate":
+        """Phase gate S."""
+        return cls(GateKind.S, (qubit,))
+
+    @classmethod
+    def sdg(cls, qubit: int) -> "Gate":
+        """Inverse phase gate S†."""
+        return cls(GateKind.SDG, (qubit,))
+
+    @classmethod
+    def x(cls, qubit: int) -> "Gate":
+        """Pauli X."""
+        return cls(GateKind.X, (qubit,))
+
+    @classmethod
+    def y(cls, qubit: int) -> "Gate":
+        """Pauli Y."""
+        return cls(GateKind.Y, (qubit,))
+
+    @classmethod
+    def z(cls, qubit: int) -> "Gate":
+        """Pauli Z."""
+        return cls(GateKind.Z, (qubit,))
+
+    @classmethod
+    def cz(cls, a: int, b: int) -> "Gate":
+        """Controlled-Z between qubits *a* and *b*."""
+        return cls(GateKind.CZ, (a, b))
+
+    @classmethod
+    def cx(cls, control: int, target: int) -> "Gate":
+        """Controlled-X (CNOT)."""
+        return cls(GateKind.CX, (control, target))
+
+    def __str__(self) -> str:
+        return f"{self.kind.value} " + " ".join(f"q{q}" for q in self.qubits)

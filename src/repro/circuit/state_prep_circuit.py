@@ -1,0 +1,125 @@
+"""The rigid state-preparation circuit structure of the paper (Fig. 1b).
+
+A :class:`StatePrepCircuit` consists of
+
+1. initialisation of every physical qubit in ``|+>``,
+2. a list of CZ gates creating a graph state, and
+3. a final layer of single-qubit Clifford corrections (Hadamards in the CSS
+   case, possibly phase/Pauli corrections in general).
+
+Only the CZ list requires scheduling on the zoned architecture; the
+single-qubit parts can be executed anywhere (storage or entangling zone) by
+rotational gates, exactly as argued in Sec. III of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import Gate, GateKind
+
+#: Single-qubit Clifford labels allowed in the final correction layer.
+_LOCAL_GATE_SEQUENCES = {
+    "I": (),
+    "H": (GateKind.H,),
+    "S": (GateKind.S,),
+    "SDG": (GateKind.SDG,),
+    "X": (GateKind.X,),
+    "Y": (GateKind.Y,),
+    "Z": (GateKind.Z,),
+}
+
+
+@dataclass
+class StatePrepCircuit:
+    """Structured representation of a logical-state preparation circuit."""
+
+    num_qubits: int
+    cz_gates: list[tuple[int, int]]
+    #: Per-qubit sequence of single-qubit gate kinds applied *after* the CZ
+    #: part (applied left-to-right).
+    local_corrections: dict[int, tuple[GateKind, ...]] = field(default_factory=dict)
+    #: Human-readable provenance, e.g. the code name.
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        normalised = []
+        for a, b in self.cz_gates:
+            if a == b:
+                raise ValueError(f"CZ with identical operands: ({a}, {b})")
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise ValueError(f"CZ operands out of range: ({a}, {b})")
+            normalised.append((min(a, b), max(a, b)))
+        self.cz_gates = normalised
+        for qubit in self.local_corrections:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(f"local correction on unknown qubit {qubit}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_cz_gates(self) -> int:
+        """Number of CZ gates (the #CZ column of Table I)."""
+        return len(self.cz_gates)
+
+    def hadamard_qubits(self) -> list[int]:
+        """Qubits whose correction layer is exactly one Hadamard."""
+        return sorted(
+            q
+            for q, seq in self.local_corrections.items()
+            if seq == (GateKind.H,)
+        )
+
+    def to_circuit(self) -> Circuit:
+        """Expand to a flat :class:`~repro.circuit.circuit.Circuit`.
+
+        Qubits start in ``|0>``, so the ``|+>`` initialisation becomes an
+        initial layer of Hadamards.
+        """
+        circuit = Circuit(self.num_qubits)
+        for qubit in range(self.num_qubits):
+            circuit.h(qubit)
+        for a, b in self.cz_gates:
+            circuit.cz(a, b)
+        for qubit in sorted(self.local_corrections):
+            for kind in self.local_corrections[qubit]:
+                circuit.append(Gate(kind, (qubit,)))
+        return circuit
+
+    def single_qubit_gate_count(self) -> int:
+        """Number of single-qubit gates (initialisation plus corrections)."""
+        corrections = sum(len(seq) for seq in self.local_corrections.values())
+        return self.num_qubits + corrections
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, name: str = "") -> "StatePrepCircuit":
+        """Recover the structured form from a flat circuit.
+
+        The circuit must have the Fig. 1b shape: a Hadamard on every qubit,
+        then CZ gates only, then single-qubit gates only.
+        """
+        gates = list(circuit.gates)
+        n = circuit.num_qubits
+        init = gates[:n]
+        if len(init) < n or any(
+            g.kind is not GateKind.H or g.qubits[0] != q for q, g in enumerate(init)
+        ):
+            raise ValueError("circuit does not start with H on every qubit in order")
+        cz_part: list[tuple[int, int]] = []
+        index = n
+        while index < len(gates) and gates[index].kind is GateKind.CZ:
+            a, b = gates[index].qubits
+            cz_part.append((a, b))
+            index += 1
+        corrections: dict[int, list[GateKind]] = {}
+        for gate in gates[index:]:
+            if gate.kind.num_qubits != 1:
+                raise ValueError("two-qubit gate found after the CZ section")
+            corrections.setdefault(gate.qubits[0], []).append(gate.kind)
+        return cls(
+            num_qubits=n,
+            cz_gates=cz_part,
+            local_corrections={q: tuple(seq) for q, seq in corrections.items()},
+            name=name,
+        )

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Examples
+--------
+::
+
+    repro-nasp codes                      # list the evaluation codes
+    repro-nasp circuit steane             # show the prep circuit for a code
+    repro-nasp schedule steane --layout bottom
+    repro-nasp table1                     # regenerate Table I
+    repro-nasp figure4                    # regenerate Figure 4
+    repro-nasp explore surface            # architecture design-space sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.arch import (
+    bottom_storage_layout,
+    double_sided_storage_layout,
+    no_shielding_layout,
+)
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import validate_schedule
+from repro.evaluation import (
+    figure4_from_rows,
+    format_figure4,
+    format_table1,
+    run_architecture_exploration,
+    run_table1,
+)
+from repro.evaluation.exploration import format_exploration
+from repro.metrics import approximate_success_probability
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+
+_LAYOUTS = {
+    "none": no_shielding_layout,
+    "bottom": bottom_storage_layout,
+    "double": double_sided_storage_layout,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nasp",
+        description="Optimal state preparation for logical arrays on zoned "
+        "neutral atom quantum computers (DATE 2025 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("codes", help="list the available QEC codes")
+
+    circuit = sub.add_parser("circuit", help="show a state-preparation circuit")
+    circuit.add_argument("code", choices=available_codes())
+    circuit.add_argument("--qasm", action="store_true", help="print OpenQASM 2 instead")
+
+    schedule = sub.add_parser("schedule", help="schedule a preparation circuit")
+    schedule.add_argument("code", choices=available_codes())
+    schedule.add_argument("--layout", choices=sorted(_LAYOUTS), default="bottom")
+    schedule.add_argument("--json", action="store_true", help="dump the schedule as JSON")
+    schedule.add_argument(
+        "--render", action="store_true", help="draw every stage as an ASCII site grid"
+    )
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--codes", nargs="*", choices=available_codes(), default=None)
+
+    figure4 = sub.add_parser("figure4", help="regenerate Figure 4")
+    figure4.add_argument("--codes", nargs="*", choices=available_codes(), default=None)
+
+    explore = sub.add_parser("explore", help="architecture design-space exploration")
+    explore.add_argument("code", choices=available_codes())
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "codes":
+        for name in available_codes():
+            code = get_code(name)
+            prep = state_preparation_circuit(code)
+            n, k, d = code.parameters()
+            print(f"{name:<12} [[{n},{k},{d}]]  #CZ={prep.num_cz_gates}")
+        return 0
+
+    if args.command == "circuit":
+        code = get_code(args.code)
+        prep = state_preparation_circuit(code)
+        if args.qasm:
+            print(prep.to_circuit().to_qasm(), end="")
+        else:
+            print(f"{code.name}: {prep.num_qubits} qubits, {prep.num_cz_gates} CZ gates")
+            for a, b in prep.cz_gates:
+                print(f"  cz q{a} q{b}")
+            for qubit in sorted(prep.local_corrections):
+                gates = " ".join(kind.value for kind in prep.local_corrections[qubit])
+                print(f"  correction on q{qubit}: {gates}")
+        return 0
+
+    if args.command == "schedule":
+        code = get_code(args.code)
+        prep = state_preparation_circuit(code)
+        architecture = _LAYOUTS[args.layout]()
+        schedule = StructuredScheduler(architecture).schedule(
+            prep.num_qubits, prep.cz_gates, metadata={"code": code.name}
+        )
+        validate_schedule(schedule, require_shielding=architecture.has_storage)
+        breakdown = approximate_success_probability(schedule, prep)
+        if args.json:
+            print(json.dumps(schedule.to_dict(), indent=2))
+        else:
+            print(architecture.describe())
+            print(f"schedule: {schedule.summary()}")
+            print(f"execution time: {breakdown.timing.total_ms:.3f} ms")
+            print(f"ASP: {breakdown.asp:.4f}")
+            if args.render:
+                from repro.core.visualize import render_schedule
+
+                print(render_schedule(schedule))
+        return 0
+
+    if args.command == "table1":
+        rows = run_table1(codes=args.codes)
+        print(format_table1(rows))
+        return 0
+
+    if args.command == "figure4":
+        rows = run_table1(codes=args.codes)
+        print(format_figure4(figure4_from_rows(rows)))
+        return 0
+
+    if args.command == "explore":
+        results = run_architecture_exploration(args.code)
+        print(format_exploration(results))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: optimal state preparation scheduling.
+
+Given the CZ-gate list of a state-preparation circuit and a zoned
+neutral-atom architecture, produce a schedule of Rydberg beams, trap
+transfers and shuttling operations.
+
+Three backends produce the same :class:`~repro.core.schedule.Schedule` type:
+
+* :class:`repro.core.scheduler.SMTScheduler` — the faithful reproduction of
+  the paper's approach: the symbolic formulation of Sec. IV (variables V1-V3,
+  constraints C1-C6) solved with :mod:`repro.smt`, minimising the number of
+  stages by iterative deepening.
+* :class:`repro.core.structured.StructuredScheduler` — a constructive
+  zone-aware scheduler used for the larger Table I instances, where a pure
+  Python SMT solve would take days.
+* ``baseline`` — the no-zone behaviour of prior tools is obtained by running
+  either backend on the no-shielding layout (Layout 1).
+
+Every schedule can be checked independently with
+:func:`repro.core.validator.validate_schedule`.
+"""
+
+from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+from repro.core.validator import ValidationError, validate_schedule
+from repro.core.structured import StructuredScheduler
+from repro.core.scheduler import SMTScheduler, SchedulerResult
+from repro.core.visualize import render_schedule, render_stage
+
+__all__ = [
+    "QubitPlacement",
+    "SMTScheduler",
+    "Schedule",
+    "SchedulerResult",
+    "Stage",
+    "StageKind",
+    "StructuredScheduler",
+    "ValidationError",
+    "render_schedule",
+    "render_stage",
+    "validate_schedule",
+]

@@ -1,0 +1,136 @@
+"""Complete SMT encoding of one scheduling instance plus model extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arch.architecture import ZonedArchitecture
+from repro.core import constraints as C
+from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+from repro.core.variables import StatePrepVariables
+from repro.smt import CheckResult, Solver
+from repro.smt.solver import Model
+
+Gate = tuple[int, int]
+
+
+@dataclass
+class EncodedInstance:
+    """A fully constrained instance for a fixed number of stages."""
+
+    architecture: ZonedArchitecture
+    num_qubits: int
+    gates: list[Gate]
+    num_stages: int
+    shielding: bool
+    solver: Solver
+    variables: StatePrepVariables
+
+    def check(
+        self,
+        max_conflicts: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> CheckResult:
+        """Decide the instance."""
+        return self.solver.check(max_conflicts=max_conflicts, time_limit=time_limit)
+
+    def statistics(self) -> dict[str, float]:
+        """Statistics of the most recent check."""
+        return self.solver.statistics()
+
+    def extract_schedule(self, metadata: dict | None = None) -> Schedule:
+        """Convert the satisfying assignment into a :class:`Schedule`."""
+        model = self.solver.model()
+        return extract_schedule(self, model, metadata)
+
+
+def encode_instance(
+    architecture: ZonedArchitecture,
+    num_qubits: int,
+    gates: Sequence[Gate],
+    num_stages: int,
+    shielding: bool | None = None,
+) -> EncodedInstance:
+    """Build the symbolic formulation for a fixed stage count.
+
+    *shielding* defaults to "the architecture has a storage zone", matching
+    the paper's handling of Layout 1 (footnote 2).
+    """
+    normalised = [(min(a, b), max(a, b)) for a, b in gates]
+    for a, b in normalised:
+        if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise ValueError(f"invalid CZ gate ({a}, {b})")
+    if shielding is None:
+        shielding = architecture.has_storage
+    solver = Solver()
+    variables = StatePrepVariables.create(
+        solver, architecture, num_qubits, len(normalised), num_stages
+    )
+    C.assert_all(variables, normalised, shielding=shielding)
+    return EncodedInstance(
+        architecture=architecture,
+        num_qubits=num_qubits,
+        gates=list(normalised),
+        num_stages=num_stages,
+        shielding=shielding,
+        solver=solver,
+        variables=variables,
+    )
+
+
+def extract_schedule(
+    instance: EncodedInstance, model: Model, metadata: dict | None = None
+) -> Schedule:
+    """Read the variable assignment back into a concrete schedule."""
+    variables = instance.variables
+    num_stages = instance.num_stages
+    stages: list[Stage] = []
+    gate_stages = [model[g] for g in variables.gate_stage]
+    for t in range(num_stages):
+        placements: dict[int, QubitPlacement] = {}
+        for q in range(instance.num_qubits):
+            in_aod = bool(model[variables.a[q][t]])
+            placements[q] = QubitPlacement(
+                x=model[variables.x[q][t]],
+                y=model[variables.y[q][t]],
+                h=model[variables.h[q][t]],
+                v=model[variables.v[q][t]],
+                in_aod=in_aod,
+                column=model[variables.c[q][t]] if in_aod else None,
+                row=model[variables.r[q][t]] if in_aod else None,
+            )
+        is_execution = bool(model[variables.execution[t]])
+        if is_execution:
+            gates_here = [
+                instance.gates[i] for i, stage in enumerate(gate_stages) if stage == t
+            ]
+            stages.append(
+                Stage(kind=StageKind.RYDBERG, placements=placements, gates=gates_here)
+            )
+        else:
+            stored: list[int] = []
+            loaded: list[int] = []
+            if t < num_stages - 1:
+                for q in range(instance.num_qubits):
+                    now = bool(model[variables.a[q][t]])
+                    later = bool(model[variables.a[q][t + 1]])
+                    if now and not later:
+                        stored.append(q)
+                    elif not now and later:
+                        loaded.append(q)
+            stages.append(
+                Stage(
+                    kind=StageKind.TRANSFER,
+                    placements=placements,
+                    stored_qubits=stored,
+                    loaded_qubits=loaded,
+                )
+            )
+    return Schedule(
+        architecture=instance.architecture,
+        num_qubits=instance.num_qubits,
+        stages=stages,
+        target_gates=list(instance.gates),
+        metadata={"backend": "smt", "num_stages": num_stages, **(metadata or {})},
+    )

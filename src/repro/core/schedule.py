@@ -1,0 +1,246 @@
+"""Schedule data model.
+
+A schedule is a sequence of *stages* (Sec. IV-A of the paper).  Each stage
+records the placement of every qubit at the *beginning* of the stage:
+
+* an **execution stage** starts with a Rydberg beam executing the recorded
+  CZ gates, followed by shuttling into the next stage's placement;
+* a **transfer stage** starts with trap transfers (stores, then loads),
+  followed by shuttling into the next stage's placement.
+
+The placement of a qubit consists of its interaction site ``(x, y)``, the
+offsets ``(h, v)`` within the site, whether it currently sits in an AOD trap
+and — if so — its AOD column and row indices.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.arch.architecture import Position, ZonedArchitecture
+
+
+class StageKind(enum.Enum):
+    """The two stage kinds of the paper's model."""
+
+    RYDBERG = "rydberg"
+    TRANSFER = "transfer"
+
+
+@dataclass(frozen=True)
+class QubitPlacement:
+    """Placement of one qubit at the beginning of a stage."""
+
+    x: int
+    y: int
+    h: int = 0
+    v: int = 0
+    in_aod: bool = False
+    column: int | None = None
+    row: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.in_aod and (self.column is None or self.row is None):
+            raise ValueError("AOD qubits need a column and a row index")
+
+    @property
+    def position(self) -> Position:
+        """The discrete position of the placement."""
+        return Position(self.x, self.y, self.h, self.v)
+
+    @property
+    def site(self) -> tuple[int, int]:
+        """The interaction-site coordinates."""
+        return (self.x, self.y)
+
+    def moved_to(self, **changes) -> "QubitPlacement":
+        """Return a copy with the given fields replaced."""
+        data = {
+            "x": self.x,
+            "y": self.y,
+            "h": self.h,
+            "v": self.v,
+            "in_aod": self.in_aod,
+            "column": self.column,
+            "row": self.row,
+        }
+        data.update(changes)
+        return QubitPlacement(**data)
+
+
+@dataclass
+class Stage:
+    """One stage of a schedule."""
+
+    kind: StageKind
+    placements: dict[int, QubitPlacement]
+    #: CZ gates executed by the Rydberg beam (execution stages only).
+    gates: list[tuple[int, int]] = field(default_factory=list)
+    #: Qubits transferred AOD -> SLM at the start of this stage.
+    stored_qubits: list[int] = field(default_factory=list)
+    #: Qubits transferred SLM -> AOD at the start of this stage.
+    loaded_qubits: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind is StageKind.RYDBERG and (self.stored_qubits or self.loaded_qubits):
+            raise ValueError("execution stages cannot perform trap transfers")
+        if self.kind is StageKind.TRANSFER and self.gates:
+            raise ValueError("transfer stages cannot execute gates")
+        self.gates = [(min(a, b), max(a, b)) for a, b in self.gates]
+
+    @property
+    def is_execution(self) -> bool:
+        """True for Rydberg (execution) stages."""
+        return self.kind is StageKind.RYDBERG
+
+    @property
+    def num_transfer_operations(self) -> int:
+        """Number of individual load/store operations in this stage."""
+        return len(self.stored_qubits) + len(self.loaded_qubits)
+
+
+@dataclass
+class Schedule:
+    """A complete schedule for one state-preparation circuit."""
+
+    architecture: ZonedArchitecture
+    num_qubits: int
+    stages: list[Stage]
+    #: The CZ gates the schedule is supposed to implement.
+    target_gates: list[tuple[int, int]] = field(default_factory=list)
+    #: Optional provenance (backend name, code name, ...).
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.target_gates = [(min(a, b), max(a, b)) for a, b in self.target_gates]
+
+    # ------------------------------------------------------------------ #
+    # Summary quantities (the columns of Table I)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_stages(self) -> int:
+        """Total number of stages S."""
+        return len(self.stages)
+
+    @property
+    def num_rydberg_stages(self) -> int:
+        """#R: number of Rydberg (execution) stages."""
+        return sum(1 for stage in self.stages if stage.is_execution)
+
+    @property
+    def num_transfer_stages(self) -> int:
+        """#T: number of transfer stages."""
+        return sum(1 for stage in self.stages if not stage.is_execution)
+
+    @property
+    def num_transfer_operations(self) -> int:
+        """Total number of individual load/store operations."""
+        return sum(stage.num_transfer_operations for stage in self.stages)
+
+    @property
+    def executed_gates(self) -> list[tuple[int, int]]:
+        """All CZ gates executed, in schedule order."""
+        gates: list[tuple[int, int]] = []
+        for stage in self.stages:
+            gates.extend(stage.gates)
+        return gates
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the metrics and the validator
+    # ------------------------------------------------------------------ #
+    def placement(self, stage_index: int, qubit: int) -> QubitPlacement:
+        """Placement of *qubit* at the beginning of stage *stage_index*."""
+        return self.stages[stage_index].placements[qubit]
+
+    def shuttling_distance_um(self, stage_index: int) -> float:
+        """Maximum distance moved by any qubit between this stage and the next.
+
+        AOD moves happen in parallel, so the stage's shuttling time is
+        governed by the longest single-qubit move.
+        """
+        if stage_index >= len(self.stages) - 1:
+            return 0.0
+        current = self.stages[stage_index]
+        following = self.stages[stage_index + 1]
+        longest = 0.0
+        for qubit, placement in current.placements.items():
+            next_placement = following.placements[qubit]
+            distance = self.architecture.distance_um(
+                placement.position, next_placement.position
+            )
+            longest = max(longest, distance)
+        return longest
+
+    def idle_qubits(self, stage_index: int) -> list[int]:
+        """Qubits not participating in a gate at the given execution stage."""
+        stage = self.stages[stage_index]
+        busy = {q for gate in stage.gates for q in gate}
+        return [q for q in range(self.num_qubits) if q not in busy]
+
+    def unshielded_idle_count(self, stage_index: int) -> int:
+        """Idle qubits sitting inside the entangling zone during a beam."""
+        stage = self.stages[stage_index]
+        if not stage.is_execution:
+            return 0
+        count = 0
+        for qubit in self.idle_qubits(stage_index):
+            if self.architecture.in_entangling_zone(stage.placements[qubit].y):
+                count += 1
+        return count
+
+    def total_unshielded_idle(self) -> int:
+        """Total idle-qubit exposures to Rydberg beams over the schedule."""
+        return sum(
+            self.unshielded_idle_count(i)
+            for i, stage in enumerate(self.stages)
+            if stage.is_execution
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (useful for inspecting and storing schedules)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "architecture": self.architecture.name,
+            "num_qubits": self.num_qubits,
+            "target_gates": [list(gate) for gate in self.target_gates],
+            "metadata": dict(self.metadata),
+            "stages": [
+                {
+                    "kind": stage.kind.value,
+                    "gates": [list(gate) for gate in stage.gates],
+                    "stored_qubits": list(stage.stored_qubits),
+                    "loaded_qubits": list(stage.loaded_qubits),
+                    "placements": {
+                        str(qubit): {
+                            "x": placement.x,
+                            "y": placement.y,
+                            "h": placement.h,
+                            "v": placement.v,
+                            "in_aod": placement.in_aod,
+                            "column": placement.column,
+                            "row": placement.row,
+                        }
+                        for qubit, placement in sorted(stage.placements.items())
+                    },
+                }
+                for stage in self.stages
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """One-line summary in the spirit of a Table I row."""
+        return (
+            f"S={self.num_stages} #R={self.num_rydberg_stages} "
+            f"#T={self.num_transfer_stages} "
+            f"transfers={self.num_transfer_operations} "
+            f"unshielded-idle={self.total_unshielded_idle()}"
+        )

@@ -1,0 +1,445 @@
+"""A constructive, zone-aware scheduler for full-size instances.
+
+The SMT backend (:mod:`repro.core.scheduler`) reproduces the paper's exact
+approach but — with a pure-Python SAT core — cannot solve the full-size
+Table I instances in reasonable time (the paper itself reports up to 320 h of
+Z3 time).  This module provides a *constructive* scheduler whose schedules
+are feasible by construction and are certified by the same independent
+validator.  It follows a fixed choreography:
+
+* Every qubit is assigned a static **home**: an SLM trap in the storage zone
+  (architectures with storage) or in a non-beam row of the entangling zone
+  (the no-shielding layout).  If the storage zone is too small for all
+  qubits, a single *homeless* qubit permanently lives in an AOD trap parked
+  over the storage zone.
+* CZ gates are grouped into **rounds**.  Each round becomes one Rydberg
+  stage: the participating qubits are picked up from their homes by AOD
+  columns, brought to a dedicated beam row of the entangling zone, entangled
+  and returned to their homes, where the next transfer stage stores them and
+  simultaneously loads the next round's qubits.
+* Idle qubits never move: on zoned layouts they remain shielded in the
+  storage zone during every beam (Eq. 14); on the no-shielding layout they
+  sit at separate sites of the entangling zone and accumulate the Rydberg
+  idling error, exactly like the baseline the paper compares against.
+
+Within a round the AOD order-preservation rules (C2/C6) are satisfied by
+construction: gates are admitted to a round only if the home columns of
+their operands form pairwise disjoint x-intervals, so the pick-up order,
+the beam order and the drop-off order all coincide.  Partners that share a
+home column are paired vertically (they share an AOD column); partners from
+different columns are paired horizontally.
+
+The resulting schedules use one transfer stage per round boundary
+(#T = #R - 1) and are therefore not always minimal in the number of
+transfer stages; the optimality claims of the paper are reproduced with the
+SMT backend on small instances, while this backend scales to all Table I
+codes within seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.architecture import ZonedArchitecture
+from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+
+
+@dataclass
+class _Home:
+    """A qubit's static SLM home site."""
+
+    x: int
+    y: int
+    #: Rank of the home row among all home rows (defines the beam offset).
+    group: int
+
+
+class StructuredScheduler:
+    """Constructive zone-aware scheduler (see module docstring)."""
+
+    def __init__(self, architecture: ZonedArchitecture) -> None:
+        self._arch = architecture
+        self._beam_row = self._choose_beam_row()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        num_qubits: int,
+        cz_gates: Sequence[tuple[int, int]],
+        metadata: dict | None = None,
+    ) -> Schedule:
+        """Build a schedule executing *cz_gates* on the architecture."""
+        gates = [(min(a, b), max(a, b)) for a, b in cz_gates]
+        for a, b in gates:
+            if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"invalid CZ gate ({a}, {b})")
+        homes, homeless = self._assign_homes(num_qubits, gates)
+        rounds = self._build_rounds(gates, homes, homeless)
+        stages = self._build_stages(num_qubits, rounds, homes, homeless)
+        return Schedule(
+            architecture=self._arch,
+            num_qubits=num_qubits,
+            stages=stages,
+            target_gates=list(gates),
+            metadata={"backend": "structured", **(metadata or {})},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    def _choose_beam_row(self) -> int:
+        """The entangling-zone row used for Rydberg beams."""
+        e_min, e_max = self._arch.entangling_rows
+        return (e_min + e_max) // 2
+
+    def _home_rows(self) -> list[int]:
+        """Rows that may carry SLM homes, ordered by increasing y."""
+        arch = self._arch
+        if arch.has_storage:
+            return arch.storage_rows()
+        e_min, e_max = arch.entangling_rows
+        rows = [y for y in range(e_min, e_max + 1) if y != self._beam_row]
+        return rows if rows else [e_min]
+
+    def _assign_homes(
+        self, num_qubits: int, gates: Sequence[tuple[int, int]] = ()
+    ) -> tuple[dict[int, _Home], int | None]:
+        """Assign each qubit a home site; return (homes, homeless qubit).
+
+        Home columns are assigned along a bandwidth-reducing ordering of the
+        interaction graph (reverse Cuthill–McKee) so that gate partners tend
+        to live in nearby columns, which lets the round builder pack more
+        gates per Rydberg stage.
+        """
+        arch = self._arch
+        rows = self._home_rows()
+        capacity = len(rows) * (arch.x_max + 1)
+        # Use as few home rows as possible and prefer the rows closest to the
+        # beam row: fewer row groups mean fewer group-adjacency conflicts per
+        # round, and nearby rows mean shorter shuttles (this is where the
+        # double-sided layout gains over the bottom-only layout).
+        needed_rows = -(-num_qubits // (arch.x_max + 1))
+        if 0 < needed_rows < len(rows):
+            by_proximity = sorted(rows, key=lambda row: (abs(row - self._beam_row), row))
+            rows = sorted(by_proximity[:needed_rows])
+        order = self._qubit_order(num_qubits, gates)
+        homeless: int | None = None
+        if num_qubits > capacity:
+            if num_qubits > capacity + 1:
+                raise ValueError(
+                    f"architecture offers {capacity} home sites but the circuit has "
+                    f"{num_qubits} qubits"
+                )
+            homeless = order.pop()
+        homes: dict[int, _Home] = {}
+        for index, qubit in enumerate(order):
+            # Fill column by column so that consecutive qubits in the
+            # ordering share a home column (they can then be paired
+            # vertically within one AOD column).
+            x, row_index = divmod(index, len(rows))
+            homes[qubit] = _Home(x=x, y=rows[row_index], group=row_index)
+        return homes, homeless
+
+    def _qubit_order(
+        self, num_qubits: int, gates: Sequence[tuple[int, int]]
+    ) -> list[int]:
+        """Bandwidth-reducing qubit ordering for home assignment."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_qubits))
+        graph.add_edges_from(gates)
+        try:
+            order = list(nx.utils.reverse_cuthill_mckee_ordering(graph))
+        except Exception:  # pragma: no cover - networkx API fallback
+            order = list(range(num_qubits))
+        if len(order) != num_qubits:
+            order = list(range(num_qubits))
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Round construction
+    # ------------------------------------------------------------------ #
+    def _max_gates_per_round(self, homeless_exists: bool) -> int:
+        """Hard cap on gates per Rydberg stage (one beam site per gate)."""
+        return self._arch.x_max + 1
+
+    def _available_columns(self, homeless_exists: bool) -> int:
+        """AOD columns usable for picked-up qubits."""
+        return self._arch.num_aod_columns - (1 if homeless_exists else 0)
+
+    def _build_rounds(
+        self,
+        gates: list[tuple[int, int]],
+        homes: dict[int, _Home],
+        homeless: int | None,
+    ) -> list[list[tuple[int, int]]]:
+        """Greedy grouping of gates into rounds satisfying the choreography rules."""
+        def right_endpoint(gate: tuple[int, int]) -> float:
+            a, b = gate
+            return max(
+                self._virtual_x(a, homes, homeless), self._virtual_x(b, homes, homeless)
+            )
+
+        # Classic interval-scheduling greedy: processing gates by the right
+        # endpoint of their home-column interval maximises the number of
+        # disjoint intervals packed into each Rydberg stage.
+        remaining = sorted(gates, key=right_endpoint)
+        rounds: list[list[tuple[int, int]]] = []
+        limit = self._max_gates_per_round(homeless is not None)
+        while remaining:
+            chosen: list[tuple[int, int]] = []
+            for gate in list(remaining):
+                if len(chosen) >= limit:
+                    break
+                if self._round_accepts(chosen + [gate], homes, homeless):
+                    chosen.append(gate)
+            if not chosen:
+                # A singleton round is always feasible (vertical or horizontal
+                # pairing of a single pair of qubits).
+                chosen = [remaining[0]]
+            for gate in chosen:
+                remaining.remove(gate)
+            rounds.append(chosen)
+        return rounds
+
+    def _virtual_x(self, qubit: int, homes: dict[int, _Home], homeless: int | None) -> float:
+        """Pick-up column of a qubit (the homeless one sits right of all homes)."""
+        if homeless is not None and qubit == homeless:
+            return self._arch.x_max + 0.5
+        return float(homes[qubit].x)
+
+    def _round_accepts(
+        self,
+        candidate: list[tuple[int, int]],
+        homes: dict[int, _Home],
+        homeless: int | None,
+    ) -> bool:
+        """Check the choreography rules for a tentative round."""
+        qubits = [q for gate in candidate for q in gate]
+        if len(set(qubits)) != len(qubits):
+            return False  # gates must be qubit-disjoint
+        xs = {q: self._virtual_x(q, homes, homeless) for q in qubits}
+        # The pick-up needs one AOD column per distinct home column in use.
+        if len(set(xs.values())) > self._available_columns(homeless is not None):
+            return False
+        # Two qubits of *different* gates must not share a pick-up column.
+        for a, b in candidate:
+            for other_a, other_b in candidate:
+                if (a, b) == (other_a, other_b):
+                    continue
+                if xs[a] in (xs[other_a], xs[other_b]) or xs[b] in (xs[other_a], xs[other_b]):
+                    return False
+        # Pairwise disjoint home-x intervals keep pick-up and beam order equal.
+        intervals = sorted(
+            (min(xs[a], xs[b]), max(xs[a], xs[b])) for a, b in candidate
+        )
+        for (_, high1), (low2, _) in zip(intervals, intervals[1:]):
+            if low2 <= high1:
+                return False
+        # Partner home rows must be adjacent in the set of used rows so that
+        # the vertical beam offsets stay within the blockade radius.
+        used_groups = sorted({homes[q].group for q in qubits if q in homes})
+        if len(used_groups) > 2 * self._arch.v_max + 1:
+            return False
+        rank = {group: i for i, group in enumerate(used_groups)}
+        for a, b in candidate:
+            if homeless is not None and homeless in (a, b):
+                partner = b if a == homeless else a
+                # The homeless qubit flies at the lowest beam offset and the
+                # right-most column; its partner must therefore belong to the
+                # lowest used home row and be the right-most regular pick-up.
+                if rank.get(homes[partner].group, 0) != 0:
+                    return False
+                others = [q for q in qubits if q not in (a, b)]
+                if any(xs[q] > xs[partner] for q in others):
+                    return False
+                continue
+            group_a, group_b = homes[a].group, homes[b].group
+            if xs[a] == xs[b]:
+                # Vertical pairing: the partners share an AOD column; their
+                # home rows must be adjacent among the used rows.
+                if abs(rank[group_a] - rank[group_b]) != 1:
+                    return False
+            elif abs(rank[group_a] - rank[group_b]) > 1:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Stage construction
+    # ------------------------------------------------------------------ #
+    def _build_stages(
+        self,
+        num_qubits: int,
+        rounds: list[list[tuple[int, int]]],
+        homes: dict[int, _Home],
+        homeless: int | None,
+    ) -> list[Stage]:
+        park = self._park_placement() if homeless is not None else None
+        home_placement = {
+            q: QubitPlacement(x=home.x, y=home.y, in_aod=False) for q, home in homes.items()
+        }
+        def hover_placements(active: list[int]) -> dict[int, QubitPlacement]:
+            """All qubits at rest: actives hover in AOD above their homes."""
+            columns = self._column_indices(active, homes, homeless)
+            row_indices = self._row_indices(active, homes, homeless)
+            placements: dict[int, QubitPlacement] = {}
+            for qubit in range(num_qubits):
+                if homeless is not None and qubit == homeless:
+                    placement = park
+                    if qubit in active:
+                        placement = park.moved_to(
+                            column=columns[qubit], row=row_indices[qubit]
+                        )
+                    placements[qubit] = placement
+                elif qubit in active:
+                    home = homes[qubit]
+                    placements[qubit] = QubitPlacement(
+                        x=home.x,
+                        y=home.y,
+                        in_aod=True,
+                        column=columns[qubit],
+                        row=row_indices[qubit],
+                    )
+                else:
+                    placements[qubit] = home_placement[qubit]
+            return placements
+
+        stages: list[Stage] = []
+        for index, round_gates in enumerate(rounds):
+            active = sorted({q for gate in round_gates for q in gate})
+            layout = self._beam_layout(round_gates, homes, homeless)
+            placements = {}
+            for qubit in range(num_qubits):
+                if qubit in layout:
+                    placements[qubit] = layout[qubit]
+                elif homeless is not None and qubit == homeless:
+                    placements[qubit] = park
+                else:
+                    placements[qubit] = home_placement[qubit]
+            stages.append(
+                Stage(kind=StageKind.RYDBERG, placements=placements, gates=list(round_gates))
+            )
+            if index == len(rounds) - 1:
+                break
+            next_active = sorted({q for gate in rounds[index + 1] for q in gate})
+            regular_active = [q for q in active if q != homeless]
+            regular_next = [q for q in next_active if q != homeless]
+            shared = sorted(set(regular_active) & set(regular_next))
+            if not shared:
+                # Single transfer stage: store this round's qubits (hovering
+                # above their homes) and load the next round's qubits.
+                stages.append(
+                    Stage(
+                        kind=StageKind.TRANSFER,
+                        placements=hover_placements(active),
+                        stored_qubits=regular_active,
+                        loaded_qubits=regular_next,
+                    )
+                )
+            else:
+                # Qubits shared between consecutive rounds cannot be stored
+                # and re-loaded within one stage, and keeping them airborne
+                # can block the storage of their AOD line.  Use two transfer
+                # stages: first store everybody, then load the next round.
+                stages.append(
+                    Stage(
+                        kind=StageKind.TRANSFER,
+                        placements=hover_placements(active),
+                        stored_qubits=regular_active,
+                        loaded_qubits=[],
+                    )
+                )
+                stages.append(
+                    Stage(
+                        kind=StageKind.TRANSFER,
+                        placements=hover_placements([]),
+                        stored_qubits=[],
+                        loaded_qubits=regular_next,
+                    )
+                )
+        return stages
+
+    def _park_placement(self) -> QubitPlacement:
+        """Permanent AOD parking spot of the homeless qubit."""
+        arch = self._arch
+        rows = self._home_rows()
+        return QubitPlacement(
+            x=arch.x_max,
+            y=rows[0],
+            h=min(1, arch.h_max),
+            v=-min(1, arch.v_max),
+            in_aod=True,
+            column=arch.c_max,
+            row=0,
+        )
+
+    def _column_indices(
+        self, active: list[int], homes: dict[int, _Home], homeless: int | None
+    ) -> dict[int, int]:
+        """AOD column index per active qubit: rank of its pick-up column."""
+        indices: dict[int, int] = {}
+        regular = [q for q in active if not (homeless is not None and q == homeless)]
+        distinct_x = sorted({homes[q].x for q in regular})
+        for qubit in regular:
+            indices[qubit] = distinct_x.index(homes[qubit].x)
+        if homeless is not None and homeless in active:
+            indices[homeless] = self._arch.c_max
+        return indices
+
+    def _row_indices(
+        self, active: list[int], homes: dict[int, _Home], homeless: int | None
+    ) -> dict[int, int]:
+        """AOD row index per active qubit: rank of its home row."""
+        indices: dict[int, int] = {}
+        regular = [q for q in active if not (homeless is not None and q == homeless)]
+        groups = sorted({homes[q].group for q in regular})
+        shift = 1 if homeless is not None else 0
+        for qubit in regular:
+            indices[qubit] = groups.index(homes[qubit].group) + shift
+        if homeless is not None and homeless in active:
+            indices[homeless] = 0
+        return indices
+
+    def _beam_layout(
+        self,
+        round_gates: list[tuple[int, int]],
+        homes: dict[int, _Home],
+        homeless: int | None,
+    ) -> dict[int, QubitPlacement]:
+        """Positions of the round's qubits during its Rydberg beam."""
+        arch = self._arch
+        active = sorted({q for gate in round_gates for q in gate})
+        xs = {q: self._virtual_x(q, homes, homeless) for q in active}
+        columns = self._column_indices(active, homes, homeless)
+        row_indices = self._row_indices(active, homes, homeless)
+        regular = [q for q in active if not (homeless is not None and q == homeless)]
+        used_groups = sorted({homes[q].group for q in regular})
+        rank = {group: i for i, group in enumerate(used_groups)}
+        shift = 1 if homeless is not None else 0
+        base = -min(arch.v_max, max(0, len(used_groups) - 1 + shift))
+        ordered_gates = sorted(round_gates, key=lambda gate: min(xs[gate[0]], xs[gate[1]]))
+
+        layout: dict[int, QubitPlacement] = {}
+        for site_index, (a, b) in enumerate(ordered_gates):
+            first, second = (a, b) if xs[a] <= xs[b] else (b, a)
+            vertical_pair = xs[a] == xs[b]
+            for position_index, qubit in enumerate((first, second)):
+                if homeless is not None and qubit == homeless:
+                    v_offset = base
+                else:
+                    v_offset = base + rank[homes[qubit].group] + shift
+                h_offset = 0 if (vertical_pair or position_index == 0) else min(1, arch.h_max)
+                layout[qubit] = QubitPlacement(
+                    x=site_index,
+                    y=self._beam_row,
+                    h=h_offset,
+                    v=v_offset,
+                    in_aod=True,
+                    column=columns[qubit],
+                    row=row_indices[qubit],
+                )
+        return layout

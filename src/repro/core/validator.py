@@ -1,0 +1,412 @@
+"""Independent schedule validation.
+
+The validator re-checks every architectural rule of Sec. IV-B on a concrete
+:class:`~repro.core.schedule.Schedule` without involving any solver.  It is
+used (a) as a safety net behind the SMT model extraction, (b) to certify the
+structured scheduler's output, and (c) in the test suite as the ground truth
+for what "physically feasible" means.
+
+Checks performed
+----------------
+* placements lie within the architecture bounds (V1),
+* no two qubits share a trap position; SLM qubits sit at site centres (C1),
+* AOD column/row indices are consistent with the geometric order (C2),
+* every target CZ gate is executed exactly once, in the entangling zone,
+  with its operands adjacent (C3 / Eq. 12-13),
+* idle qubits are shielded during Rydberg beams on architectures with a
+  storage zone, or sufficiently separated otherwise (Eq. 14 / footnote 2),
+* no unintended pair of qubits is close enough to interact during a beam,
+* execution stages preserve trap type, SLM positions and AOD indices (C4),
+* transfer stages only store qubits that sit at a site centre, keep
+  SLM-bound qubits in place, store along whole AOD lines, and preserve the
+  relative AOD order of loaded/remaining qubits (C5, C6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import QubitPlacement, Schedule, Stage
+
+
+class ValidationError(Exception):
+    """Raised by :func:`validate_schedule` when a schedule is invalid."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run."""
+
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.errors
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.errors.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ValidationError` listing all violations."""
+        if self.errors:
+            summary = "\n  - ".join(self.errors[:20])
+            more = "" if len(self.errors) <= 20 else f"\n  ... and {len(self.errors) - 20} more"
+            raise ValidationError(f"invalid schedule:\n  - {summary}{more}")
+
+
+def validate_schedule(
+    schedule: Schedule,
+    require_shielding: bool | None = None,
+    raise_on_error: bool = True,
+) -> ValidationReport:
+    """Validate *schedule* against the architecture rules.
+
+    Parameters
+    ----------
+    require_shielding:
+        When True, idle qubits must be outside the entangling zone during
+        every Rydberg beam (Eq. 14).  Defaults to "architecture has a
+        storage zone", matching the paper's treatment of Layout 1.
+    raise_on_error:
+        Raise a :class:`ValidationError` (default) instead of returning a
+        failing report.
+    """
+    report = ValidationReport()
+    arch = schedule.architecture
+    if require_shielding is None:
+        require_shielding = arch.has_storage
+
+    if not schedule.stages:
+        report.add("schedule has no stages")
+    for index, stage in enumerate(schedule.stages):
+        _check_placement_bounds(schedule, index, report)
+        _check_exclusive_positions(schedule, index, report)
+        _check_aod_order(schedule, index, report)
+        if stage.is_execution:
+            _check_execution_stage(schedule, index, require_shielding, report)
+        else:
+            _check_transfer_stage_markers(schedule, index, report)
+        if index < len(schedule.stages) - 1:
+            _check_stage_transition(schedule, index, report)
+    _check_gate_coverage(schedule, report)
+
+    if raise_on_error:
+        report.raise_if_failed()
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Per-stage checks
+# --------------------------------------------------------------------------- #
+def _check_placement_bounds(schedule: Schedule, index: int, report: ValidationReport) -> None:
+    arch = schedule.architecture
+    stage = schedule.stages[index]
+    missing = set(range(schedule.num_qubits)) - set(stage.placements)
+    if missing:
+        report.add(f"stage {index}: missing placements for qubits {sorted(missing)}")
+    for qubit, placement in stage.placements.items():
+        if not arch.contains(placement.position):
+            report.add(
+                f"stage {index}: qubit {qubit} at {placement.position} is outside the architecture"
+            )
+        if placement.in_aod:
+            if placement.column is None or placement.row is None:
+                report.add(f"stage {index}: AOD qubit {qubit} lacks column/row indices")
+            else:
+                if not 0 <= placement.column <= arch.c_max:
+                    report.add(
+                        f"stage {index}: qubit {qubit} uses AOD column {placement.column} > Cmax"
+                    )
+                if not 0 <= placement.row <= arch.r_max:
+                    report.add(
+                        f"stage {index}: qubit {qubit} uses AOD row {placement.row} > Rmax"
+                    )
+        else:
+            if placement.h != 0 or placement.v != 0:
+                report.add(
+                    f"stage {index}: SLM qubit {qubit} has non-zero offset "
+                    f"({placement.h}, {placement.v})"
+                )
+
+
+def _check_exclusive_positions(schedule: Schedule, index: int, report: ValidationReport) -> None:
+    stage = schedule.stages[index]
+    seen: dict[tuple[int, int, int, int], int] = {}
+    for qubit, placement in stage.placements.items():
+        key = (placement.x, placement.y, placement.h, placement.v)
+        if key in seen:
+            report.add(
+                f"stage {index}: qubits {seen[key]} and {qubit} share position {key}"
+            )
+        seen[key] = qubit
+
+
+def _check_aod_order(schedule: Schedule, index: int, report: ValidationReport) -> None:
+    stage = schedule.stages[index]
+    aod = [(q, p) for q, p in stage.placements.items() if p.in_aod]
+    for i, (qa, pa) in enumerate(aod):
+        for qb, pb in aod[i + 1 :]:
+            if pa.column is None or pb.column is None:
+                continue
+            horizontal_a = (pa.x, pa.h)
+            horizontal_b = (pb.x, pb.h)
+            if (pa.column < pb.column) != (horizontal_a < horizontal_b) and (
+                horizontal_a != horizontal_b
+            ):
+                report.add(
+                    f"stage {index}: AOD column order of qubits {qa}/{qb} contradicts "
+                    f"their horizontal positions"
+                )
+            if pa.column == pb.column and horizontal_a != horizontal_b:
+                report.add(
+                    f"stage {index}: qubits {qa}/{qb} share AOD column {pa.column} but "
+                    f"sit at different horizontal positions"
+                )
+            if horizontal_a == horizontal_b and pa.column != pb.column:
+                report.add(
+                    f"stage {index}: qubits {qa}/{qb} share horizontal position but "
+                    f"use different AOD columns"
+                )
+            vertical_a = (pa.y, pa.v)
+            vertical_b = (pb.y, pb.v)
+            if (pa.row < pb.row) != (vertical_a < vertical_b) and vertical_a != vertical_b:
+                report.add(
+                    f"stage {index}: AOD row order of qubits {qa}/{qb} contradicts "
+                    f"their vertical positions"
+                )
+            if pa.row == pb.row and vertical_a != vertical_b:
+                report.add(
+                    f"stage {index}: qubits {qa}/{qb} share AOD row {pa.row} but sit at "
+                    f"different vertical positions"
+                )
+            if vertical_a == vertical_b and pa.row != pb.row:
+                report.add(
+                    f"stage {index}: qubits {qa}/{qb} share vertical position but use "
+                    f"different AOD rows"
+                )
+
+
+def _check_execution_stage(
+    schedule: Schedule, index: int, require_shielding: bool, report: ValidationReport
+) -> None:
+    arch = schedule.architecture
+    stage = schedule.stages[index]
+    radius = arch.interaction_radius
+    busy: set[int] = set()
+    for a, b in stage.gates:
+        if a in busy or b in busy:
+            report.add(f"stage {index}: qubit appears in two gates of the same beam")
+        busy.update((a, b))
+        pa, pb = stage.placements[a], stage.placements[b]
+        if pa.site != pb.site:
+            report.add(f"stage {index}: gate ({a},{b}) operands are at different sites")
+        if abs(pa.h - pb.h) >= radius or abs(pa.v - pb.v) >= radius:
+            report.add(f"stage {index}: gate ({a},{b}) operands are not within the blockade radius")
+        for qubit, placement in ((a, pa), (b, pb)):
+            if not arch.in_entangling_zone(placement.y):
+                report.add(
+                    f"stage {index}: gate qubit {qubit} lies outside the entangling zone"
+                )
+    # Unintended interactions: any two qubits at the same site within the
+    # blockade radius *inside the entangling zone* must be a scheduled gate
+    # of this stage (the Rydberg beam does not reach the storage zones).
+    scheduled = {tuple(sorted(gate)) for gate in stage.gates}
+    qubits = sorted(stage.placements)
+    for i, qa in enumerate(qubits):
+        pa = stage.placements[qa]
+        if not arch.in_entangling_zone(pa.y):
+            continue
+        for qb in qubits[i + 1 :]:
+            pb = stage.placements[qb]
+            if pa.site != pb.site:
+                continue
+            if abs(pa.h - pb.h) < radius and abs(pa.v - pb.v) < radius:
+                if (qa, qb) not in scheduled:
+                    report.add(
+                        f"stage {index}: qubits {qa}/{qb} would interact but no gate is scheduled"
+                    )
+    # Shielding of idle qubits (Eq. 14) or separation (footnote 2).
+    for qubit in schedule.idle_qubits(index):
+        placement = stage.placements[qubit]
+        if arch.in_entangling_zone(placement.y) and require_shielding:
+            report.add(
+                f"stage {index}: idle qubit {qubit} is unshielded inside the entangling zone"
+            )
+
+
+def _check_transfer_stage_markers(
+    schedule: Schedule, index: int, report: ValidationReport
+) -> None:
+    stage = schedule.stages[index]
+    if index >= len(schedule.stages) - 1:
+        if stage.stored_qubits or stage.loaded_qubits:
+            report.add(f"stage {index}: trailing transfer stage has no successor to transfer into")
+        return
+    following = schedule.stages[index + 1]
+    actual_stored = sorted(
+        q
+        for q, placement in stage.placements.items()
+        if placement.in_aod and not following.placements[q].in_aod
+    )
+    actual_loaded = sorted(
+        q
+        for q, placement in stage.placements.items()
+        if not placement.in_aod and following.placements[q].in_aod
+    )
+    if sorted(stage.stored_qubits) != actual_stored:
+        report.add(
+            f"stage {index}: recorded stored qubits {sorted(stage.stored_qubits)} do not match "
+            f"the trap-type changes {actual_stored}"
+        )
+    if sorted(stage.loaded_qubits) != actual_loaded:
+        report.add(
+            f"stage {index}: recorded loaded qubits {sorted(stage.loaded_qubits)} do not match "
+            f"the trap-type changes {actual_loaded}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Transition checks (constraints relating stage t and t+1)
+# --------------------------------------------------------------------------- #
+def _check_stage_transition(schedule: Schedule, index: int, report: ValidationReport) -> None:
+    stage = schedule.stages[index]
+    following = schedule.stages[index + 1]
+    if stage.is_execution:
+        _check_execution_transition(schedule, index, stage, following, report)
+    else:
+        _check_transfer_transition(schedule, index, stage, following, report)
+
+
+def _check_execution_transition(
+    schedule: Schedule,
+    index: int,
+    stage: Stage,
+    following: Stage,
+    report: ValidationReport,
+) -> None:
+    for qubit, placement in stage.placements.items():
+        next_placement = following.placements[qubit]
+        if placement.in_aod != next_placement.in_aod:
+            report.add(
+                f"stage {index}: qubit {qubit} changes trap type during an execution stage"
+            )
+        if not placement.in_aod:
+            if placement.site != next_placement.site:
+                report.add(
+                    f"stage {index}: SLM qubit {qubit} moves during an execution stage"
+                )
+        else:
+            if placement.column != next_placement.column or placement.row != next_placement.row:
+                report.add(
+                    f"stage {index}: AOD qubit {qubit} changes column/row during an execution stage"
+                )
+
+
+def _check_transfer_transition(
+    schedule: Schedule,
+    index: int,
+    stage: Stage,
+    following: Stage,
+    report: ValidationReport,
+) -> None:
+    # Eq. 18/19: qubits ending up in SLM were at a site centre and stay put.
+    for qubit, placement in stage.placements.items():
+        next_placement = following.placements[qubit]
+        if not next_placement.in_aod:
+            if placement.h != 0 or placement.v != 0:
+                report.add(
+                    f"stage {index}: qubit {qubit} is stored away from a site centre"
+                )
+            if placement.site != next_placement.site:
+                report.add(
+                    f"stage {index}: SLM-bound qubit {qubit} moves during a transfer stage"
+                )
+    # Eq. 20: stores happen along whole AOD lines.  There must exist a set of
+    # flagged columns/rows covering exactly the stored qubits: a column (row)
+    # may be flagged only if every AOD qubit on it is stored, and every stored
+    # qubit must be covered by a flaggable column or row.
+    stored = {
+        q
+        for q, placement in stage.placements.items()
+        if placement.in_aod and not following.placements[q].in_aod
+    }
+    aod_now = {q: p for q, p in stage.placements.items() if p.in_aod}
+    flaggable_columns = {
+        column
+        for column in {p.column for p in aod_now.values()}
+        if all(q in stored for q, p in aod_now.items() if p.column == column)
+    }
+    flaggable_rows = {
+        row
+        for row in {p.row for p in aod_now.values()}
+        if all(q in stored for q, p in aod_now.items() if p.row == row)
+    }
+    for qubit in stored:
+        placement = stage.placements[qubit]
+        if placement.column not in flaggable_columns and placement.row not in flaggable_rows:
+            report.add(
+                f"stage {index}: qubit {qubit} cannot be stored without also storing other "
+                f"qubits on its AOD column and row"
+            )
+    # Eq. 21 (+ vertical counterpart): relative order of AOD qubits at t+1
+    # must match their geometric order at t.
+    aod_next = [
+        (q, stage.placements[q], following.placements[q])
+        for q in stage.placements
+        if following.placements[q].in_aod
+    ]
+    for i, (qa, pa_now, pa_next) in enumerate(aod_next):
+        for qb, pb_now, pb_next in aod_next[i + 1 :]:
+            horizontal_a = (pa_now.x, pa_now.h)
+            horizontal_b = (pb_now.x, pb_now.h)
+            if horizontal_a != horizontal_b:
+                if (horizontal_a < horizontal_b) != (pa_next.column < pb_next.column):
+                    report.add(
+                        f"stage {index}: loading/shuttling would swap the horizontal order of "
+                        f"qubits {qa} and {qb}"
+                    )
+            elif pa_next.column != pb_next.column:
+                report.add(
+                    f"stage {index}: qubits {qa}/{qb} start at the same horizontal position but "
+                    f"are assigned different AOD columns"
+                )
+            vertical_a = (pa_now.y, pa_now.v)
+            vertical_b = (pb_now.y, pb_now.v)
+            if vertical_a != vertical_b:
+                if (vertical_a < vertical_b) != (pa_next.row < pb_next.row):
+                    report.add(
+                        f"stage {index}: loading/shuttling would swap the vertical order of "
+                        f"qubits {qa} and {qb}"
+                    )
+            elif pa_next.row != pb_next.row:
+                report.add(
+                    f"stage {index}: qubits {qa}/{qb} start at the same vertical position but "
+                    f"are assigned different AOD rows"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Whole-schedule checks
+# --------------------------------------------------------------------------- #
+def _check_gate_coverage(schedule: Schedule, report: ValidationReport) -> None:
+    executed = [tuple(sorted(gate)) for gate in schedule.executed_gates]
+    target = [tuple(sorted(gate)) for gate in schedule.target_gates]
+    if sorted(executed) != sorted(target):
+        missing = set(target) - set(executed)
+        extra = set(executed) - set(target)
+        duplicated = {gate for gate in executed if executed.count(gate) > 1}
+        if missing:
+            report.add(f"gates never executed: {sorted(missing)}")
+        if extra:
+            report.add(f"unexpected gates executed: {sorted(extra)}")
+        if duplicated:
+            report.add(f"gates executed more than once: {sorted(duplicated)}")
+        under_executed = {
+            gate for gate in set(target) if executed.count(gate) < target.count(gate)
+        }
+        if under_executed and not missing:
+            report.add(
+                f"gates executed fewer times than requested: {sorted(under_executed)}"
+            )

@@ -1,0 +1,119 @@
+"""Symbolic variables of the SMT formulation (Sec. IV-A, boxes V1-V3).
+
+For every qubit ``q`` and stage ``t`` the formulation uses
+
+* ``x, y`` — interaction-site coordinates,
+* ``h, v`` — offsets within the interaction site,
+* ``a``    — whether the qubit sits in an AOD trap,
+* ``c, r`` — AOD column and row indices,
+
+for every gate ``i`` the stage ``g_i`` at which it is executed, for every
+stage the execution flag ``e_t``, and for every AOD column/row and stage the
+load/store flags (V3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.arch.architecture import ZonedArchitecture
+from repro.smt import Solver
+from repro.smt.terms import BoolVar, IntVar
+
+
+@dataclass
+class StatePrepVariables:
+    """All symbolic variables of one scheduling instance."""
+
+    architecture: ZonedArchitecture
+    num_qubits: int
+    num_gates: int
+    num_stages: int
+    solver: Solver
+
+    x: list[list[IntVar]] = field(default_factory=list)
+    y: list[list[IntVar]] = field(default_factory=list)
+    h: list[list[IntVar]] = field(default_factory=list)
+    v: list[list[IntVar]] = field(default_factory=list)
+    a: list[list[BoolVar]] = field(default_factory=list)
+    c: list[list[IntVar]] = field(default_factory=list)
+    r: list[list[IntVar]] = field(default_factory=list)
+    gate_stage: list[IntVar] = field(default_factory=list)
+    execution: list[BoolVar] = field(default_factory=list)
+    column_load: list[list[BoolVar]] = field(default_factory=list)
+    column_store: list[list[BoolVar]] = field(default_factory=list)
+    row_load: list[list[BoolVar]] = field(default_factory=list)
+    row_store: list[list[BoolVar]] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        solver: Solver,
+        architecture: ZonedArchitecture,
+        num_qubits: int,
+        num_gates: int,
+        num_stages: int,
+    ) -> "StatePrepVariables":
+        """Allocate all variables with the domains of box V1-V3."""
+        if num_stages <= 0:
+            raise ValueError("a schedule needs at least one stage")
+        if num_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        arch = architecture
+        variables = cls(
+            architecture=arch,
+            num_qubits=num_qubits,
+            num_gates=num_gates,
+            num_stages=num_stages,
+            solver=solver,
+        )
+        for q in range(num_qubits):
+            variables.x.append(
+                [solver.int_var(f"x_q{q}_t{t}", 0, arch.x_max) for t in range(num_stages)]
+            )
+            variables.y.append(
+                [solver.int_var(f"y_q{q}_t{t}", 0, arch.y_max) for t in range(num_stages)]
+            )
+            variables.h.append(
+                [
+                    solver.int_var(f"h_q{q}_t{t}", -arch.h_max, arch.h_max)
+                    for t in range(num_stages)
+                ]
+            )
+            variables.v.append(
+                [
+                    solver.int_var(f"v_q{q}_t{t}", -arch.v_max, arch.v_max)
+                    for t in range(num_stages)
+                ]
+            )
+            variables.a.append(
+                [solver.bool_var(f"a_q{q}_t{t}") for t in range(num_stages)]
+            )
+            variables.c.append(
+                [solver.int_var(f"c_q{q}_t{t}", 0, arch.c_max) for t in range(num_stages)]
+            )
+            variables.r.append(
+                [solver.int_var(f"r_q{q}_t{t}", 0, arch.r_max) for t in range(num_stages)]
+            )
+        variables.gate_stage = [
+            solver.int_var(f"g_{i}", 0, num_stages - 1) for i in range(num_gates)
+        ]
+        variables.execution = [solver.bool_var(f"e_t{t}") for t in range(num_stages)]
+        variables.column_load = [
+            [solver.bool_var(f"cl_k{k}_t{t}") for t in range(num_stages)]
+            for k in range(arch.c_max + 1)
+        ]
+        variables.column_store = [
+            [solver.bool_var(f"cs_k{k}_t{t}") for t in range(num_stages)]
+            for k in range(arch.c_max + 1)
+        ]
+        variables.row_load = [
+            [solver.bool_var(f"rl_k{k}_t{t}") for t in range(num_stages)]
+            for k in range(arch.r_max + 1)
+        ]
+        variables.row_store = [
+            [solver.bool_var(f"rs_k{k}_t{t}") for t in range(num_stages)]
+            for k in range(arch.r_max + 1)
+        ]
+        return variables

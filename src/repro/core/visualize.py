@@ -1,0 +1,60 @@
+"""ASCII rendering of schedules.
+
+The renderer draws each stage as a grid of interaction sites (rows are
+architecture rows, top row printed first), marking qubits by index, AOD
+qubits with ``*`` and the zone of every row, in the spirit of the paper's
+Figs. 1-3.  It is meant for debugging and for the examples/CLI — not for
+publication-quality figures.
+"""
+
+from __future__ import annotations
+
+from repro.arch.zones import ZoneKind
+from repro.core.schedule import Schedule, Stage
+
+_ZONE_GLYPHS = {
+    ZoneKind.ENTANGLING: "E",
+    ZoneKind.STORAGE: "S",
+    ZoneKind.READOUT: "R",
+}
+
+
+def render_stage(schedule: Schedule, stage_index: int, cell_width: int = 6) -> str:
+    """Render one stage as an ASCII site grid."""
+    arch = schedule.architecture
+    stage = schedule.stages[stage_index]
+    occupants: dict[tuple[int, int], list[tuple[int, bool]]] = {}
+    for qubit, placement in stage.placements.items():
+        occupants.setdefault(placement.site, []).append((qubit, placement.in_aod))
+
+    header = _stage_header(schedule, stage_index, stage)
+    lines = [header]
+    for y in range(arch.y_max, -1, -1):
+        zone = arch.zone_of_row(y)
+        cells = []
+        for x in range(arch.x_max + 1):
+            entries = sorted(occupants.get((x, y), []))
+            text = ",".join(f"{q}{'*' if aod else ''}" for q, aod in entries)
+            cells.append(text.center(cell_width)[:cell_width])
+        lines.append(f"{_ZONE_GLYPHS[zone.kind]} y={y:<2}|" + "|".join(cells) + "|")
+    lines.append("    (qubit indices; '*' marks AOD traps; E/S/R = zone kind)")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: Schedule, cell_width: int = 6) -> str:
+    """Render every stage of a schedule."""
+    parts = [render_stage(schedule, index, cell_width) for index in range(schedule.num_stages)]
+    return ("\n" + "=" * 40 + "\n").join(parts)
+
+
+def _stage_header(schedule: Schedule, stage_index: int, stage: Stage) -> str:
+    if stage.is_execution:
+        gates = ", ".join(f"({a},{b})" for a, b in stage.gates) or "none"
+        return f"stage {stage_index} [Rydberg beam] gates: {gates}"
+    operations = []
+    if stage.stored_qubits:
+        operations.append(f"store {stage.stored_qubits}")
+    if stage.loaded_qubits:
+        operations.append(f"load {stage.loaded_qubits}")
+    description = "; ".join(operations) or "movement only"
+    return f"stage {stage_index} [transfer] {description}"

@@ -1,0 +1,24 @@
+"""Reproduction harness for the paper's evaluation (Table I and Figure 4)."""
+
+from repro.evaluation.table1 import (
+    LayoutResult,
+    Table1Row,
+    format_table1,
+    run_table1,
+    run_table1_row,
+)
+from repro.evaluation.figure4 import Figure4Bar, figure4_from_rows, format_figure4
+from repro.evaluation.exploration import ExplorationResult, run_architecture_exploration
+
+__all__ = [
+    "ExplorationResult",
+    "Figure4Bar",
+    "LayoutResult",
+    "Table1Row",
+    "figure4_from_rows",
+    "format_figure4",
+    "format_table1",
+    "run_architecture_exploration",
+    "run_table1",
+    "run_table1_row",
+]

@@ -1,0 +1,67 @@
+"""Reproduction of Figure 4 (ASP improvement of the shielded layouts).
+
+The figure plots, for every code, the difference in ASP between each
+storage-equipped layout (2: bottom storage, 3: double-sided storage) and the
+no-shielding baseline (layout 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.evaluation.table1 import Table1Row
+
+#: The layout that serves as the baseline of the differences.
+BASELINE_LAYOUT = "(1) No Shielding"
+
+
+@dataclass
+class Figure4Bar:
+    """One bar of Figure 4: ASP difference of a layout vs. the baseline."""
+
+    code: str
+    label: str
+    layout: str
+    asp_baseline: float
+    asp_layout: float
+
+    @property
+    def delta_asp(self) -> float:
+        """ASP improvement over the no-shielding baseline."""
+        return self.asp_layout - self.asp_baseline
+
+
+def figure4_from_rows(rows: Sequence[Table1Row]) -> list[Figure4Bar]:
+    """Derive the Figure 4 bars from Table I results."""
+    bars: list[Figure4Bar] = []
+    for row in rows:
+        if BASELINE_LAYOUT not in row.layouts:
+            raise ValueError(f"row {row.code!r} lacks the baseline layout")
+        baseline = row.layouts[BASELINE_LAYOUT].asp
+        for layout_name, result in row.layouts.items():
+            if layout_name == BASELINE_LAYOUT:
+                continue
+            bars.append(
+                Figure4Bar(
+                    code=row.code,
+                    label=row.label,
+                    layout=layout_name,
+                    asp_baseline=baseline,
+                    asp_layout=result.asp,
+                )
+            )
+    return bars
+
+
+def format_figure4(bars: Sequence[Figure4Bar]) -> str:
+    """ASCII rendering of Figure 4 (one bar per code and layout)."""
+    if not bars:
+        return "(no data)"
+    scale = max(abs(bar.delta_asp) for bar in bars) or 1.0
+    lines = [f"{'Code':<26}{'Layout':<28}{'dASP':>8}  bar"]
+    for bar in bars:
+        width = int(round(40 * abs(bar.delta_asp) / scale))
+        glyph = "#" * width if bar.delta_asp >= 0 else "-" * width
+        lines.append(f"{bar.label:<26}{bar.layout:<28}{bar.delta_asp:>+8.3f}  {glyph}")
+    return "\n".join(lines)

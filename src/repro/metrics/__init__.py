@@ -1,0 +1,11 @@
+"""Execution-time model and Approximated Success Probability (ASP)."""
+
+from repro.metrics.timing import ExecutionTimeBreakdown, execution_time
+from repro.metrics.asp import ASPBreakdown, approximate_success_probability
+
+__all__ = [
+    "ASPBreakdown",
+    "ExecutionTimeBreakdown",
+    "approximate_success_probability",
+    "execution_time",
+]

@@ -1,0 +1,75 @@
+"""Execution-time model for schedules.
+
+Stage durations follow the figures of merit of Sec. V-A:
+
+* a Rydberg stage takes one CZ pulse (0.27 µs) followed by shuttling whose
+  duration is the AOD speed (0.55 µs/µm) times the longest move of the stage,
+* a transfer stage takes one store batch and/or one load batch (200 µs each)
+  followed by shuttling,
+* the single-qubit parts of the state-preparation circuit (the global |+>
+  initialisation and the final local corrections) are appended once because
+  they need no shuttling and can be executed anywhere on the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.state_prep_circuit import StatePrepCircuit
+from repro.core.schedule import Schedule
+
+
+@dataclass
+class ExecutionTimeBreakdown:
+    """Per-contribution execution time of a schedule, in microseconds."""
+
+    rydberg_us: float = 0.0
+    shuttling_us: float = 0.0
+    transfer_us: float = 0.0
+    single_qubit_us: float = 0.0
+    per_stage_us: list[float] = field(default_factory=list)
+
+    @property
+    def total_us(self) -> float:
+        """Total execution time in microseconds."""
+        return self.rydberg_us + self.shuttling_us + self.transfer_us + self.single_qubit_us
+
+    @property
+    def total_ms(self) -> float:
+        """Total execution time in milliseconds (the paper's unit)."""
+        return self.total_us / 1000.0
+
+
+def execution_time(
+    schedule: Schedule, prep_circuit: StatePrepCircuit | None = None
+) -> ExecutionTimeBreakdown:
+    """Compute the execution-time breakdown of a schedule.
+
+    When *prep_circuit* is given, the single-qubit initialisation and the
+    final correction layer are included in the total.
+    """
+    parameters = schedule.architecture.parameters
+    breakdown = ExecutionTimeBreakdown()
+    for index, stage in enumerate(schedule.stages):
+        stage_us = 0.0
+        if stage.is_execution:
+            stage_us += parameters.cz_duration_us
+            breakdown.rydberg_us += parameters.cz_duration_us
+        else:
+            batches = (1 if stage.stored_qubits else 0) + (1 if stage.loaded_qubits else 0)
+            transfer_us = batches * parameters.transfer_duration_us
+            stage_us += transfer_us
+            breakdown.transfer_us += transfer_us
+        shuttle_us = parameters.shuttling_duration_us(schedule.shuttling_distance_um(index))
+        stage_us += shuttle_us
+        breakdown.shuttling_us += shuttle_us
+        breakdown.per_stage_us.append(stage_us)
+    if prep_circuit is not None:
+        # Global |+> initialisation: one global RY pulse.
+        single_us = parameters.global_ry_duration_us
+        # Final corrections: a local RZ + global RY pulse pair suffices for
+        # every single-qubit Clifford appearing in the correction layer.
+        if prep_circuit.local_corrections:
+            single_us += parameters.local_rz_duration_us + parameters.global_ry_duration_us
+        breakdown.single_qubit_us += single_us
+    return breakdown

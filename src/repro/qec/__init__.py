@@ -1,0 +1,45 @@
+"""Quantum error correction substrate.
+
+Provides the stabilizer-code machinery needed to generate the paper's inputs:
+
+* :mod:`repro.qec.gf2` — dense GF(2) linear algebra,
+* :mod:`repro.qec.pauli` — Pauli strings in binary-symplectic form,
+* :mod:`repro.qec.stabilizer_code` — general stabilizer codes and CSS codes,
+* :mod:`repro.qec.codes` — the six codes of the paper's evaluation,
+* :mod:`repro.qec.graph_state` — stabilizer-state → graph-state reduction
+  (the role of the STABGRAPH tool in the paper),
+* :mod:`repro.qec.state_prep` — generation of |0>_L state-preparation
+  circuits in the Fig. 1b format.
+"""
+
+from repro.qec.pauli import PauliString
+from repro.qec.stabilizer_code import CSSCode, StabilizerCode
+from repro.qec.codes import (
+    available_codes,
+    get_code,
+    hamming_code,
+    honeycomb_code,
+    shor_code,
+    steane_code,
+    surface_code,
+    tetrahedral_code,
+)
+from repro.qec.graph_state import GraphStateDecomposition, stabilizer_state_to_graph_state
+from repro.qec.state_prep import state_preparation_circuit
+
+__all__ = [
+    "CSSCode",
+    "GraphStateDecomposition",
+    "PauliString",
+    "StabilizerCode",
+    "available_codes",
+    "get_code",
+    "hamming_code",
+    "honeycomb_code",
+    "shor_code",
+    "state_preparation_circuit",
+    "stabilizer_state_to_graph_state",
+    "steane_code",
+    "surface_code",
+    "tetrahedral_code",
+]

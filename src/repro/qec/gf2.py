@@ -1,0 +1,122 @@
+"""Dense linear algebra over GF(2).
+
+All functions operate on ``numpy`` arrays with values in {0, 1} and dtype
+``uint8``/``int``; they never modify their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    array = np.asarray(matrix, dtype=np.uint8) % 2
+    if array.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    return array.copy()
+
+
+def rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns the reduced matrix and the list of pivot column indices.
+    """
+    array = _as_matrix(matrix)
+    rows, cols = array.shape
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot = None
+        for i in range(r, rows):
+            if array[i, c]:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        array[[r, pivot]] = array[[pivot, r]]
+        for i in range(rows):
+            if i != r and array[i, c]:
+                array[i] ^= array[r]
+        pivot_cols.append(c)
+        r += 1
+    return array, pivot_cols
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of *matrix* over GF(2)."""
+    if np.asarray(matrix).size == 0:
+        return 0
+    _, pivots = rref(matrix)
+    return len(pivots)
+
+
+def nullspace(matrix: np.ndarray) -> np.ndarray:
+    """Basis of the right null space of *matrix* (rows are basis vectors)."""
+    array = _as_matrix(matrix)
+    rows, cols = array.shape
+    reduced, pivots = rref(array)
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free_cols), cols), dtype=np.uint8)
+    for i, free in enumerate(free_cols):
+        basis[i, free] = 1
+        for row, pivot in enumerate(pivots):
+            if reduced[row, free]:
+                basis[i, pivot] = 1
+    return basis
+
+
+def row_space_contains(matrix: np.ndarray, vector: np.ndarray) -> bool:
+    """True when *vector* lies in the row space of *matrix*."""
+    array = _as_matrix(matrix)
+    vec = np.asarray(vector, dtype=np.uint8) % 2
+    if array.size == 0:
+        return not vec.any()
+    stacked = np.vstack([array, vec])
+    return rank(stacked) == rank(array)
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """Express *rhs* as a GF(2) combination of the rows of *matrix*.
+
+    Finds a row vector ``x`` such that ``x @ matrix == rhs`` (mod 2).
+    Returns ``None`` when no solution exists.
+    """
+    array = _as_matrix(matrix)
+    vec = np.asarray(rhs, dtype=np.uint8) % 2
+    rows, cols = array.shape
+    if vec.shape != (cols,):
+        raise ValueError("dimension mismatch between matrix and rhs")
+    # Solve A^T y = rhs by Gaussian elimination on the augmented matrix.
+    augmented = np.concatenate([array.T, vec.reshape(-1, 1)], axis=1).astype(np.uint8)
+    reduced, pivots = rref(augmented)
+    # Inconsistent system: a pivot in the augmentation column.
+    if rows in pivots:
+        return None
+    solution = np.zeros(rows, dtype=np.uint8)
+    for row, pivot in enumerate(pivots):
+        if pivot == rows:
+            return None
+        if pivot < rows:
+            solution[pivot] = reduced[row, -1]
+    # Verify (guards against free-variable corner cases).
+    if not np.array_equal((solution @ array) % 2, vec):
+        return None
+    return solution
+
+
+def independent_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return a maximal set of linearly independent rows (in original order)."""
+    array = _as_matrix(matrix)
+    kept: list[np.ndarray] = []
+    current_rank = 0
+    for row in array:
+        candidate = np.vstack(kept + [row]) if kept else row.reshape(1, -1)
+        new_rank = rank(candidate)
+        if new_rank > current_rank:
+            kept.append(row)
+            current_rank = new_rank
+    if not kept:
+        return np.zeros((0, array.shape[1]), dtype=np.uint8)
+    return np.vstack(kept)

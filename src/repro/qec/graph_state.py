@@ -1,0 +1,227 @@
+"""Stabilizer-state → graph-state reduction.
+
+This module plays the role of the STABGRAPH tool referenced by the paper: it
+takes the ``n`` stabilizer generators of the target state (code stabilizers
+plus logical-Z operators) and produces
+
+* a graph ``G`` (the CZ gates of the preparation circuit are exactly the
+  edges of ``G``), and
+* a single-qubit Clifford correction per qubit (Hadamards for the qubits
+  whose X-rank had to be completed, phase gates for self-loops, Pauli-Z/X
+  corrections for sign fixing),
+
+such that the target state equals the corrections applied to the graph state
+``|G> = prod_{(a,b) in E} CZ_ab |+>^n``.
+
+The reduction is the textbook binary-symplectic Gaussian elimination (every
+stabilizer state is local-Clifford equivalent to a graph state); phases are
+tracked exactly so that the resulting circuit can be verified gate-by-gate
+with the tableau simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.gates import GateKind
+from repro.qec.pauli import PauliString
+
+
+@dataclass
+class GraphStateDecomposition:
+    """Result of the graph-state reduction.
+
+    Attributes
+    ----------
+    num_qubits:
+        Number of physical qubits.
+    edges:
+        Graph edges; each edge corresponds to one CZ gate of the
+        state-preparation circuit.
+    local_corrections:
+        Per-qubit tuple of gate kinds applied (in order) *after* the graph
+        state has been created.
+    hadamard_qubits:
+        Qubits whose correction includes the Hadamard produced by the
+        X-rank completion step (the "H qubits" of the paper's Fig. 1b).
+    """
+
+    num_qubits: int
+    edges: list[tuple[int, int]]
+    local_corrections: dict[int, tuple[GateKind, ...]] = field(default_factory=dict)
+    hadamard_qubits: list[int] = field(default_factory=list)
+
+    @property
+    def num_cz_gates(self) -> int:
+        """Number of CZ gates needed to create the graph state."""
+        return len(self.edges)
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Adjacency matrix of the graph."""
+        adjacency = np.zeros((self.num_qubits, self.num_qubits), dtype=np.uint8)
+        for a, b in self.edges:
+            adjacency[a, b] = adjacency[b, a] = 1
+        return adjacency
+
+
+class _Tableau:
+    """Mutable stabilizer-generator tableau with exact phase tracking."""
+
+    def __init__(self, generators: Sequence[PauliString]) -> None:
+        self.rows = [g.copy() for g in generators]
+        self.n = generators[0].num_qubits
+
+    def multiply_row(self, target: int, source: int) -> None:
+        """Replace row *target* by row[source] * row[target]."""
+        self.rows[target] = self.rows[source] * self.rows[target]
+
+    def apply_h(self, qubit: int) -> None:
+        for row in self.rows:
+            row.apply_h(qubit)
+
+    def apply_s(self, qubit: int) -> None:
+        for row in self.rows:
+            row.apply_s(qubit)
+
+    def apply_z(self, qubit: int) -> None:
+        for row in self.rows:
+            row.apply_z(qubit)
+
+    def x_matrix(self) -> np.ndarray:
+        return np.vstack([row.x for row in self.rows])
+
+    def z_matrix(self) -> np.ndarray:
+        return np.vstack([row.z for row in self.rows])
+
+
+def _gauss_x_block(tableau: _Tableau) -> list[int]:
+    """Row-reduce the X block; return the pivot columns (qubits)."""
+    n = tableau.n
+    pivot_cols: list[int] = []
+    row_index = 0
+    for col in range(n):
+        pivot = None
+        for i in range(row_index, len(tableau.rows)):
+            if tableau.rows[i].x[col]:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        tableau.rows[row_index], tableau.rows[pivot] = (
+            tableau.rows[pivot],
+            tableau.rows[row_index],
+        )
+        for i in range(len(tableau.rows)):
+            if i != row_index and tableau.rows[i].x[col]:
+                tableau.multiply_row(i, row_index)
+        pivot_cols.append(col)
+        row_index += 1
+    return pivot_cols
+
+
+def stabilizer_state_to_graph_state(
+    generators: Sequence[PauliString],
+) -> GraphStateDecomposition:
+    """Reduce a stabilizer *state* (n generators on n qubits) to a graph state.
+
+    Raises
+    ------
+    ValueError
+        If the generators do not describe a state (wrong count, not
+        commuting, or not independent).
+    """
+    if not generators:
+        raise ValueError("no generators given")
+    n = generators[0].num_qubits
+    if len(generators) != n:
+        raise ValueError(
+            f"a stabilizer state on {n} qubits needs exactly {n} generators, "
+            f"got {len(generators)}"
+        )
+    for i, a in enumerate(generators):
+        for b in generators[i + 1 :]:
+            if not a.commutes_with(b):
+                raise ValueError("state generators must commute")
+
+    tableau = _Tableau(generators)
+    corrections: dict[int, list[GateKind]] = {q: [] for q in range(n)}
+
+    # Step 1: make the X block full rank.  Qubits outside the pivot set of
+    # the X block receive a Hadamard (swapping their X/Z columns).
+    pivots = _gauss_x_block(tableau)
+    hadamard_qubits = [q for q in range(n) if q not in pivots]
+    for qubit in hadamard_qubits:
+        tableau.apply_h(qubit)
+    pivots = _gauss_x_block(tableau)
+    if len(pivots) != n:
+        raise ValueError("generators are not independent (X-rank completion failed)")
+
+    # Step 2: the X block is now an invertible matrix in row-echelon form
+    # with pivot columns in increasing order; full Gaussian elimination in
+    # _gauss_x_block already normalised it to the identity (pivot columns
+    # are cleared in all other rows).  Reorder rows so that row i has its X
+    # pivot on qubit i.
+    order = sorted(range(n), key=lambda i: int(np.argmax(tableau.rows[i].x)))
+    tableau.rows = [tableau.rows[i] for i in order]
+
+    # Step 3: remove self-loops (Z on the pivot qubit of its own row) with
+    # S† gates, i.e. generators of the form Y_i ... become X_i ....
+    for qubit in range(n):
+        if tableau.rows[qubit].z[qubit]:
+            # Apply S on the state; it maps the Y_i at the pivot to an X_i
+            # and thereby removes the self-loop.
+            tableau.apply_s(qubit)
+            corrections[qubit].append(GateKind.S)
+
+    # Step 4: fix signs.  Each generator is now X_i Z_{N(i)} with phase ±1;
+    # applying Z_i on the state flips the sign of generator i only.
+    for qubit in range(n):
+        phase = tableau.rows[qubit].phase
+        if phase % 2 != 0:
+            raise ValueError("unexpected imaginary phase in reduced tableau")
+        if phase == 2:
+            tableau.apply_z(qubit)
+            corrections[qubit].append(GateKind.Z)
+
+    # The tableau now describes a graph state exactly; read off the edges.
+    adjacency = tableau.z_matrix()
+    x_block = tableau.x_matrix()
+    if not np.array_equal(x_block, np.eye(n, dtype=np.uint8)):
+        raise AssertionError("internal error: X block is not the identity")
+    if not np.array_equal(adjacency, adjacency.T) or adjacency.diagonal().any():
+        raise AssertionError("internal error: Z block is not a graph adjacency matrix")
+    if any(row.phase != 0 for row in tableau.rows):
+        raise AssertionError("internal error: residual phases after sign fixing")
+
+    edges = [
+        (a, b) for a in range(n) for b in range(a + 1, n) if adjacency[a, b]
+    ]
+
+    # The operations recorded above were applied *to the state* to turn it
+    # into the graph state:  (Z layer)(S layer)(H layer) |psi> = |G>.
+    # Hence |psi> = (H layer)† (S layer)† (Z layer)† |G>; the emitted circuit
+    # therefore applies, per qubit, the recorded gates inverted and in
+    # reverse chronological order (Z first, then S†, then H).
+    final_corrections: dict[int, tuple[GateKind, ...]] = {}
+    inverse = {
+        GateKind.SDG: GateKind.S,
+        GateKind.S: GateKind.SDG,
+        GateKind.Z: GateKind.Z,
+        GateKind.X: GateKind.X,
+        GateKind.H: GateKind.H,
+    }
+    for qubit in range(n):
+        applied = ([GateKind.H] if qubit in hadamard_qubits else []) + corrections[qubit]
+        sequence = [inverse[kind] for kind in reversed(applied)]
+        if sequence:
+            final_corrections[qubit] = tuple(sequence)
+
+    return GraphStateDecomposition(
+        num_qubits=n,
+        edges=edges,
+        local_corrections=final_corrections,
+        hadamard_qubits=sorted(hadamard_qubits),
+    )

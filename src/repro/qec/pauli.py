@@ -1,0 +1,225 @@
+"""Pauli strings in binary-symplectic representation.
+
+A Pauli operator on ``n`` qubits is stored as two binary vectors ``x`` and
+``z`` plus a phase exponent ``p`` (power of ``i``), representing
+
+    P = i^p * prod_j X_j^{x_j} Z_j^{z_j}.
+
+With this convention ``Y = i X Z`` has ``(x, z, p) = (1, 1, 1)``.  The class
+supports multiplication, commutation checks, single-qubit Clifford
+conjugation (H, S, S†, X, Y, Z) and CZ/CX conjugation — everything needed by
+the graph-state reduction and the tableau-free verification paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SINGLE_LABELS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_LABELS_BY_BITS = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+
+class PauliString:
+    """An n-qubit Pauli operator with an explicit ``i^p`` phase."""
+
+    __slots__ = ("x", "z", "phase")
+
+    def __init__(self, x: np.ndarray, z: np.ndarray, phase: int = 0) -> None:
+        self.x = np.asarray(x, dtype=np.uint8) % 2
+        self.z = np.asarray(z, dtype=np.uint8) % 2
+        if self.x.shape != self.z.shape or self.x.ndim != 1:
+            raise ValueError("x and z must be 1-D arrays of identical length")
+        self.phase = int(phase) % 4
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The identity operator on *num_qubits* qubits."""
+        zeros = np.zeros(num_qubits, dtype=np.uint8)
+        return cls(zeros, zeros.copy(), 0)
+
+    @classmethod
+    def from_label(cls, label: str, phase: int = 0) -> "PauliString":
+        """Create from a label such as ``"XZIIY"`` (qubit 0 first).
+
+        The *phase* argument is the sign exponent of the labelled operator
+        (0 for ``+``, 2 for ``-``); the internal ``i`` factors of Y tensor
+        components are accounted for automatically.
+        """
+        x = np.zeros(len(label), dtype=np.uint8)
+        z = np.zeros(len(label), dtype=np.uint8)
+        internal_phase = phase
+        for i, char in enumerate(label.upper()):
+            if char not in _SINGLE_LABELS:
+                raise ValueError(f"invalid Pauli character {char!r}")
+            x[i], z[i] = _SINGLE_LABELS[char]
+            if char == "Y":
+                internal_phase += 1
+        return cls(x, z, internal_phase)
+
+    @classmethod
+    def from_support(
+        cls, num_qubits: int, kind: str, support: "list[int] | tuple[int, ...]"
+    ) -> "PauliString":
+        """Create ``X``/``Y``/``Z`` acting on the given *support* qubits."""
+        if kind.upper() not in ("X", "Y", "Z"):
+            raise ValueError("kind must be X, Y or Z")
+        x = np.zeros(num_qubits, dtype=np.uint8)
+        z = np.zeros(num_qubits, dtype=np.uint8)
+        phase = 0
+        for qubit in support:
+            if not 0 <= qubit < num_qubits:
+                raise ValueError(f"qubit {qubit} out of range")
+            sx, sz = _SINGLE_LABELS[kind.upper()]
+            x[qubit], z[qubit] = sx, sz
+            if kind.upper() == "Y":
+                phase += 1
+        return cls(x, z, phase)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the operator acts on."""
+        return len(self.x)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    @property
+    def support(self) -> list[int]:
+        """Indices of qubits with a non-identity factor."""
+        return list(np.nonzero(self.x | self.z)[0])
+
+    @property
+    def symplectic(self) -> np.ndarray:
+        """The concatenated ``[x | z]`` binary vector."""
+        return np.concatenate([self.x, self.z])
+
+    @property
+    def sign(self) -> complex:
+        """The scalar prefactor ``i^phase``."""
+        return (1j) ** self.phase
+
+    def is_identity(self) -> bool:
+        """True for the (possibly phased) identity operator."""
+        return self.weight == 0
+
+    def to_label(self) -> str:
+        """Label such as ``"+XZY"`` including the sign prefix."""
+        prefix = {0: "+", 1: "+i", 2: "-", 3: "-i"}[self.phase_without_y_convention()]
+        body = "".join(
+            _LABELS_BY_BITS[(int(xi), int(zi))] for xi, zi in zip(self.x, self.z)
+        )
+        return prefix + body
+
+    def phase_without_y_convention(self) -> int:
+        """Phase exponent with the ``i`` factors of Y absorbed.
+
+        ``from_label("Y")`` has internal phase 1 because ``Y = i X Z``; for
+        display we want that operator to read ``+Y``.
+        """
+        y_count = int(np.count_nonzero(self.x & self.z))
+        return (self.phase - y_count) % 4
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("cannot multiply Pauli strings of different sizes")
+        # X^x Z^z * X^x' Z^z' picks up (-1)^(z . x') when commuting Z past X.
+        anti = int(np.dot(self.z, other.x)) % 2
+        phase = (self.phase + other.phase + 2 * anti) % 4
+        return PauliString(self.x ^ other.x, self.z ^ other.z, phase)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two operators commute."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("operator size mismatch")
+        symplectic_product = (
+            int(np.dot(self.x, other.z)) + int(np.dot(self.z, other.x))
+        ) % 2
+        return symplectic_product == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            np.array_equal(self.x, other.x)
+            and np.array_equal(self.z, other.z)
+            and self.phase == other.phase
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes(), self.phase))
+
+    def __repr__(self) -> str:
+        return f"PauliString({self.to_label()!r})"
+
+    def copy(self) -> "PauliString":
+        """Return an independent copy."""
+        return PauliString(self.x.copy(), self.z.copy(), self.phase)
+
+    # ------------------------------------------------------------------ #
+    # Clifford conjugation:  P  ->  U P U†
+    # ------------------------------------------------------------------ #
+    def apply_h(self, qubit: int) -> None:
+        """Conjugate by a Hadamard on *qubit* (in place)."""
+        xq, zq = int(self.x[qubit]), int(self.z[qubit])
+        # H X H = Z, H Z H = X, H Y H = -Y.
+        self.phase = (self.phase + 2 * xq * zq) % 4
+        self.x[qubit], self.z[qubit] = zq, xq
+
+    def apply_s(self, qubit: int) -> None:
+        """Conjugate by the phase gate S on *qubit* (in place)."""
+        xq = int(self.x[qubit])
+        # S X S† = Y (= iXZ), S Z S† = Z.
+        self.phase = (self.phase + xq) % 4
+        self.z[qubit] ^= xq
+
+    def apply_sdg(self, qubit: int) -> None:
+        """Conjugate by S† on *qubit* (in place)."""
+        xq = int(self.x[qubit])
+        # S† X S = -Y, S† Z S = Z.
+        self.phase = (self.phase - xq) % 4
+        self.z[qubit] ^= xq
+
+    def apply_x(self, qubit: int) -> None:
+        """Conjugate by Pauli X on *qubit* (in place)."""
+        self.phase = (self.phase + 2 * int(self.z[qubit])) % 4
+
+    def apply_z(self, qubit: int) -> None:
+        """Conjugate by Pauli Z on *qubit* (in place)."""
+        self.phase = (self.phase + 2 * int(self.x[qubit])) % 4
+
+    def apply_y(self, qubit: int) -> None:
+        """Conjugate by Pauli Y on *qubit* (in place)."""
+        self.apply_x(qubit)
+        self.apply_z(qubit)
+
+    def apply_cz(self, a: int, b: int) -> None:
+        """Conjugate by CZ on qubits *a*, *b* (in place).
+
+        CZ maps X_a -> X_a Z_b, X_b -> X_b Z_a, Z unchanged, and introduces a
+        -1 phase when both X components are present (CZ (X⊗X) CZ = Y⊗Y).
+        """
+        xa, xb = int(self.x[a]), int(self.x[b])
+        self.z[b] ^= xa
+        self.z[a] ^= xb
+        self.phase = (self.phase + 2 * (xa & xb)) % 4
+
+    def apply_cx(self, control: int, target: int) -> None:
+        """Conjugate by CNOT (in place)."""
+        # X_c -> X_c X_t, Z_t -> Z_c Z_t; phase change when both X_c Z_t and
+        # (x_t z_c terms) align (standard tableau update).
+        xc, zc = int(self.x[control]), int(self.z[control])
+        xt, zt = int(self.x[target]), int(self.z[target])
+        self.phase = (self.phase + 2 * (xc * zt * (xt ^ zc ^ 1))) % 4
+        self.x[target] ^= xc
+        self.z[control] ^= zt

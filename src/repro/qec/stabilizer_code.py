@@ -1,0 +1,238 @@
+"""Stabilizer and CSS code types.
+
+A :class:`StabilizerCode` is defined by a list of independent, commuting
+Pauli generators.  :class:`CSSCode` specialises the construction to a pair of
+binary parity-check matrices ``Hx`` (X-type checks) and ``Hz`` (Z-type
+checks) with ``Hx @ Hz.T = 0`` and provides canonical logical operators and
+exhaustive distance computation for the code sizes used in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.qec import gf2
+from repro.qec.pauli import PauliString
+
+
+class StabilizerCode:
+    """An [[n, k, d]] stabilizer code given by its generators."""
+
+    def __init__(
+        self,
+        stabilizers: Sequence[PauliString],
+        name: str = "",
+        distance: int | None = None,
+    ) -> None:
+        if not stabilizers:
+            raise ValueError("a stabilizer code needs at least one generator")
+        num_qubits = stabilizers[0].num_qubits
+        for stabilizer in stabilizers:
+            if stabilizer.num_qubits != num_qubits:
+                raise ValueError("stabilizers act on different numbers of qubits")
+        for i, a in enumerate(stabilizers):
+            for b in stabilizers[i + 1 :]:
+                if not a.commutes_with(b):
+                    raise ValueError(
+                        f"stabilizers do not commute: {a.to_label()} vs {b.to_label()}"
+                    )
+        symplectic = np.vstack([s.symplectic for s in stabilizers])
+        if gf2.rank(symplectic) != len(stabilizers):
+            raise ValueError("stabilizer generators are not independent")
+        self._stabilizers = [s.copy() for s in stabilizers]
+        self._name = name or "stabilizer-code"
+        self._declared_distance = distance
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable code name."""
+        return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits (n)."""
+        return self._stabilizers[0].num_qubits
+
+    @property
+    def num_logical_qubits(self) -> int:
+        """Number of logical qubits (k = n - number of generators)."""
+        return self.num_qubits - len(self._stabilizers)
+
+    @property
+    def stabilizers(self) -> list[PauliString]:
+        """The stabilizer generators."""
+        return [s.copy() for s in self._stabilizers]
+
+    @property
+    def declared_distance(self) -> int | None:
+        """The code distance claimed at construction time (if any)."""
+        return self._declared_distance
+
+    def parameters(self) -> tuple[int, int, int | None]:
+        """The [[n, k, d]] triple (d may be None when not declared)."""
+        return (self.num_qubits, self.num_logical_qubits, self._declared_distance)
+
+    def __repr__(self) -> str:
+        n, k, d = self.parameters()
+        return f"{type(self).__name__}(name={self._name!r}, n={n}, k={k}, d={d})"
+
+    # ------------------------------------------------------------------ #
+    def logical_z_operators(self) -> list[PauliString]:
+        """Canonical logical-Z operators (k of them).
+
+        Generic implementation via the symplectic Gaussian-elimination
+        recipe: find Z-type-or-mixed operators commuting with every
+        stabilizer that are independent of the stabilizer group.  Subclasses
+        (CSS) override this with the cleaner CSS-specific construction.
+        """
+        n = self.num_qubits
+        stab_matrix = np.vstack([s.symplectic for s in self._stabilizers])
+        # Operators commuting with all stabilizers form the kernel of the
+        # symplectic product map.
+        omega = np.zeros((2 * n, 2 * n), dtype=np.uint8)
+        omega[:n, n:] = np.eye(n, dtype=np.uint8)
+        omega[n:, :n] = np.eye(n, dtype=np.uint8)
+        commutant_basis = gf2.nullspace((stab_matrix @ omega) % 2)
+        logicals: list[PauliString] = []
+        accumulated = stab_matrix
+        for row in commutant_basis:
+            if gf2.row_space_contains(accumulated, row):
+                continue
+            candidate = PauliString(row[:n], row[n:])
+            # Prefer pure-Z representatives when possible.
+            logicals.append(candidate)
+            accumulated = np.vstack([accumulated, row])
+            if len(logicals) == self.num_logical_qubits:
+                break
+        return logicals
+
+    def zero_state_stabilizers(self) -> list[PauliString]:
+        """Generators of the logical |0...0>_L state (stabilizers + logical Zs)."""
+        return self.stabilizers + self.logical_z_operators()
+
+
+class CSSCode(StabilizerCode):
+    """A CSS code built from parity-check matrices ``Hx`` and ``Hz``."""
+
+    def __init__(
+        self,
+        hx: np.ndarray,
+        hz: np.ndarray,
+        name: str = "",
+        distance: int | None = None,
+    ) -> None:
+        hx = np.asarray(hx, dtype=np.uint8) % 2
+        hz = np.asarray(hz, dtype=np.uint8) % 2
+        if hx.ndim != 2 or hz.ndim != 2 or hx.shape[1] != hz.shape[1]:
+            raise ValueError("Hx and Hz must be matrices over the same qubit count")
+        if ((hx @ hz.T) % 2).any():
+            raise ValueError("Hx @ Hz^T must vanish for a CSS code")
+        hx = gf2.independent_rows(hx)
+        hz = gf2.independent_rows(hz)
+        self._hx = hx
+        self._hz = hz
+        n = hx.shape[1]
+        stabilizers = [
+            PauliString(row, np.zeros(n, dtype=np.uint8)) for row in hx
+        ] + [PauliString(np.zeros(n, dtype=np.uint8), row) for row in hz]
+        super().__init__(stabilizers, name=name, distance=distance)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hx(self) -> np.ndarray:
+        """X-type parity-check matrix (rows are X stabilizer supports)."""
+        return self._hx.copy()
+
+    @property
+    def hz(self) -> np.ndarray:
+        """Z-type parity-check matrix (rows are Z stabilizer supports)."""
+        return self._hz.copy()
+
+    @property
+    def x_stabilizers(self) -> list[PauliString]:
+        """The X-type stabilizer generators."""
+        n = self.num_qubits
+        return [PauliString(row, np.zeros(n, dtype=np.uint8)) for row in self._hx]
+
+    @property
+    def z_stabilizers(self) -> list[PauliString]:
+        """The Z-type stabilizer generators."""
+        n = self.num_qubits
+        return [PauliString(np.zeros(n, dtype=np.uint8), row) for row in self._hz]
+
+    # ------------------------------------------------------------------ #
+    def logical_z_operators(self) -> list[PauliString]:
+        """Pure-Z logical operators: ker(Hx) modulo rowspace(Hz)."""
+        n = self.num_qubits
+        kernel = gf2.nullspace(self._hx)
+        logicals: list[PauliString] = []
+        accumulated = self._hz.copy() if self._hz.size else np.zeros((0, n), np.uint8)
+        for row in kernel:
+            if gf2.row_space_contains(accumulated, row):
+                continue
+            logicals.append(PauliString(np.zeros(n, dtype=np.uint8), row))
+            accumulated = np.vstack([accumulated, row])
+            if len(logicals) == self.num_logical_qubits:
+                break
+        return logicals
+
+    def logical_x_operators(self) -> list[PauliString]:
+        """Pure-X logical operators: ker(Hz) modulo rowspace(Hx)."""
+        n = self.num_qubits
+        kernel = gf2.nullspace(self._hz)
+        logicals: list[PauliString] = []
+        accumulated = self._hx.copy() if self._hx.size else np.zeros((0, n), np.uint8)
+        for row in kernel:
+            if gf2.row_space_contains(accumulated, row):
+                continue
+            logicals.append(PauliString(row, np.zeros(n, dtype=np.uint8)))
+            accumulated = np.vstack([accumulated, row])
+            if len(logicals) == self.num_logical_qubits:
+                break
+        return logicals
+
+    # ------------------------------------------------------------------ #
+    def compute_distance(self, max_weight: int | None = None) -> int | None:
+        """Exhaustively compute the code distance.
+
+        The distance of a CSS code is the minimum weight of a codeword of
+        ``ker(Hz) \\ rowspace(Hx)`` (X-type logicals) or
+        ``ker(Hx) \\ rowspace(Hz)`` (Z-type logicals).  The kernels of the
+        evaluation codes are small enough (≤ 2^11 elements) to enumerate.
+        Returns ``None`` when only weights up to *max_weight* were examined
+        and no logical operator was found.
+        """
+        dx = self._min_logical_weight(self._hz, self._hx, max_weight)
+        dz = self._min_logical_weight(self._hx, self._hz, max_weight)
+        if dx is None or dz is None:
+            return None
+        return min(dx, dz)
+
+    def _min_logical_weight(
+        self,
+        kernel_of: np.ndarray,
+        modulo: np.ndarray,
+        max_weight: int | None,
+    ) -> int | None:
+        kernel = gf2.nullspace(kernel_of)
+        if kernel.shape[0] == 0:
+            return None
+        best: int | None = None
+        dimension = kernel.shape[0]
+        if dimension > 22:  # pragma: no cover - guard for misuse on huge codes
+            raise ValueError("kernel too large for exhaustive distance computation")
+        for count in range(1, dimension + 1):
+            for combo in itertools.combinations(range(dimension), count):
+                word = np.bitwise_xor.reduce(kernel[list(combo)], axis=0)
+                weight = int(word.sum())
+                if best is not None and weight >= best:
+                    continue
+                if max_weight is not None and weight > max_weight:
+                    continue
+                if not gf2.row_space_contains(modulo, word):
+                    best = weight
+        return best

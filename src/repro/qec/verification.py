@@ -1,0 +1,64 @@
+"""Verification helpers for state-preparation circuits.
+
+These helpers close the loop between the QEC substrate and the simulator:
+they run a (flat or structured) state-preparation circuit on the tableau
+simulator and check that the resulting state is stabilized by all code
+stabilizers and by the logical-Z operators (i.e. that it really is the
+logical |0...0>_L state).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.state_prep_circuit import StatePrepCircuit
+from repro.qec.stabilizer_code import StabilizerCode
+from repro.simulator.tableau import TableauSimulator
+
+
+def simulate_state_prep(circuit: Circuit) -> TableauSimulator:
+    """Run *circuit* from |0...0> and return the resulting simulator state."""
+    simulator = TableauSimulator(circuit.num_qubits)
+    simulator.run_circuit(circuit)
+    return simulator
+
+
+def prepares_logical_zero(
+    circuit: Circuit | StatePrepCircuit, code: StabilizerCode
+) -> bool:
+    """True when *circuit* prepares the logical |0...0>_L state of *code*.
+
+    The check requires the prepared state to be stabilized by every code
+    stabilizer *and* by every canonical logical-Z operator, which pins the
+    state uniquely within the code space.
+    """
+    flat = circuit.to_circuit() if isinstance(circuit, StatePrepCircuit) else circuit
+    if flat.num_qubits != code.num_qubits:
+        return False
+    simulator = simulate_state_prep(flat)
+    for stabilizer in code.stabilizers:
+        if not simulator.is_stabilized_by(stabilizer):
+            return False
+    for logical in code.logical_z_operators():
+        if not simulator.is_stabilized_by(logical):
+            return False
+    return True
+
+
+def stabilized_violations(
+    circuit: Circuit | StatePrepCircuit, code: StabilizerCode
+) -> list[str]:
+    """Diagnostic variant of :func:`prepares_logical_zero`.
+
+    Returns the labels of all code stabilizers / logical-Z operators that do
+    not stabilize the prepared state (empty list means success).
+    """
+    flat = circuit.to_circuit() if isinstance(circuit, StatePrepCircuit) else circuit
+    simulator = simulate_state_prep(flat)
+    violations: list[str] = []
+    for stabilizer in code.stabilizers:
+        if not simulator.is_stabilized_by(stabilizer):
+            violations.append(f"stabilizer {stabilizer.to_label()}")
+    for logical in code.logical_z_operators():
+        if not simulator.is_stabilized_by(logical):
+            violations.append(f"logical-Z {logical.to_label()}")
+    return violations

@@ -1,0 +1,25 @@
+"""A self-contained CDCL SAT solver.
+
+This package is the decision procedure underlying :mod:`repro.smt`.  It
+replaces the role Z3 plays in the paper (see DESIGN.md, "Substitutions").
+
+Public API
+----------
+
+``Literal`` handling uses the DIMACS convention: variables are positive
+integers ``1, 2, 3, ...`` and a negative integer denotes the negation of the
+corresponding variable.
+
+* :class:`repro.sat.cnf.CNF` — a clause container with DIMACS import/export.
+* :class:`repro.sat.solver.CDCLSolver` — conflict-driven clause-learning
+  solver with two-watched-literal propagation, VSIDS branching, phase saving,
+  Luby restarts and learned-clause database reduction.
+* :class:`repro.sat.solver.SolveResult` — SAT / UNSAT / UNKNOWN.
+* :mod:`repro.sat.tseitin` — Tseitin transformation of boolean circuits.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import CDCLSolver, SolveResult
+from repro.sat.tseitin import TseitinEncoder
+
+__all__ = ["CNF", "CDCLSolver", "SolveResult", "TseitinEncoder"]

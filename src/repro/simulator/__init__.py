@@ -1,0 +1,10 @@
+"""Stabilizer-circuit simulation.
+
+Used to *verify* (a) that generated state-preparation circuits really
+prepare a state in the code space, and (b) that scheduled circuits are
+logically equivalent to their input circuits.
+"""
+
+from repro.simulator.tableau import TableauSimulator
+
+__all__ = ["TableauSimulator"]

@@ -1,0 +1,66 @@
+"""Cardinality constraints over boolean expressions.
+
+These helpers operate at the expression level (returning
+:class:`repro.smt.terms.BoolExpr`), so they compose with the rest of the
+encoding.  ``at_most_k`` uses the sequential-counter encoding expressed with
+auxiliary-free nested expressions, which is adequate for the small ``k`` and
+group sizes that appear in the scheduling problems of the paper.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.smt.terms import And, BoolExpr, Not, Or, FALSE, TRUE
+
+
+def at_least_one(literals: Sequence[BoolExpr]) -> BoolExpr:
+    """At least one of *literals* is true."""
+    return Or(*literals)
+
+
+def at_most_one(literals: Sequence[BoolExpr]) -> BoolExpr:
+    """At most one of *literals* is true (pairwise encoding)."""
+    clauses = [Or(Not(a), Not(b)) for a, b in combinations(literals, 2)]
+    return And(*clauses)
+
+
+def exactly_one(literals: Sequence[BoolExpr]) -> BoolExpr:
+    """Exactly one of *literals* is true."""
+    return And(at_least_one(literals), at_most_one(literals))
+
+
+def at_most_k(literals: Sequence[BoolExpr], k: int) -> BoolExpr:
+    """At most *k* of *literals* are true.
+
+    Uses a combinatorial encoding (every ``k+1``-subset contains a false
+    literal) for small inputs and is therefore intended for the small group
+    sizes found in the scheduling encodings (AOD lines, gates per stage).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    literals = list(literals)
+    if k >= len(literals):
+        return TRUE
+    if k == 0:
+        return And(*[Not(lit) for lit in literals])
+    clauses = [
+        Or(*[Not(lit) for lit in subset]) for subset in combinations(literals, k + 1)
+    ]
+    return And(*clauses)
+
+
+def at_least_k(literals: Sequence[BoolExpr], k: int) -> BoolExpr:
+    """At least *k* of *literals* are true."""
+    literals = list(literals)
+    if k <= 0:
+        return TRUE
+    if k > len(literals):
+        return FALSE
+    return at_most_k([Not(lit) for lit in literals], len(literals) - k)
+
+
+def exactly_k(literals: Sequence[BoolExpr], k: int) -> BoolExpr:
+    """Exactly *k* of *literals* are true."""
+    return And(at_most_k(literals, k), at_least_k(literals, k))

@@ -1,0 +1,242 @@
+"""The SMT solver facade.
+
+:class:`Solver` collects constraints (boolean expressions over bounded
+integer and boolean variables), bit-blasts them with
+:class:`repro.smt.encoder.ExpressionEncoder` and decides them with the CDCL
+solver from :mod:`repro.sat`.  The interface mirrors the subset of the Z3
+Python API used by the paper's scheduling encoding: ``add``, ``check``,
+``model``, ``push``/``pop`` and per-call resource limits.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Iterable, Optional
+
+from repro.sat.solver import CDCLSolver, SolveResult
+from repro.smt import terms as T
+from repro.smt.encoder import ExpressionEncoder
+
+
+class CheckResult(enum.Enum):
+    """Result of a :meth:`Solver.check` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def is_sat(self) -> bool:
+        """True when a model was found."""
+        return self is CheckResult.SAT
+
+    def is_unsat(self) -> bool:
+        """True when the constraints were proved unsatisfiable."""
+        return self is CheckResult.UNSAT
+
+
+class Model:
+    """A satisfying assignment for the variables of a checked formula."""
+
+    def __init__(
+        self,
+        bool_values: dict[int, bool],
+        int_values: dict[int, int],
+        by_name: dict[str, object],
+    ) -> None:
+        self._bool_values = bool_values
+        self._int_values = int_values
+        self._by_name = by_name
+
+    def __getitem__(self, var):
+        """Value of *var* (an :class:`IntVar`, :class:`BoolVar`, or name)."""
+        if isinstance(var, T.BoolVar):
+            if id(var) not in self._bool_values:
+                raise KeyError(f"variable {var!r} not present in model")
+            return self._bool_values[id(var)]
+        if isinstance(var, T.IntVar):
+            if id(var) not in self._int_values:
+                raise KeyError(f"variable {var!r} not present in model")
+            return self._int_values[id(var)]
+        if isinstance(var, str):
+            if var not in self._by_name:
+                raise KeyError(f"no variable named {var!r} in model")
+            return self[self._by_name[var]]
+        raise TypeError(f"cannot look up {var!r} in a model")
+
+    def get(self, var, default=None):
+        """Like ``__getitem__`` but returning *default* for unknown variables."""
+        try:
+            return self[var]
+        except KeyError:
+            return default
+
+    def evaluate(self, expr: T.Expr):
+        """Evaluate an arbitrary expression under this model."""
+        if isinstance(expr, T.BoolConst):
+            return expr.value
+        if isinstance(expr, T.IntConst):
+            return expr.value
+        if isinstance(expr, (T.BoolVar, T.IntVar)):
+            return self[expr]
+        if isinstance(expr, T.NotExpr):
+            return not self.evaluate(expr.arg)
+        if isinstance(expr, T.AndExpr):
+            return all(self.evaluate(a) for a in expr.args)
+        if isinstance(expr, T.OrExpr):
+            return any(self.evaluate(a) for a in expr.args)
+        if isinstance(expr, T.IffExpr):
+            return self.evaluate(expr.left) == self.evaluate(expr.right)
+        if isinstance(expr, (T.IteBoolExpr, T.IteIntExpr)):
+            branch = expr.then_branch if self.evaluate(expr.cond) else expr.else_branch
+            return self.evaluate(branch)
+        if isinstance(expr, T.IntEq):
+            return self.evaluate(expr.left) == self.evaluate(expr.right)
+        if isinstance(expr, T.IntLt):
+            return self.evaluate(expr.left) < self.evaluate(expr.right)
+        if isinstance(expr, T.IntLe):
+            return self.evaluate(expr.left) <= self.evaluate(expr.right)
+        if isinstance(expr, T.IntAdd):
+            return self.evaluate(expr.left) + self.evaluate(expr.right)
+        if isinstance(expr, T.IntSub):
+            return self.evaluate(expr.left) - self.evaluate(expr.right)
+        if isinstance(expr, T.IntAbs):
+            return abs(self.evaluate(expr.arg))
+        raise TypeError(f"cannot evaluate {expr!r}")
+
+
+class Solver:
+    """Finite-domain SMT solver with a Z3-like interface."""
+
+    def __init__(self) -> None:
+        self._constraints: list[T.BoolExpr] = []
+        self._scopes: list[int] = []
+        self._variables: list[T.Expr] = []
+        self._model: Optional[Model] = None
+        self._last_statistics: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Variable creation helpers
+    # ------------------------------------------------------------------ #
+    def bool_var(self, name: str) -> T.BoolVar:
+        """Create (and register) a fresh boolean variable."""
+        var = T.BoolVar(name)
+        self._variables.append(var)
+        return var
+
+    def int_var(self, name: str, lo: int, hi: int) -> T.IntVar:
+        """Create (and register) a fresh bounded integer variable."""
+        var = T.IntVar(name, lo, hi)
+        self._variables.append(var)
+        return var
+
+    # ------------------------------------------------------------------ #
+    # Constraint management
+    # ------------------------------------------------------------------ #
+    def add(self, *constraints: T.BoolExpr | bool) -> None:
+        """Assert one or more constraints."""
+        for constraint in constraints:
+            if isinstance(constraint, bool):
+                constraint = T.TRUE if constraint else T.FALSE
+            if not isinstance(constraint, T.BoolExpr):
+                raise TypeError(f"constraint {constraint!r} is not a boolean expression")
+            self._constraints.append(constraint)
+
+    @property
+    def assertions(self) -> tuple[T.BoolExpr, ...]:
+        """The currently asserted constraints."""
+        return tuple(self._constraints)
+
+    def push(self) -> None:
+        """Open a backtracking scope."""
+        self._scopes.append(len(self._constraints))
+
+    def pop(self) -> None:
+        """Discard all constraints added since the matching :meth:`push`."""
+        if not self._scopes:
+            raise RuntimeError("pop() without matching push()")
+        length = self._scopes.pop()
+        del self._constraints[length:]
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def check(
+        self,
+        max_conflicts: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> CheckResult:
+        """Decide the conjunction of all asserted constraints."""
+        start = time.monotonic()
+        sat_solver = CDCLSolver()
+        encoder = ExpressionEncoder(sat_solver)
+        # Touch every registered variable so that it is present in the model
+        # even when no constraint mentions it.
+        for var in self._variables:
+            if isinstance(var, T.BoolVar):
+                encoder.encode_bool(var)
+            elif isinstance(var, T.IntVar):
+                encoder.encode_int(var)
+        for constraint in self._constraints:
+            encoder.assert_expr(constraint)
+        encode_time = time.monotonic() - start
+        result = sat_solver.solve(max_conflicts=max_conflicts, time_limit=time_limit)
+        solve_time = time.monotonic() - start - encode_time
+        self._last_statistics = {
+            "encode_seconds": encode_time,
+            "solve_seconds": solve_time,
+            "sat_variables": sat_solver.num_vars,
+            "sat_clauses": sat_solver.num_clauses,
+            **{f"sat_{k}": v for k, v in sat_solver.stats.as_dict().items()},
+        }
+        if result is SolveResult.UNSAT:
+            self._model = None
+            return CheckResult.UNSAT
+        if result is SolveResult.UNKNOWN:
+            self._model = None
+            return CheckResult.UNKNOWN
+        self._model = self._extract_model(sat_solver, encoder)
+        return CheckResult.SAT
+
+    def statistics(self) -> dict[str, float]:
+        """Statistics of the most recent :meth:`check` call."""
+        return dict(self._last_statistics)
+
+    def model(self) -> Model:
+        """Return the model found by the last satisfiable :meth:`check`."""
+        if self._model is None:
+            raise RuntimeError("no model available; last check() was not SAT")
+        return self._model
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _extract_model(self, sat_solver: CDCLSolver, encoder: ExpressionEncoder) -> Model:
+        assignment = sat_solver.model()
+
+        def literal_value(lit: int) -> bool:
+            value = assignment.get(abs(lit), False)
+            return value if lit > 0 else not value
+
+        bool_values: dict[int, bool] = {}
+        int_values: dict[int, int] = {}
+        by_name: dict[str, object] = {}
+        for var in self._variables:
+            if isinstance(var, T.BoolVar):
+                lit = encoder.bool_var_literal(var)
+                bool_values[id(var)] = literal_value(lit) if lit is not None else False
+                by_name[var.name] = var
+            elif isinstance(var, T.IntVar):
+                vec = encoder.int_var_bits(var)
+                if vec is None:
+                    int_values[id(var)] = var.lo
+                else:
+                    raw = 0
+                    for i, bit in enumerate(vec.bits):
+                        if literal_value(bit):
+                            raw |= 1 << i
+                    if raw >= 1 << (vec.width - 1):
+                        raw -= 1 << vec.width
+                    int_values[id(var)] = raw
+                by_name[var.name] = var
+        return Model(bool_values, int_values, by_name)

@@ -1,0 +1,509 @@
+"""Expression AST for the finite-domain SMT layer.
+
+Two sorts exist: booleans (:class:`BoolExpr`) and bounded integers
+(:class:`IntExpr`).  Expressions are immutable trees built either through the
+constructor helpers (:func:`And`, :func:`Or`, :func:`Implies`, ...) or through
+Python operator overloading (``x + 1 < y``, ``a == b``, ``~p | q``).
+
+The AST performs light constant folding in the constructors; the heavy
+lifting (bit-blasting) happens in :mod:`repro.smt.encoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+IntLike = Union["IntExpr", int]
+BoolLike = Union["BoolExpr", bool]
+
+
+# --------------------------------------------------------------------------- #
+# Base classes
+# --------------------------------------------------------------------------- #
+class Expr:
+    """Common base class for all SMT expressions."""
+
+    __slots__ = ()
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class BoolExpr(Expr):
+    """Base class for boolean-sorted expressions."""
+
+    __slots__ = ()
+
+    # -- logical operators ------------------------------------------------- #
+    def __and__(self, other: BoolLike) -> "BoolExpr":
+        return And(self, other)
+
+    def __rand__(self, other: BoolLike) -> "BoolExpr":
+        return And(other, self)
+
+    def __or__(self, other: BoolLike) -> "BoolExpr":
+        return Or(self, other)
+
+    def __ror__(self, other: BoolLike) -> "BoolExpr":
+        return Or(other, self)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def __xor__(self, other: BoolLike) -> "BoolExpr":
+        return Not(Iff(self, other))
+
+    def implies(self, other: BoolLike) -> "BoolExpr":
+        """Return ``self -> other``."""
+        return Implies(self, other)
+
+    def iff(self, other: BoolLike) -> "BoolExpr":
+        """Return ``self <-> other``."""
+        return Iff(self, other)
+
+    # Equality on boolean expressions is *logical* equivalence, mirroring the
+    # Z3 Python API.
+    def __eq__(self, other: object) -> "BoolExpr":  # type: ignore[override]
+        if isinstance(other, (BoolExpr, bool)):
+            return Iff(self, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __ne__(self, other: object) -> "BoolExpr":  # type: ignore[override]
+        if isinstance(other, (BoolExpr, bool)):
+            return Not(Iff(self, other))
+        return NotImplemented  # type: ignore[return-value]
+
+    __hash__ = Expr.__hash__
+
+
+class IntExpr(Expr):
+    """Base class for integer-sorted expressions."""
+
+    __slots__ = ()
+
+    def bounds(self) -> tuple[int, int]:
+        """Conservative (lo, hi) bounds of the expression's value."""
+        raise NotImplementedError
+
+    # -- arithmetic -------------------------------------------------------- #
+    def __add__(self, other: IntLike) -> "IntExpr":
+        return IntAdd(self, _as_int(other))
+
+    def __radd__(self, other: IntLike) -> "IntExpr":
+        return IntAdd(_as_int(other), self)
+
+    def __sub__(self, other: IntLike) -> "IntExpr":
+        return IntSub(self, _as_int(other))
+
+    def __rsub__(self, other: IntLike) -> "IntExpr":
+        return IntSub(_as_int(other), self)
+
+    def __neg__(self) -> "IntExpr":
+        return IntSub(IntConst(0), self)
+
+    def __abs__(self) -> "IntExpr":
+        return IntAbs(self)
+
+    # -- comparisons ------------------------------------------------------- #
+    def __eq__(self, other: object) -> BoolExpr:  # type: ignore[override]
+        if isinstance(other, (IntExpr, int)):
+            return IntEq(self, _as_int(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __ne__(self, other: object) -> BoolExpr:  # type: ignore[override]
+        if isinstance(other, (IntExpr, int)):
+            return Not(IntEq(self, _as_int(other)))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __lt__(self, other: IntLike) -> BoolExpr:
+        return IntLt(self, _as_int(other))
+
+    def __le__(self, other: IntLike) -> BoolExpr:
+        return IntLe(self, _as_int(other))
+
+    def __gt__(self, other: IntLike) -> BoolExpr:
+        return IntLt(_as_int(other), self)
+
+    def __ge__(self, other: IntLike) -> BoolExpr:
+        return IntLe(_as_int(other), self)
+
+    __hash__ = Expr.__hash__
+
+
+# --------------------------------------------------------------------------- #
+# Boolean nodes
+# --------------------------------------------------------------------------- #
+class BoolConst(BoolExpr):
+    """A boolean constant (``TRUE`` / ``FALSE``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class BoolVar(BoolExpr):
+    """A free boolean variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class NotExpr(BoolExpr):
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BoolExpr) -> None:
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        return f"(not {self.arg!r})"
+
+
+class AndExpr(BoolExpr):
+    __slots__ = ("args",)
+
+    def __init__(self, args: tuple[BoolExpr, ...]) -> None:
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "(and " + " ".join(repr(a) for a in self.args) + ")"
+
+
+class OrExpr(BoolExpr):
+    __slots__ = ("args",)
+
+    def __init__(self, args: tuple[BoolExpr, ...]) -> None:
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "(or " + " ".join(repr(a) for a in self.args) + ")"
+
+
+class IffExpr(BoolExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: BoolExpr, right: BoolExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"(iff {self.left!r} {self.right!r})"
+
+
+class IteBoolExpr(BoolExpr):
+    __slots__ = ("cond", "then_branch", "else_branch")
+
+    def __init__(self, cond: BoolExpr, then_branch: BoolExpr, else_branch: BoolExpr) -> None:
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def __repr__(self) -> str:
+        return f"(ite {self.cond!r} {self.then_branch!r} {self.else_branch!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Integer nodes
+# --------------------------------------------------------------------------- #
+class IntConst(IntExpr):
+    """An integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def bounds(self) -> tuple[int, int]:
+        return (self.value, self.value)
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class IntVar(IntExpr):
+    """A free integer variable with an inclusive domain ``[lo, hi]``."""
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: str, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"empty domain for {name}: [{lo}, {hi}]")
+        self.name = name
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def bounds(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class IntAdd(IntExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: IntExpr, right: IntExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def bounds(self) -> tuple[int, int]:
+        llo, lhi = self.left.bounds()
+        rlo, rhi = self.right.bounds()
+        return (llo + rlo, lhi + rhi)
+
+    def __repr__(self) -> str:
+        return f"(+ {self.left!r} {self.right!r})"
+
+
+class IntSub(IntExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: IntExpr, right: IntExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def bounds(self) -> tuple[int, int]:
+        llo, lhi = self.left.bounds()
+        rlo, rhi = self.right.bounds()
+        return (llo - rhi, lhi - rlo)
+
+    def __repr__(self) -> str:
+        return f"(- {self.left!r} {self.right!r})"
+
+
+class IntAbs(IntExpr):
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: IntExpr) -> None:
+        self.arg = arg
+
+    def bounds(self) -> tuple[int, int]:
+        lo, hi = self.arg.bounds()
+        if lo >= 0:
+            return (lo, hi)
+        if hi <= 0:
+            return (-hi, -lo)
+        return (0, max(-lo, hi))
+
+    def __repr__(self) -> str:
+        return f"(abs {self.arg!r})"
+
+
+class IteIntExpr(IntExpr):
+    __slots__ = ("cond", "then_branch", "else_branch")
+
+    def __init__(self, cond: BoolExpr, then_branch: IntExpr, else_branch: IntExpr) -> None:
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def bounds(self) -> tuple[int, int]:
+        tlo, thi = self.then_branch.bounds()
+        elo, ehi = self.else_branch.bounds()
+        return (min(tlo, elo), max(thi, ehi))
+
+    def __repr__(self) -> str:
+        return f"(ite {self.cond!r} {self.then_branch!r} {self.else_branch!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Atoms (integer comparisons)
+# --------------------------------------------------------------------------- #
+class IntEq(BoolExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: IntExpr, right: IntExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"(= {self.left!r} {self.right!r})"
+
+
+class IntLt(BoolExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: IntExpr, right: IntExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"(< {self.left!r} {self.right!r})"
+
+
+class IntLe(BoolExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: IntExpr, right: IntExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"(<= {self.left!r} {self.right!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Coercions and constructor helpers
+# --------------------------------------------------------------------------- #
+def _as_int(value: IntLike) -> IntExpr:
+    if isinstance(value, IntExpr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("cannot use a bool where an integer expression is expected")
+    if isinstance(value, int):
+        return IntConst(value)
+    raise TypeError(f"cannot convert {value!r} to an integer expression")
+
+
+def _as_bool(value: BoolLike) -> BoolExpr:
+    if isinstance(value, BoolExpr):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    raise TypeError(f"cannot convert {value!r} to a boolean expression")
+
+
+def _flatten(args: Sequence[BoolLike], node_type: type) -> list[BoolExpr]:
+    flat: list[BoolExpr] = []
+    for arg in args:
+        expr = _as_bool(arg)
+        if isinstance(expr, node_type):
+            flat.extend(expr.args)  # type: ignore[attr-defined]
+        else:
+            flat.append(expr)
+    return flat
+
+
+def And(*args: BoolLike) -> BoolExpr:
+    """Logical conjunction with constant folding and flattening."""
+    if len(args) == 1 and isinstance(args[0], (list, tuple)):
+        args = tuple(args[0])
+    flat = _flatten(args, AndExpr)
+    kept: list[BoolExpr] = []
+    for expr in flat:
+        if isinstance(expr, BoolConst):
+            if not expr.value:
+                return FALSE
+            continue
+        kept.append(expr)
+    if not kept:
+        return TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return AndExpr(tuple(kept))
+
+
+def Or(*args: BoolLike) -> BoolExpr:
+    """Logical disjunction with constant folding and flattening."""
+    if len(args) == 1 and isinstance(args[0], (list, tuple)):
+        args = tuple(args[0])
+    flat = _flatten(args, OrExpr)
+    kept: list[BoolExpr] = []
+    for expr in flat:
+        if isinstance(expr, BoolConst):
+            if expr.value:
+                return TRUE
+            continue
+        kept.append(expr)
+    if not kept:
+        return FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return OrExpr(tuple(kept))
+
+
+def Not(arg: BoolLike) -> BoolExpr:
+    """Logical negation with double-negation elimination."""
+    expr = _as_bool(arg)
+    if isinstance(expr, BoolConst):
+        return FALSE if expr.value else TRUE
+    if isinstance(expr, NotExpr):
+        return expr.arg
+    return NotExpr(expr)
+
+
+def Implies(antecedent: BoolLike, consequent: BoolLike) -> BoolExpr:
+    """Logical implication."""
+    a = _as_bool(antecedent)
+    c = _as_bool(consequent)
+    if isinstance(a, BoolConst):
+        return c if a.value else TRUE
+    if isinstance(c, BoolConst):
+        return TRUE if c.value else Not(a)
+    return Or(Not(a), c)
+
+
+def Iff(left: BoolLike, right: BoolLike) -> BoolExpr:
+    """Logical equivalence."""
+    a = _as_bool(left)
+    b = _as_bool(right)
+    if isinstance(a, BoolConst):
+        return b if a.value else Not(b)
+    if isinstance(b, BoolConst):
+        return a if b.value else Not(a)
+    if a is b:
+        return TRUE
+    return IffExpr(a, b)
+
+
+def If(cond: BoolLike, then_branch, else_branch):
+    """If-then-else over either sort (the branches fix the result sort)."""
+    c = _as_bool(cond)
+    if isinstance(then_branch, (IntExpr, int)) and isinstance(else_branch, (IntExpr, int)):
+        t = _as_int(then_branch)
+        e = _as_int(else_branch)
+        if isinstance(c, BoolConst):
+            return t if c.value else e
+        return IteIntExpr(c, t, e)
+    t = _as_bool(then_branch)
+    e = _as_bool(else_branch)
+    if isinstance(c, BoolConst):
+        return t if c.value else e
+    return IteBoolExpr(c, t, e)
+
+
+def Distinct(*args: IntLike) -> BoolExpr:
+    """All arguments are pairwise different."""
+    if len(args) == 1 and isinstance(args[0], (list, tuple)):
+        args = tuple(args[0])
+    exprs = [_as_int(a) for a in args]
+    constraints: list[BoolExpr] = []
+    for i in range(len(exprs)):
+        for j in range(i + 1, len(exprs)):
+            constraints.append(Not(IntEq(exprs[i], exprs[j])))
+    return And(*constraints)
+
+
+def free_variables(expr: Expr) -> set[Expr]:
+    """Return the set of free :class:`BoolVar`/:class:`IntVar` nodes in *expr*."""
+    result: set[Expr] = set()
+    stack: list[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (BoolVar, IntVar)):
+            result.add(node)
+        elif isinstance(node, NotExpr):
+            stack.append(node.arg)
+        elif isinstance(node, (AndExpr, OrExpr)):
+            stack.extend(node.args)
+        elif isinstance(node, IffExpr):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, (IteBoolExpr, IteIntExpr)):
+            stack.extend((node.cond, node.then_branch, node.else_branch))
+        elif isinstance(node, (IntEq, IntLt, IntLe, IntAdd, IntSub)):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, IntAbs):
+            stack.append(node.arg)
+    return result

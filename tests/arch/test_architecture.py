@@ -1,0 +1,192 @@
+"""Tests for the zoned architecture model and the evaluation layouts."""
+
+import pytest
+
+from repro.arch import (
+    Position,
+    Zone,
+    ZoneKind,
+    ZonedArchitecture,
+    bottom_storage_layout,
+    double_sided_storage_layout,
+    evaluation_layouts,
+    no_shielding_layout,
+    reduced_layout,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Construction and validation
+# --------------------------------------------------------------------------- #
+def test_architecture_requires_entangling_zone():
+    with pytest.raises(ValueError):
+        ZonedArchitecture(
+            name="bad",
+            x_max=3,
+            y_max=1,
+            h_max=1,
+            v_max=1,
+            c_max=1,
+            r_max=1,
+            interaction_radius=2,
+            zones=(Zone(ZoneKind.STORAGE, 0, 1),),
+        )
+
+
+def test_architecture_rejects_uncovered_rows():
+    with pytest.raises(ValueError):
+        ZonedArchitecture(
+            name="bad",
+            x_max=3,
+            y_max=2,
+            h_max=1,
+            v_max=1,
+            c_max=1,
+            r_max=1,
+            interaction_radius=2,
+            zones=(Zone(ZoneKind.ENTANGLING, 0, 1),),
+        )
+
+
+def test_architecture_rejects_overlapping_zones():
+    with pytest.raises(ValueError):
+        ZonedArchitecture(
+            name="bad",
+            x_max=3,
+            y_max=2,
+            h_max=1,
+            v_max=1,
+            c_max=1,
+            r_max=1,
+            interaction_radius=2,
+            zones=(
+                Zone(ZoneKind.ENTANGLING, 0, 2),
+                Zone(ZoneKind.STORAGE, 2, 2),
+            ),
+        )
+
+
+def test_architecture_rejects_zone_outside_rows():
+    with pytest.raises(ValueError):
+        ZonedArchitecture(
+            name="bad",
+            x_max=3,
+            y_max=1,
+            h_max=1,
+            v_max=1,
+            c_max=1,
+            r_max=1,
+            interaction_radius=2,
+            zones=(Zone(ZoneKind.ENTANGLING, 0, 3),),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The evaluation layouts (Sec. V-A)
+# --------------------------------------------------------------------------- #
+def test_layouts_match_paper_extents():
+    for layout in evaluation_layouts().values():
+        assert layout.x_max == 7
+        assert layout.y_max == 6
+        assert layout.h_max == layout.v_max == 2
+        assert layout.c_max == layout.r_max == 5
+        assert layout.interaction_radius == 2
+        assert layout.num_sites == 56
+        assert layout.num_aod_columns == layout.num_aod_rows == 6
+
+
+def test_layout1_entangling_bounds():
+    layout = no_shielding_layout()
+    assert layout.entangling_rows == (0, 6)
+    assert not layout.has_storage
+
+
+def test_layout2_entangling_bounds():
+    layout = bottom_storage_layout()
+    assert layout.entangling_rows == (2, 6)
+    assert layout.storage_rows() == [0, 1]
+    assert layout.has_storage
+
+
+def test_layout3_entangling_bounds():
+    layout = double_sided_storage_layout()
+    assert layout.entangling_rows == (2, 4)
+    assert layout.storage_rows() == [0, 1, 5, 6]
+    assert len(layout.storage_zones) == 2
+
+
+def test_zone_of_row_and_membership():
+    layout = bottom_storage_layout()
+    assert layout.zone_of_row(0).kind is ZoneKind.STORAGE
+    assert layout.zone_of_row(4).kind is ZoneKind.ENTANGLING
+    assert layout.in_entangling_zone(4)
+    assert not layout.in_entangling_zone(1)
+    with pytest.raises(ValueError):
+        layout.zone_of_row(99)
+
+
+def test_sites_in_zone():
+    layout = bottom_storage_layout()
+    storage_sites = layout.sites_in_zone(ZoneKind.STORAGE)
+    assert len(storage_sites) == 16
+    entangling_sites = layout.sites_in_zone(ZoneKind.ENTANGLING)
+    assert len(entangling_sites) == 40
+
+
+def test_contains_and_offsets():
+    layout = no_shielding_layout()
+    assert layout.contains(Position(0, 0))
+    assert layout.contains(Position(7, 6, 2, -2))
+    assert not layout.contains(Position(8, 0))
+    assert not layout.contains(Position(0, 0, 3, 0))
+    assert len(layout.offsets()) == 25
+
+
+# --------------------------------------------------------------------------- #
+# Physical geometry
+# --------------------------------------------------------------------------- #
+def test_site_spacing_in_micrometres():
+    layout = no_shielding_layout()
+    x0, _ = layout.physical_coordinates_um(Position(0, 0))
+    x1, _ = layout.physical_coordinates_um(Position(1, 0))
+    assert x1 - x0 == pytest.approx(14.0)
+    x_off, _ = layout.physical_coordinates_um(Position(0, 0, 1, 0))
+    assert x_off - x0 == pytest.approx(1.0)
+
+
+def test_zone_separation_adds_extra_space():
+    layout = bottom_storage_layout()
+    _, y_storage = layout.physical_coordinates_um(Position(0, 1))
+    _, y_entangling = layout.physical_coordinates_um(Position(0, 2))
+    # Crossing the storage/entangling boundary is at least 20 um.
+    assert y_entangling - y_storage == pytest.approx(20.0)
+    _, y_next = layout.physical_coordinates_um(Position(0, 3))
+    assert y_next - y_entangling == pytest.approx(14.0)
+
+
+def test_distance_is_euclidean():
+    layout = no_shielding_layout()
+    distance = layout.distance_um(Position(0, 0), Position(3, 0))
+    assert distance == pytest.approx(42.0)
+    assert layout.distance_um(Position(2, 2), Position(2, 2)) == 0.0
+
+
+def test_describe_mentions_zones():
+    text = double_sided_storage_layout().describe()
+    assert "entangling" in text
+    assert "storage" in text
+
+
+# --------------------------------------------------------------------------- #
+# Reduced layouts for the exact backend
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ["none", "bottom", "double"])
+def test_reduced_layouts_are_valid(kind):
+    layout = reduced_layout(kind)
+    assert layout.entangling_zone is not None
+    assert (layout.has_storage) == (kind != "none")
+
+
+def test_reduced_layout_unknown_kind():
+    with pytest.raises(ValueError):
+        reduced_layout("sideways")

@@ -1,0 +1,62 @@
+"""Tests for zones and the hardware figures of merit."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import DEFAULT_OPERATION_PARAMETERS, OperationParameters, Zone, ZoneKind
+
+
+def test_zone_properties():
+    zone = Zone(ZoneKind.STORAGE, 0, 1, name="bottom")
+    assert zone.num_rows == 2
+    assert zone.contains_row(0) and zone.contains_row(1)
+    assert not zone.contains_row(2)
+    assert "bottom" in str(zone)
+
+
+def test_zone_validation():
+    with pytest.raises(ValueError):
+        Zone(ZoneKind.STORAGE, 3, 1)
+    with pytest.raises(ValueError):
+        Zone(ZoneKind.STORAGE, -1, 1)
+
+
+def test_default_parameters_match_paper_table():
+    params = DEFAULT_OPERATION_PARAMETERS
+    # Values from Sec. V-A of the paper.
+    assert params.cz_fidelity == 0.995
+    assert params.rydberg_idle_fidelity == 0.998
+    assert params.local_rz_fidelity == 0.999
+    assert params.global_ry_fidelity == 0.9999
+    assert params.transfer_fidelity == 0.999
+    assert params.shuttling_fidelity == 1.0
+    assert params.cz_duration_us == pytest.approx(0.27)
+    assert params.local_rz_duration_us == pytest.approx(12.0)
+    assert params.global_ry_duration_us == pytest.approx(1.0)
+    assert params.transfer_duration_us == pytest.approx(200.0)
+    assert params.shuttling_speed_us_per_um == pytest.approx(0.55)
+    assert params.effective_coherence_time_us == pytest.approx(1e6)
+    assert params.intra_site_spacing_um == pytest.approx(1.0)
+    assert params.site_spacing_um == pytest.approx(14.0)
+    assert params.zone_separation_um == pytest.approx(20.0)
+
+
+def test_shuttling_duration_scales_with_distance():
+    params = DEFAULT_OPERATION_PARAMETERS
+    assert params.shuttling_duration_us(0.0) == 0.0
+    assert params.shuttling_duration_us(10.0) == pytest.approx(5.5)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        OperationParameters(cz_fidelity=1.5)
+    with pytest.raises(ValueError):
+        OperationParameters(cz_fidelity=0.0)
+    with pytest.raises(ValueError):
+        OperationParameters(transfer_duration_us=-1.0)
+
+
+def test_parameters_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_OPERATION_PARAMETERS.cz_fidelity = 0.5

@@ -1,0 +1,81 @@
+"""Tests for the circuit IR: gates, circuits, QASM round-trips."""
+
+import pytest
+
+from repro.circuit import Circuit, Gate, GateKind
+
+
+def test_gate_constructors():
+    assert Gate.h(0).kind is GateKind.H
+    assert Gate.cz(1, 2).qubits == (1, 2)
+    assert Gate.cx(0, 3).kind is GateKind.CX
+    assert str(Gate.cz(0, 1)) == "cz q0 q1"
+
+
+def test_gate_arity_validation():
+    with pytest.raises(ValueError):
+        Gate(GateKind.H, (0, 1))
+    with pytest.raises(ValueError):
+        Gate(GateKind.CZ, (0,))
+
+
+def test_gate_duplicate_and_negative_qubits():
+    with pytest.raises(ValueError):
+        Gate(GateKind.CZ, (1, 1))
+    with pytest.raises(ValueError):
+        Gate(GateKind.H, (-1,))
+
+
+def test_gate_kind_properties():
+    assert GateKind.CZ.num_qubits == 2
+    assert GateKind.H.num_qubits == 1
+    assert GateKind.CZ.is_diagonal
+    assert not GateKind.H.is_diagonal
+
+
+def test_circuit_append_and_count():
+    circuit = Circuit(3)
+    circuit.h(0).cz(0, 1).cz(1, 2).h(2)
+    assert len(circuit) == 4
+    assert circuit.count(GateKind.CZ) == 2
+    assert circuit.count(GateKind.H) == 2
+    assert circuit.cz_pairs == [(0, 1), (1, 2)]
+
+
+def test_circuit_rejects_out_of_range_qubits():
+    circuit = Circuit(2)
+    with pytest.raises(ValueError):
+        circuit.cz(0, 5)
+
+
+def test_circuit_needs_positive_qubits():
+    with pytest.raises(ValueError):
+        Circuit(0)
+
+
+def test_circuit_depth():
+    circuit = Circuit(3)
+    circuit.h(0).h(1).h(2)
+    assert circuit.depth() == 1
+    circuit.cz(0, 1)
+    circuit.cz(1, 2)
+    assert circuit.depth() == 3
+
+
+def test_qasm_roundtrip():
+    circuit = Circuit(3)
+    circuit.h(0).cz(0, 1).s(1).cx(1, 2).sdg(2).x(0).z(1).y(2)
+    text = circuit.to_qasm()
+    parsed = Circuit.from_qasm(text)
+    assert parsed.num_qubits == 3
+    assert [g.kind for g in parsed] == [g.kind for g in circuit]
+    assert [g.qubits for g in parsed] == [g.qubits for g in circuit]
+
+
+def test_qasm_parse_errors():
+    with pytest.raises(ValueError):
+        Circuit.from_qasm("OPENQASM 2.0;\nh q[0];\n")  # no qreg
+    with pytest.raises(ValueError):
+        Circuit.from_qasm("qreg q[1];\nfoo q[0];\n")  # unknown gate
+    with pytest.raises(ValueError):
+        Circuit.from_qasm("qreg q[1];\nh q[0]\n")  # missing semicolon

@@ -1,0 +1,159 @@
+"""Tests for CZ layering (edge colouring) and the structured prep circuit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import StatePrepCircuit, cz_layers, interaction_graph
+from repro.circuit.gates import GateKind
+from repro.circuit.layers import minimum_layer_count, optimal_cz_layers
+from repro.qec.codes import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+
+
+def test_interaction_graph_deduplicates():
+    graph = interaction_graph([(0, 1), (1, 0), (1, 2)])
+    assert graph.number_of_edges() == 2
+
+
+def test_interaction_graph_rejects_self_loops():
+    with pytest.raises(ValueError):
+        interaction_graph([(2, 2)])
+
+
+def test_layers_are_disjoint():
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    layers = cz_layers(pairs)
+    for layer in layers:
+        qubits = [q for pair in layer for q in pair]
+        assert len(qubits) == len(set(qubits))
+    flattened = sorted(tuple(sorted(p)) for layer in layers for p in layer)
+    assert flattened == sorted(set(tuple(sorted(p)) for p in pairs))
+
+
+def test_empty_input_gives_no_layers():
+    assert cz_layers([]) == []
+    assert minimum_layer_count([]) == 0
+
+
+def test_star_graph_needs_degree_layers():
+    pairs = [(0, i) for i in range(1, 5)]
+    layers = cz_layers(pairs)
+    assert len(layers) == 4
+    assert minimum_layer_count(pairs) == 4
+
+
+def test_perfect_matching_single_layer():
+    pairs = [(0, 1), (2, 3), (4, 5)]
+    assert len(cz_layers(pairs)) == 1
+
+
+@pytest.mark.parametrize("name", available_codes())
+def test_layering_achieves_degree_bound_on_evaluation_codes(name):
+    prep = state_preparation_circuit(get_code(name))
+    layers = cz_layers(prep.cz_gates)
+    lower_bound = minimum_layer_count(prep.cz_gates)
+    assert lower_bound <= len(layers) <= lower_bound + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_layering_partitions_edges(data):
+    n = data.draw(st.integers(min_value=2, max_value=8))
+    possible = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    pairs = [edge for edge in possible if data.draw(st.booleans())]
+    layers = cz_layers(pairs)
+    seen = [tuple(sorted(p)) for layer in layers for p in layer]
+    assert sorted(seen) == sorted(set(tuple(sorted(p)) for p in pairs))
+    for layer in layers:
+        qubits = [q for pair in layer for q in pair]
+        assert len(qubits) == len(set(qubits))
+    if pairs:
+        # Greedy colouring is only guaranteed to stay below 2*Delta - 1 ...
+        assert len(layers) <= max(2 * minimum_layer_count(pairs) - 1, 1)
+        # ... whereas the exact search achieves Vizing's bound.
+        optimal = optimal_cz_layers(pairs)
+        assert minimum_layer_count(pairs) <= len(optimal) <= minimum_layer_count(pairs) + 1
+        for layer in optimal:
+            qubits = [q for pair in layer for q in pair]
+            assert len(qubits) == len(set(qubits))
+
+
+def test_optimal_layers_on_cycle():
+    # Odd cycle: chromatic index 3 (> Delta = 2).
+    pairs = [(0, 1), (1, 2), (2, 0)]
+    assert len(optimal_cz_layers(pairs)) == 3
+    # Even cycle: chromatic index 2.
+    pairs = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    assert len(optimal_cz_layers(pairs)) == 2
+
+
+def test_optimal_layers_respects_max_layers():
+    pairs = [(0, 1), (1, 2), (2, 0)]
+    with pytest.raises(ValueError):
+        optimal_cz_layers(pairs, max_layers=2)
+
+
+def test_optimal_layers_empty():
+    assert optimal_cz_layers([]) == []
+
+
+@pytest.mark.parametrize("name", ["steane", "surface", "shor"])
+def test_optimal_layers_on_small_codes(name):
+    prep = state_preparation_circuit(get_code(name))
+    layers = optimal_cz_layers(prep.cz_gates)
+    assert len(layers) >= minimum_layer_count(prep.cz_gates)
+    seen = sorted(p for layer in layers for p in layer)
+    assert seen == sorted(prep.cz_gates)
+
+
+# --------------------------------------------------------------------------- #
+# StatePrepCircuit structure
+# --------------------------------------------------------------------------- #
+def test_state_prep_circuit_validation():
+    with pytest.raises(ValueError):
+        StatePrepCircuit(num_qubits=3, cz_gates=[(0, 0)])
+    with pytest.raises(ValueError):
+        StatePrepCircuit(num_qubits=3, cz_gates=[(0, 5)])
+    with pytest.raises(ValueError):
+        StatePrepCircuit(num_qubits=2, cz_gates=[], local_corrections={5: (GateKind.H,)})
+
+
+def test_state_prep_circuit_normalises_pairs():
+    prep = StatePrepCircuit(num_qubits=3, cz_gates=[(2, 0), (1, 2)])
+    assert prep.cz_gates == [(0, 2), (1, 2)]
+    assert prep.num_cz_gates == 2
+
+
+def test_state_prep_to_circuit_and_back():
+    prep = StatePrepCircuit(
+        num_qubits=3,
+        cz_gates=[(0, 1), (1, 2)],
+        local_corrections={2: (GateKind.H,), 0: (GateKind.Z, GateKind.H)},
+        name="demo",
+    )
+    flat = prep.to_circuit()
+    assert flat.count(GateKind.H) == 3 + 2  # inits + corrections
+    assert flat.count(GateKind.CZ) == 2
+    recovered = StatePrepCircuit.from_circuit(flat, name="demo")
+    assert recovered.cz_gates == prep.cz_gates
+    assert recovered.local_corrections == prep.local_corrections
+
+
+def test_state_prep_hadamard_qubits():
+    prep = StatePrepCircuit(
+        num_qubits=3,
+        cz_gates=[(0, 1)],
+        local_corrections={1: (GateKind.H,), 2: (GateKind.S, GateKind.H)},
+    )
+    assert prep.hadamard_qubits() == [1]
+    assert prep.single_qubit_gate_count() == 3 + 3
+
+
+def test_from_circuit_rejects_malformed():
+    from repro.circuit import Circuit
+
+    circuit = Circuit(2)
+    circuit.h(0)  # missing H on qubit 1
+    circuit.cz(0, 1)
+    with pytest.raises(ValueError):
+        StatePrepCircuit.from_circuit(circuit)

@@ -1,0 +1,97 @@
+"""Tests for the schedule data model."""
+
+import json
+
+import pytest
+
+from repro.arch import bottom_storage_layout
+from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+
+
+def make_simple_schedule():
+    arch = bottom_storage_layout()
+    beam = {
+        0: QubitPlacement(x=0, y=4, h=0, v=0, in_aod=True, column=0, row=0),
+        1: QubitPlacement(x=0, y=4, h=1, v=0, in_aod=True, column=1, row=0),
+        2: QubitPlacement(x=0, y=0),
+    }
+    transfer = {
+        0: QubitPlacement(x=0, y=1, h=0, v=0, in_aod=True, column=0, row=0),
+        1: QubitPlacement(x=1, y=1, h=0, v=0, in_aod=True, column=1, row=0),
+        2: QubitPlacement(x=0, y=0),
+    }
+    final = {
+        0: QubitPlacement(x=0, y=1),
+        1: QubitPlacement(x=1, y=1),
+        2: QubitPlacement(x=0, y=0, in_aod=True, column=0, row=0, h=1),
+    }
+    stages = [
+        Stage(kind=StageKind.RYDBERG, placements=beam, gates=[(0, 1)]),
+        Stage(
+            kind=StageKind.TRANSFER,
+            placements=transfer,
+            stored_qubits=[0, 1],
+            loaded_qubits=[2],
+        ),
+        Stage(kind=StageKind.RYDBERG, placements=final, gates=[]),
+    ]
+    return Schedule(
+        architecture=arch, num_qubits=3, stages=stages, target_gates=[(0, 1)]
+    )
+
+
+def test_qubit_placement_validation():
+    with pytest.raises(ValueError):
+        QubitPlacement(x=0, y=0, in_aod=True)  # missing column/row
+    placement = QubitPlacement(x=1, y=2, h=1, v=-1, in_aod=True, column=0, row=0)
+    assert placement.position.x == 1
+    assert placement.site == (1, 2)
+    assert not placement.position.is_site_center
+    moved = placement.moved_to(h=0, v=0)
+    assert moved.position.is_site_center
+
+
+def test_stage_kind_restrictions():
+    placements = {0: QubitPlacement(x=0, y=0)}
+    with pytest.raises(ValueError):
+        Stage(kind=StageKind.RYDBERG, placements=placements, stored_qubits=[0])
+    with pytest.raises(ValueError):
+        Stage(kind=StageKind.TRANSFER, placements=placements, gates=[(0, 1)])
+
+
+def test_schedule_summary_counts():
+    schedule = make_simple_schedule()
+    assert schedule.num_stages == 3
+    assert schedule.num_rydberg_stages == 2
+    assert schedule.num_transfer_stages == 1
+    assert schedule.num_transfer_operations == 3
+    assert schedule.executed_gates == [(0, 1)]
+    assert "S=3" in schedule.summary()
+
+
+def test_idle_and_unshielded_counts():
+    schedule = make_simple_schedule()
+    # Stage 0: qubit 2 idles in the storage zone -> shielded.
+    assert schedule.idle_qubits(0) == [2]
+    assert schedule.unshielded_idle_count(0) == 0
+    # Stage 2: all three qubits idle; qubits 0/1 sit in storage, qubit 2 too.
+    assert schedule.unshielded_idle_count(2) == 0
+
+
+def test_shuttling_distance():
+    schedule = make_simple_schedule()
+    # Between stage 0 and 1 qubit 1 moves from (0,4,+1) to (1,1,0).
+    assert schedule.shuttling_distance_um(0) > 0
+    # The last stage has no successor.
+    assert schedule.shuttling_distance_um(2) == 0.0
+
+
+def test_schedule_serialisation_roundtrip():
+    schedule = make_simple_schedule()
+    data = schedule.to_dict()
+    assert data["num_qubits"] == 3
+    assert data["stages"][0]["kind"] == "rydberg"
+    text = schedule.to_json()
+    parsed = json.loads(text)
+    assert parsed["target_gates"] == [[0, 1]]
+    assert len(parsed["stages"]) == 3

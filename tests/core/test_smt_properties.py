@@ -1,0 +1,45 @@
+"""Property-based cross-checks of the SMT encoding against the validator.
+
+Every satisfiable SMT instance must extract to a schedule that the
+independent validator accepts, and the optimal stage count can never exceed
+what the constructive backend achieves on the same instance.  The instances
+are kept tiny so that the property runs stay within seconds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import reduced_layout
+from repro.core.scheduler import SMTScheduler
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import validate_schedule
+
+
+def _tiny_layout(kind: str):
+    return reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.data())
+def test_property_smt_schedules_are_valid_and_at_least_as_good(data):
+    num_qubits = data.draw(st.integers(min_value=2, max_value=4))
+    possible = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    gates = data.draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=2, unique=True)
+    )
+    kind = data.draw(st.sampled_from(["none", "bottom"]))
+    layout = _tiny_layout(kind)
+
+    smt_result = SMTScheduler(layout, time_limit_per_instance=60).schedule(
+        num_qubits, gates
+    )
+    assert smt_result.found
+    report = validate_schedule(
+        smt_result.schedule,
+        require_shielding=layout.has_storage,
+        raise_on_error=False,
+    )
+    assert report.ok, report.errors[:5]
+    assert sorted(smt_result.schedule.executed_gates) == sorted(gates)
+
+    structured = StructuredScheduler(layout).schedule(num_qubits, gates)
+    assert smt_result.schedule.num_stages <= structured.num_stages

@@ -1,0 +1,127 @@
+"""Tests for the SMT formulation and the optimal scheduler.
+
+The instances are intentionally tiny (2-4 qubits on reduced architectures):
+the encoding is identical to the full-size one, and the pure-Python SAT core
+decides these within seconds.
+"""
+
+import pytest
+
+from repro.arch import reduced_layout
+from repro.core.encoding import encode_instance
+from repro.core.scheduler import SMTScheduler
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import validate_schedule
+from repro.smt import CheckResult
+
+
+def tiny_layout(kind):
+    return reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+
+
+# --------------------------------------------------------------------------- #
+# Fixed-stage encodings
+# --------------------------------------------------------------------------- #
+def test_single_gate_single_stage_is_sat():
+    instance = encode_instance(tiny_layout("none"), 2, [(0, 1)], num_stages=1)
+    assert instance.check().is_sat()
+    schedule = instance.extract_schedule()
+    validate_schedule(schedule, require_shielding=False)
+    assert schedule.num_rydberg_stages == 1
+    assert schedule.executed_gates == [(0, 1)]
+
+
+def test_two_gates_sharing_a_qubit_need_two_stages():
+    layout = tiny_layout("none")
+    too_small = encode_instance(layout, 3, [(0, 1), (1, 2)], num_stages=1)
+    assert too_small.check().is_unsat()
+    enough = encode_instance(layout, 3, [(0, 1), (1, 2)], num_stages=2)
+    assert enough.check().is_sat()
+
+
+def test_shielding_requires_extra_stage_on_zoned_layout():
+    """The paper's Fig. 2 effect: the zoned layout needs a transfer stage."""
+    layout = tiny_layout("bottom")
+    two_stages = encode_instance(layout, 3, [(0, 1), (1, 2)], num_stages=2)
+    assert two_stages.check().is_unsat()
+    three_stages = encode_instance(layout, 3, [(0, 1), (1, 2)], num_stages=3)
+    assert three_stages.check().is_sat()
+    schedule = three_stages.extract_schedule()
+    validate_schedule(schedule)
+    assert schedule.num_rydberg_stages == 2
+    assert schedule.num_transfer_stages == 1
+    assert schedule.total_unshielded_idle() == 0
+
+
+def test_disjoint_gates_share_a_stage():
+    instance = encode_instance(tiny_layout("none"), 4, [(0, 1), (2, 3)], num_stages=1)
+    assert instance.check().is_sat()
+    schedule = instance.extract_schedule()
+    assert schedule.num_rydberg_stages == 1
+    assert len(schedule.stages[0].gates) == 2
+
+
+def test_invalid_gate_rejected():
+    with pytest.raises(ValueError):
+        encode_instance(tiny_layout("none"), 2, [(0, 0)], num_stages=1)
+
+
+def test_unknown_result_with_tiny_conflict_budget():
+    instance = encode_instance(tiny_layout("bottom"), 3, [(0, 1), (1, 2)], num_stages=3)
+    result = instance.check(max_conflicts=1)
+    assert result in (CheckResult.UNKNOWN, CheckResult.SAT, CheckResult.UNSAT)
+
+
+# --------------------------------------------------------------------------- #
+# Iterative-deepening scheduler
+# --------------------------------------------------------------------------- #
+def test_scheduler_finds_minimum_stage_count():
+    scheduler = SMTScheduler(tiny_layout("none"), time_limit_per_instance=120)
+    result = scheduler.schedule(3, [(0, 1), (1, 2)])
+    assert result.found and result.optimal
+    assert result.schedule.num_stages == 2
+    assert result.stages_tried == [2]
+
+
+def test_scheduler_zoned_layout_adds_transfer_stage():
+    scheduler = SMTScheduler(tiny_layout("bottom"), time_limit_per_instance=120)
+    result = scheduler.schedule(3, [(0, 1), (1, 2)])
+    assert result.found and result.optimal
+    assert result.schedule.num_stages == 3
+    assert result.schedule.num_transfer_stages == 1
+
+
+def test_scheduler_respects_max_stages():
+    scheduler = SMTScheduler(tiny_layout("bottom"), max_stages=1)
+    result = scheduler.schedule(3, [(0, 1), (1, 2)])
+    assert not result.found
+    assert result.schedule is None
+
+
+def test_scheduler_statistics_and_bound():
+    scheduler = SMTScheduler(tiny_layout("none"), time_limit_per_instance=120)
+    assert scheduler.minimum_stage_bound([(0, 1), (1, 2), (1, 3)]) == 3
+    result = scheduler.schedule(2, [(0, 1)])
+    assert result.statistics.get("sat_clauses", 0) > 0
+    assert result.solver_seconds >= 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Backend agreement
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "gates, num_qubits",
+    [
+        ([(0, 1)], 2),
+        ([(0, 1), (2, 3)], 4),
+        ([(0, 1), (1, 2)], 3),
+    ],
+)
+def test_smt_never_needs_more_rydberg_stages_than_structured(gates, num_qubits):
+    """The optimal backend is at least as good as the constructive one."""
+    layout = tiny_layout("bottom")
+    smt = SMTScheduler(layout, time_limit_per_instance=120).schedule(num_qubits, gates)
+    structured = StructuredScheduler(layout).schedule(num_qubits, gates)
+    assert smt.found
+    assert smt.schedule.num_rydberg_stages <= structured.num_rydberg_stages
+    assert smt.schedule.num_stages <= structured.num_stages

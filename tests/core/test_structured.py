@@ -1,0 +1,136 @@
+"""Tests for the constructive (structured) scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import (
+    bottom_storage_layout,
+    double_sided_storage_layout,
+    evaluation_layouts,
+    no_shielding_layout,
+)
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import validate_schedule
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+@pytest.mark.parametrize("layout_name", list(evaluation_layouts()))
+def test_all_codes_all_layouts_are_valid(code_name, layout_name):
+    """Every Table I cell yields a schedule accepted by the validator."""
+    architecture = evaluation_layouts()[layout_name]
+    code = get_code(code_name)
+    prep = state_preparation_circuit(code)
+    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    report = validate_schedule(
+        schedule, require_shielding=architecture.has_storage, raise_on_error=False
+    )
+    assert report.ok, report.errors[:5]
+    assert sorted(schedule.executed_gates) == sorted(prep.cz_gates)
+
+
+@pytest.mark.parametrize("code_name", ["steane", "surface", "honeycomb"])
+def test_shielding_on_zoned_layouts(code_name):
+    """No idle qubit is exposed to a beam on layouts with storage zones."""
+    code = get_code(code_name)
+    prep = state_preparation_circuit(code)
+    for architecture in (bottom_storage_layout(), double_sided_storage_layout()):
+        schedule = StructuredScheduler(architecture).schedule(
+            prep.num_qubits, prep.cz_gates
+        )
+        assert schedule.total_unshielded_idle() == 0
+
+
+def test_no_shielding_layout_exposes_idle_qubits():
+    code = get_code("steane")
+    prep = state_preparation_circuit(code)
+    schedule = StructuredScheduler(no_shielding_layout()).schedule(
+        prep.num_qubits, prep.cz_gates
+    )
+    assert schedule.total_unshielded_idle() > 0
+
+
+def test_transfer_stage_count_relation():
+    """The choreography uses between #R-1 and 2(#R-1) transfer stages."""
+    code = get_code("shor")
+    prep = state_preparation_circuit(code)
+    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
+        prep.num_qubits, prep.cz_gates
+    )
+    rydberg = schedule.num_rydberg_stages
+    assert rydberg - 1 <= schedule.num_transfer_stages <= 2 * (rydberg - 1)
+
+
+def test_rydberg_stage_lower_bound():
+    """#R is at least the chromatic-index lower bound (max qubit degree)."""
+    from repro.circuit.layers import minimum_layer_count
+
+    code = get_code("steane")
+    prep = state_preparation_circuit(code)
+    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
+        prep.num_qubits, prep.cz_gates
+    )
+    assert schedule.num_rydberg_stages >= minimum_layer_count(prep.cz_gates)
+
+
+def test_metadata_records_backend():
+    schedule = StructuredScheduler(bottom_storage_layout()).schedule(2, [(0, 1)])
+    assert schedule.metadata["backend"] == "structured"
+
+
+def test_invalid_gate_rejected():
+    scheduler = StructuredScheduler(bottom_storage_layout())
+    with pytest.raises(ValueError):
+        scheduler.schedule(2, [(0, 0)])
+    with pytest.raises(ValueError):
+        scheduler.schedule(2, [(0, 5)])
+
+
+def test_single_gate_schedule():
+    schedule = StructuredScheduler(bottom_storage_layout()).schedule(2, [(0, 1)])
+    validate_schedule(schedule)
+    assert schedule.num_rydberg_stages == 1
+    assert schedule.num_transfer_stages == 0
+
+
+def test_isolated_qubits_never_move():
+    """Qubits without gates stay at their home for the whole schedule."""
+    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
+        5, [(0, 1), (1, 2)]
+    )
+    validate_schedule(schedule)
+    trajectories = {
+        qubit: {stage.placements[qubit].site for stage in schedule.stages}
+        for qubit in (3, 4)
+    }
+    for sites in trajectories.values():
+        assert len(sites) == 1
+
+
+def test_too_many_qubits_for_architecture():
+    # The bottom-storage layout offers 16 storage homes + 1 airborne qubit.
+    scheduler = StructuredScheduler(bottom_storage_layout())
+    with pytest.raises(ValueError):
+        scheduler.schedule(18, [(0, 1)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_random_interaction_graphs_are_scheduled_validly(data):
+    """Random CZ lists on random layouts always produce valid schedules."""
+    num_qubits = data.draw(st.integers(min_value=2, max_value=10))
+    possible = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    gates = [edge for edge in possible if data.draw(st.booleans())]
+    if not gates:
+        gates = [possible[0]]
+    layout_factory = data.draw(
+        st.sampled_from([no_shielding_layout, bottom_storage_layout, double_sided_storage_layout])
+    )
+    architecture = layout_factory()
+    schedule = StructuredScheduler(architecture).schedule(num_qubits, gates)
+    report = validate_schedule(
+        schedule, require_shielding=architecture.has_storage, raise_on_error=False
+    )
+    assert report.ok, report.errors[:5]
+    assert sorted(schedule.executed_gates) == sorted(set(gates))

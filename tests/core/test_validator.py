@@ -1,0 +1,178 @@
+"""Tests for the independent schedule validator."""
+
+import pytest
+
+from repro.arch import bottom_storage_layout, no_shielding_layout
+from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import ValidationError, validate_schedule
+from repro.qec import steane_code
+from repro.qec.state_prep import state_preparation_circuit
+
+
+def valid_steane_schedule(architecture=None):
+    architecture = architecture or bottom_storage_layout()
+    prep = state_preparation_circuit(steane_code())
+    return (
+        StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates),
+        prep,
+    )
+
+
+def test_valid_schedule_passes():
+    schedule, _ = valid_steane_schedule()
+    report = validate_schedule(schedule)
+    assert report.ok
+
+
+def test_missing_gate_detected():
+    schedule, _ = valid_steane_schedule()
+    absent = next(
+        (a, b)
+        for a in range(7)
+        for b in range(a + 1, 7)
+        if (a, b) not in schedule.target_gates
+    )
+    schedule.target_gates.append(absent)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert not report.ok
+    assert any("never executed" in error for error in report.errors)
+
+
+def test_repeated_target_gate_detected():
+    schedule, _ = valid_steane_schedule()
+    schedule.target_gates.append(schedule.target_gates[0])
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert not report.ok
+    assert any("fewer times" in error for error in report.errors)
+
+
+def test_duplicate_gate_detected():
+    schedule, _ = valid_steane_schedule()
+    first_exec = next(stage for stage in schedule.stages if stage.is_execution)
+    first_exec.gates.append(first_exec.gates[0])
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert not report.ok
+
+
+def test_out_of_bounds_placement_detected():
+    schedule, _ = valid_steane_schedule()
+    stage = schedule.stages[0]
+    qubit = next(iter(stage.placements))
+    stage.placements[qubit] = stage.placements[qubit].moved_to(x=999)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("outside the architecture" in error for error in report.errors)
+
+
+def test_position_collision_detected():
+    schedule, _ = valid_steane_schedule()
+    stage = schedule.stages[0]
+    qubits = sorted(stage.placements)
+    stage.placements[qubits[0]] = stage.placements[qubits[1]]
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("share position" in error for error in report.errors)
+
+
+def test_slm_offset_detected():
+    schedule, _ = valid_steane_schedule()
+    stage = schedule.stages[0]
+    idle = schedule.idle_qubits(0)[0]
+    stage.placements[idle] = stage.placements[idle].moved_to(h=1)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("non-zero offset" in error for error in report.errors)
+
+
+def test_unshielded_idle_detected_on_zoned_layout():
+    schedule, _ = valid_steane_schedule()
+    stage = schedule.stages[0]
+    idle = schedule.idle_qubits(0)[0]
+    entangling_row = schedule.architecture.entangling_rows[0]
+    stage.placements[idle] = QubitPlacement(x=7, y=entangling_row)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("unshielded" in error for error in report.errors)
+    # The same schedule is accepted when shielding is not required.
+    relaxed = validate_schedule(schedule, require_shielding=False, raise_on_error=False)
+    assert not any("unshielded" in error for error in relaxed.errors)
+
+
+def test_unintended_interaction_detected():
+    schedule, _ = valid_steane_schedule()
+    stage = schedule.stages[0]
+    gate_qubit = stage.gates[0][0]
+    target = stage.placements[gate_qubit]
+    idle = schedule.idle_qubits(0)[0]
+    stage.placements[idle] = QubitPlacement(
+        x=target.x, y=target.y, h=target.h - 1, v=target.v, in_aod=True, column=5, row=5
+    )
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("would interact" in error for error in report.errors)
+
+
+def test_aod_order_violation_detected():
+    schedule, _ = valid_steane_schedule()
+    stage = schedule.stages[0]
+    aod = [q for q, p in stage.placements.items() if p.in_aod]
+    a, b = aod[0], aod[1]
+    pa, pb = stage.placements[a], stage.placements[b]
+    # Swap the column indices of two AOD qubits -> order contradiction.
+    stage.placements[a] = pa.moved_to(column=pb.column)
+    stage.placements[b] = pb.moved_to(column=pa.column)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("order" in error or "column" in error for error in report.errors)
+
+
+def test_trap_type_change_in_execution_stage_detected():
+    schedule, _ = valid_steane_schedule()
+    exec_index = next(
+        i
+        for i, stage in enumerate(schedule.stages[:-1])
+        if stage.is_execution
+    )
+    following = schedule.stages[exec_index + 1]
+    aod_qubit = next(q for q, p in schedule.stages[exec_index].placements.items() if p.in_aod)
+    placement = following.placements[aod_qubit]
+    following.placements[aod_qubit] = QubitPlacement(x=placement.x, y=placement.y)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert not report.ok
+
+
+def test_store_requires_site_centre():
+    schedule, _ = valid_steane_schedule()
+    transfer_index = next(
+        i for i, stage in enumerate(schedule.stages) if not stage.is_execution
+    )
+    stage = schedule.stages[transfer_index]
+    stored = stage.stored_qubits[0]
+    stage.placements[stored] = stage.placements[stored].moved_to(h=1)
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("centre" in error or "center" in error for error in report.errors)
+
+
+def test_transfer_marker_mismatch_detected():
+    schedule, _ = valid_steane_schedule()
+    transfer_index = next(
+        i for i, stage in enumerate(schedule.stages) if not stage.is_execution
+    )
+    schedule.stages[transfer_index].stored_qubits = []
+    report = validate_schedule(schedule, raise_on_error=False)
+    assert any("stored qubits" in error for error in report.errors)
+
+
+def test_raise_on_error():
+    schedule, _ = valid_steane_schedule()
+    schedule.target_gates.append(schedule.target_gates[0])
+    with pytest.raises(ValidationError):
+        validate_schedule(schedule)
+
+
+def test_empty_schedule_rejected():
+    report = validate_schedule(
+        Schedule(
+            architecture=no_shielding_layout(),
+            num_qubits=1,
+            stages=[],
+            target_gates=[],
+        ),
+        raise_on_error=False,
+    )
+    assert not report.ok

@@ -1,0 +1,88 @@
+"""Tests for the Table I / Figure 4 reproduction harness."""
+
+import pytest
+
+from repro.evaluation import (
+    figure4_from_rows,
+    format_figure4,
+    format_table1,
+    run_architecture_exploration,
+    run_table1,
+    run_table1_row,
+)
+from repro.evaluation.exploration import format_exploration
+from repro.evaluation.figure4 import BASELINE_LAYOUT
+
+
+@pytest.fixture(scope="module")
+def small_rows():
+    """Table I restricted to the three small codes (fast)."""
+    return run_table1(codes=["steane", "surface", "shor"])
+
+
+def test_row_structure(small_rows):
+    row = small_rows[0]
+    assert row.code == "steane"
+    assert row.num_cz_gates == 9
+    assert set(row.layouts) == {
+        "(1) No Shielding",
+        "(2) Bottom Storage",
+        "(3) Double-Sided Storage",
+    }
+    for result in row.layouts.values():
+        assert result.num_rydberg_stages > 0
+        assert result.execution_time_ms > 0
+        assert 0 < result.asp <= 1
+
+
+def test_shielding_improves_asp(small_rows):
+    for row in small_rows:
+        baseline = row.layouts[BASELINE_LAYOUT].asp
+        for name, result in row.layouts.items():
+            if name == BASELINE_LAYOUT:
+                continue
+            assert result.asp > baseline
+
+
+def test_unshielded_idle_only_on_layout1(small_rows):
+    for row in small_rows:
+        assert row.layouts[BASELINE_LAYOUT].unshielded_idle > 0
+        assert row.layouts["(2) Bottom Storage"].unshielded_idle == 0
+        assert row.layouts["(3) Double-Sided Storage"].unshielded_idle == 0
+
+
+def test_format_table1(small_rows):
+    text = format_table1(small_rows)
+    assert "Steane" in text
+    assert "No Shielding" in text
+    assert "ASP" in text
+
+
+def test_figure4_bars(small_rows):
+    bars = figure4_from_rows(small_rows)
+    # Two bars (layouts 2 and 3) per code.
+    assert len(bars) == 2 * len(small_rows)
+    assert all(bar.delta_asp > 0 for bar in bars)
+    text = format_figure4(bars)
+    assert "dASP" in text
+
+
+def test_figure4_requires_baseline(small_rows):
+    row = run_table1_row("steane")
+    del row.layouts[BASELINE_LAYOUT]
+    with pytest.raises(ValueError):
+        figure4_from_rows([row])
+
+
+def test_single_row_runner():
+    row = run_table1_row("shor")
+    assert row.num_qubits == 9
+    assert row.num_cz_gates > 0
+
+
+def test_exploration_runner():
+    results = run_architecture_exploration("steane")
+    names = {result.architecture for result in results}
+    assert {"no shielding", "bottom storage", "double-sided storage"} <= names
+    text = format_exploration(results)
+    assert "Architecture" in text

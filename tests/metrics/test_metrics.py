@@ -1,0 +1,121 @@
+"""Tests for the execution-time model and the ASP."""
+
+import math
+
+import pytest
+
+from repro.arch import bottom_storage_layout, no_shielding_layout
+from repro.core.structured import StructuredScheduler
+from repro.metrics import approximate_success_probability, execution_time
+from repro.qec import steane_code, get_code
+from repro.qec.state_prep import state_preparation_circuit
+
+
+@pytest.fixture(scope="module")
+def steane_setup():
+    code = steane_code()
+    prep = state_preparation_circuit(code)
+    architecture = bottom_storage_layout()
+    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    return prep, schedule
+
+
+def test_execution_time_breakdown(steane_setup):
+    prep, schedule = steane_setup
+    breakdown = execution_time(schedule, prep)
+    assert breakdown.rydberg_us == pytest.approx(
+        schedule.num_rydberg_stages * 0.27
+    )
+    # Every transfer stage in this schedule both stores and loads (two
+    # 200 us batches) except possibly boundary stages.
+    assert breakdown.transfer_us >= schedule.num_transfer_stages * 200.0
+    assert breakdown.shuttling_us > 0
+    assert breakdown.single_qubit_us > 0
+    assert breakdown.total_us == pytest.approx(
+        breakdown.rydberg_us
+        + breakdown.transfer_us
+        + breakdown.shuttling_us
+        + breakdown.single_qubit_us
+    )
+    assert breakdown.total_ms == pytest.approx(breakdown.total_us / 1000)
+    assert len(breakdown.per_stage_us) == schedule.num_stages
+
+
+def test_execution_time_without_circuit_excludes_single_qubit_part(steane_setup):
+    prep, schedule = steane_setup
+    with_circuit = execution_time(schedule, prep)
+    without_circuit = execution_time(schedule)
+    assert without_circuit.single_qubit_us == 0
+    assert without_circuit.total_us < with_circuit.total_us
+
+
+def test_asp_factors_multiply(steane_setup):
+    prep, schedule = steane_setup
+    breakdown = approximate_success_probability(schedule, prep)
+    assert breakdown.asp == pytest.approx(
+        breakdown.cz_factor
+        * breakdown.rydberg_idle_factor
+        * breakdown.single_qubit_factor
+        * breakdown.transfer_factor
+        * breakdown.decoherence_factor
+    )
+    assert 0 < breakdown.asp < 1
+
+
+def test_asp_cz_factor_matches_gate_count(steane_setup):
+    prep, schedule = steane_setup
+    breakdown = approximate_success_probability(schedule, prep)
+    assert breakdown.cz_factor == pytest.approx(0.995**prep.num_cz_gates)
+
+
+def test_asp_shielded_layout_has_no_rydberg_idle_penalty(steane_setup):
+    prep, schedule = steane_setup
+    breakdown = approximate_success_probability(schedule, prep)
+    assert breakdown.unshielded_idle_count == 0
+    assert breakdown.rydberg_idle_factor == pytest.approx(1.0)
+
+
+def test_asp_unshielded_layout_pays_idle_penalty():
+    code = get_code("steane")
+    prep = state_preparation_circuit(code)
+    architecture = no_shielding_layout()
+    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    breakdown = approximate_success_probability(schedule, prep)
+    assert breakdown.unshielded_idle_count > 0
+    assert breakdown.rydberg_idle_factor == pytest.approx(
+        0.998**breakdown.unshielded_idle_count
+    )
+
+
+def test_asp_transfer_factor(steane_setup):
+    prep, schedule = steane_setup
+    breakdown = approximate_success_probability(schedule, prep)
+    assert breakdown.transfer_factor == pytest.approx(
+        0.999**schedule.num_transfer_operations
+    )
+
+
+def test_asp_decoherence_factor_consistent_with_idle_time(steane_setup):
+    prep, schedule = steane_setup
+    breakdown = approximate_success_probability(schedule, prep)
+    assert breakdown.decoherence_factor == pytest.approx(
+        math.exp(-breakdown.idle_time_us / 1e6)
+    )
+    # The idle time is bounded by (num qubits) x (total time).
+    assert breakdown.idle_time_us <= prep.num_qubits * breakdown.timing.total_us
+
+
+def test_shielding_improves_asp_for_every_code():
+    """The paper's headline claim, checked per code on the metrics level."""
+    for code_name in ("steane", "hamming", "honeycomb"):
+        code = get_code(code_name)
+        prep = state_preparation_circuit(code)
+        shielded = StructuredScheduler(bottom_storage_layout()).schedule(
+            prep.num_qubits, prep.cz_gates
+        )
+        unshielded = StructuredScheduler(no_shielding_layout()).schedule(
+            prep.num_qubits, prep.cz_gates
+        )
+        asp_shielded = approximate_success_probability(shielded, prep).asp
+        asp_unshielded = approximate_success_probability(unshielded, prep).asp
+        assert asp_shielded > asp_unshielded

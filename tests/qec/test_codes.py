@@ -1,0 +1,192 @@
+"""Tests for the stabilizer-code types and the six evaluation codes."""
+
+import numpy as np
+import pytest
+
+from repro.qec import gf2
+from repro.qec.codes import (
+    available_codes,
+    get_code,
+    hamming_code,
+    honeycomb_code,
+    shor_code,
+    steane_code,
+    surface_code,
+    tetrahedral_code,
+)
+from repro.qec.pauli import PauliString
+from repro.qec.stabilizer_code import CSSCode, StabilizerCode
+
+
+# --------------------------------------------------------------------------- #
+# StabilizerCode basics
+# --------------------------------------------------------------------------- #
+def test_stabilizer_code_requires_commuting_generators():
+    with pytest.raises(ValueError):
+        StabilizerCode([PauliString.from_label("XI"), PauliString.from_label("ZI")])
+
+
+def test_stabilizer_code_requires_independent_generators():
+    with pytest.raises(ValueError):
+        StabilizerCode(
+            [
+                PauliString.from_label("XX"),
+                PauliString.from_label("XX"),
+            ]
+        )
+
+
+def test_stabilizer_code_requires_same_size():
+    with pytest.raises(ValueError):
+        StabilizerCode([PauliString.from_label("X"), PauliString.from_label("XX")])
+
+
+def test_stabilizer_code_parameters():
+    # Two-qubit phase-flip repetition code: stabilizer XX.
+    code = StabilizerCode([PauliString.from_label("XX")], name="repetition")
+    assert code.num_qubits == 2
+    assert code.num_logical_qubits == 1
+    assert code.parameters() == (2, 1, None)
+    assert "repetition" in repr(code)
+
+
+def test_css_requires_orthogonal_checks():
+    hx = np.array([[1, 1, 0]], dtype=np.uint8)
+    hz = np.array([[1, 0, 0]], dtype=np.uint8)
+    with pytest.raises(ValueError):
+        CSSCode(hx, hz)
+
+
+def test_css_drops_dependent_rows():
+    hx = np.array([[1, 1, 0, 0], [1, 1, 0, 0]], dtype=np.uint8)
+    hz = np.array([[0, 0, 1, 1]], dtype=np.uint8)
+    code = CSSCode(hx, hz)
+    assert code.num_qubits == 4
+    assert len(code.x_stabilizers) == 1
+
+
+# --------------------------------------------------------------------------- #
+# The six evaluation codes: parameters
+# --------------------------------------------------------------------------- #
+CODE_PARAMETERS = {
+    "steane": (7, 1, 3),
+    "surface": (9, 1, 3),
+    "shor": (9, 1, 3),
+    "hamming": (15, 7, 3),
+    "tetrahedral": (15, 1, 3),
+    "honeycomb": (17, 1, 5),
+}
+
+
+@pytest.mark.parametrize("name", list(CODE_PARAMETERS))
+def test_code_parameters(name):
+    code = get_code(name)
+    n, k, d = CODE_PARAMETERS[name]
+    assert code.num_qubits == n
+    assert code.num_logical_qubits == k
+    assert code.declared_distance == d
+
+
+@pytest.mark.parametrize("name", list(CODE_PARAMETERS))
+def test_stabilizers_commute_and_are_independent(name):
+    code = get_code(name)
+    stabilizers = code.stabilizers
+    for i, a in enumerate(stabilizers):
+        for b in stabilizers[i + 1 :]:
+            assert a.commutes_with(b)
+    matrix = np.vstack([s.symplectic for s in stabilizers])
+    assert gf2.rank(matrix) == len(stabilizers)
+
+
+@pytest.mark.parametrize("name", list(CODE_PARAMETERS))
+def test_logical_z_operators(name):
+    code = get_code(name)
+    logicals = code.logical_z_operators()
+    assert len(logicals) == code.num_logical_qubits
+    for logical in logicals:
+        # Logical operators commute with every stabilizer...
+        for stabilizer in code.stabilizers:
+            assert logical.commutes_with(stabilizer)
+        # ...and are not themselves stabilizers.
+        matrix = np.vstack([s.symplectic for s in code.stabilizers])
+        assert not gf2.row_space_contains(matrix, logical.symplectic)
+
+
+@pytest.mark.parametrize("name", list(CODE_PARAMETERS))
+def test_logical_x_anticommutes_with_logical_z(name):
+    code = get_code(name)
+    logical_x = code.logical_x_operators()
+    logical_z = code.logical_z_operators()
+    assert len(logical_x) == len(logical_z) == code.num_logical_qubits
+    # The anticommutation matrix between X and Z logicals must be
+    # non-degenerate (full rank), i.e. they genuinely span k logical qubits.
+    anticommutation = np.array(
+        [
+            [0 if x.commutes_with(z) else 1 for z in logical_z]
+            for x in logical_x
+        ],
+        dtype=np.uint8,
+    )
+    assert gf2.rank(anticommutation) == code.num_logical_qubits
+
+
+@pytest.mark.parametrize(
+    "factory, expected_distance",
+    [
+        (steane_code, 3),
+        (surface_code, 3),
+        (shor_code, 3),
+        (hamming_code, 3),
+        (tetrahedral_code, 3),
+    ],
+)
+def test_small_code_distances(factory, expected_distance):
+    code = factory()
+    assert code.compute_distance() == expected_distance
+
+
+def test_honeycomb_distance_is_five():
+    # Exhaustive over the 2^9 + 2^9 kernel elements; a few seconds.
+    code = honeycomb_code()
+    assert code.compute_distance() == 5
+
+
+def test_zero_state_stabilizer_count():
+    for name in available_codes():
+        code = get_code(name)
+        generators = code.zero_state_stabilizers()
+        assert len(generators) == code.num_qubits
+        for i, a in enumerate(generators):
+            for b in generators[i + 1 :]:
+                assert a.commutes_with(b)
+
+
+def test_get_code_unknown_name():
+    with pytest.raises(KeyError):
+        get_code("does-not-exist")
+
+
+def test_available_codes_order_matches_table1():
+    assert available_codes() == [
+        "steane",
+        "surface",
+        "shor",
+        "hamming",
+        "tetrahedral",
+        "honeycomb",
+    ]
+
+
+def test_steane_is_self_dual():
+    code = steane_code()
+    assert np.array_equal(code.hx, code.hz)
+
+
+def test_shor_block_structure():
+    code = shor_code()
+    assert len(code.x_stabilizers) == 2
+    assert len(code.z_stabilizers) == 6
+    for stabilizer in code.x_stabilizers:
+        assert stabilizer.weight == 6
+    for stabilizer in code.z_stabilizers:
+        assert stabilizer.weight == 2

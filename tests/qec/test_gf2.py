@@ -1,0 +1,122 @@
+"""Tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qec import gf2
+
+
+def random_matrix_strategy(max_dim=6):
+    return st.integers(min_value=1, max_value=max_dim).flatmap(
+        lambda rows: st.integers(min_value=1, max_value=max_dim).flatmap(
+            lambda cols: st.lists(
+                st.lists(st.integers(min_value=0, max_value=1), min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+    )
+
+
+def test_rref_identity():
+    eye = np.eye(3, dtype=np.uint8)
+    reduced, pivots = gf2.rref(eye)
+    assert np.array_equal(reduced, eye)
+    assert pivots == [0, 1, 2]
+
+
+def test_rref_dependent_rows():
+    matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+    _, pivots = gf2.rref(matrix)
+    assert len(pivots) == 2
+
+
+def test_rank():
+    assert gf2.rank(np.zeros((3, 4))) == 0
+    assert gf2.rank(np.eye(4)) == 4
+    assert gf2.rank(np.array([[1, 0, 1], [1, 0, 1]])) == 1
+
+
+def test_rank_empty():
+    assert gf2.rank(np.zeros((0, 5))) == 0
+
+
+def test_nullspace_orthogonality():
+    matrix = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=np.uint8)
+    kernel = gf2.nullspace(matrix)
+    assert kernel.shape[0] == 2
+    assert not ((matrix @ kernel.T) % 2).any()
+
+
+def test_nullspace_full_rank_square():
+    kernel = gf2.nullspace(np.eye(3, dtype=np.uint8))
+    assert kernel.shape[0] == 0
+
+
+def test_row_space_contains():
+    matrix = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+    assert gf2.row_space_contains(matrix, [1, 0, 1])
+    assert gf2.row_space_contains(matrix, [0, 0, 0])
+    assert not gf2.row_space_contains(matrix, [1, 0, 0])
+
+
+def test_solve_simple():
+    matrix = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+    rhs = np.array([1, 0, 1], dtype=np.uint8)
+    solution = gf2.solve(matrix, rhs)
+    assert solution is not None
+    assert np.array_equal((solution @ matrix) % 2, rhs)
+
+
+def test_solve_infeasible():
+    matrix = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+    assert gf2.solve(matrix, np.array([1, 0, 0], dtype=np.uint8)) is None
+
+
+def test_solve_dimension_mismatch():
+    with pytest.raises(ValueError):
+        gf2.solve(np.eye(2, dtype=np.uint8), np.array([1, 0, 0], dtype=np.uint8))
+
+
+def test_independent_rows():
+    matrix = np.array([[1, 1, 0], [1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+    independent = gf2.independent_rows(matrix)
+    assert independent.shape == (2, 3)
+    assert gf2.rank(independent) == 2
+
+
+def test_independent_rows_all_zero():
+    result = gf2.independent_rows(np.zeros((3, 4), dtype=np.uint8))
+    assert result.shape == (0, 4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_matrix_strategy())
+def test_property_rank_nullity(matrix_rows):
+    matrix = np.array(matrix_rows, dtype=np.uint8)
+    kernel = gf2.nullspace(matrix)
+    # Rank-nullity theorem over GF(2).
+    assert gf2.rank(matrix) + kernel.shape[0] == matrix.shape[1]
+    if kernel.size:
+        assert not ((matrix @ kernel.T) % 2).any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_matrix_strategy(), st.data())
+def test_property_solve_roundtrip(matrix_rows, data):
+    matrix = np.array(matrix_rows, dtype=np.uint8)
+    coeffs = np.array(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1),
+                min_size=matrix.shape[0],
+                max_size=matrix.shape[0],
+            )
+        ),
+        dtype=np.uint8,
+    )
+    rhs = (coeffs @ matrix) % 2
+    solution = gf2.solve(matrix, rhs)
+    assert solution is not None
+    assert np.array_equal((solution @ matrix) % 2, rhs)

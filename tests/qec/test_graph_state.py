@@ -1,0 +1,207 @@
+"""Tests for the graph-state reduction and state-preparation circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import GateKind
+from repro.qec.codes import available_codes, get_code, steane_code
+from repro.qec.graph_state import stabilizer_state_to_graph_state
+from repro.qec.pauli import PauliString
+from repro.qec.state_prep import state_preparation_circuit
+from repro.qec.verification import prepares_logical_zero, stabilized_violations
+from repro.simulator.tableau import TableauSimulator
+
+
+# --------------------------------------------------------------------------- #
+# Direct graph-state reductions
+# --------------------------------------------------------------------------- #
+def test_plus_states_give_empty_graph():
+    # |+>^3 is stabilized by X_i; it already is the empty graph state.
+    generators = [PauliString.from_support(3, "X", [i]) for i in range(3)]
+    result = stabilizer_state_to_graph_state(generators)
+    assert result.edges == []
+    assert result.local_corrections == {}
+
+
+def test_zero_states_give_hadamards():
+    # |0>^2 is stabilized by Z_i: graph is empty, every qubit needs an H.
+    generators = [PauliString.from_support(2, "Z", [i]) for i in range(2)]
+    result = stabilizer_state_to_graph_state(generators)
+    assert result.edges == []
+    assert set(result.hadamard_qubits) == {0, 1}
+
+
+def test_bell_state_reduction():
+    # Bell state stabilized by XX and ZZ -> a single edge plus one Hadamard.
+    generators = [PauliString.from_label("XX"), PauliString.from_label("ZZ")]
+    result = stabilizer_state_to_graph_state(generators)
+    assert len(result.edges) == 1
+    circuit = _expand(result)
+    simulator = TableauSimulator(2)
+    simulator.run_circuit(circuit)
+    assert simulator.is_stabilized_by(PauliString.from_label("XX"))
+    assert simulator.is_stabilized_by(PauliString.from_label("ZZ"))
+
+
+def test_ghz_state_reduction():
+    generators = [
+        PauliString.from_label("XXX"),
+        PauliString.from_label("ZZI"),
+        PauliString.from_label("IZZ"),
+    ]
+    result = stabilizer_state_to_graph_state(generators)
+    circuit = _expand(result)
+    simulator = TableauSimulator(3)
+    simulator.run_circuit(circuit)
+    for generator in generators:
+        assert simulator.is_stabilized_by(generator)
+
+
+def test_negative_sign_generators_are_honoured():
+    # The state -ZZ, XX is the odd Bell state |01>+|10> (up to normalisation).
+    minus_zz = PauliString.from_label("ZZ", phase=2)
+    generators = [PauliString.from_label("XX"), minus_zz]
+    result = stabilizer_state_to_graph_state(generators)
+    circuit = _expand(result)
+    simulator = TableauSimulator(2)
+    simulator.run_circuit(circuit)
+    assert simulator.is_stabilized_by(minus_zz)
+    assert not simulator.is_stabilized_by(PauliString.from_label("ZZ"))
+
+
+def test_y_type_generator_needs_phase_correction():
+    # Single-qubit state stabilized by Y: needs an S-type correction.
+    generators = [PauliString.from_label("Y")]
+    result = stabilizer_state_to_graph_state(generators)
+    circuit = _expand(result)
+    simulator = TableauSimulator(1)
+    simulator.run_circuit(circuit)
+    assert simulator.is_stabilized_by(PauliString.from_label("Y"))
+
+
+def test_wrong_generator_count_rejected():
+    with pytest.raises(ValueError):
+        stabilizer_state_to_graph_state([PauliString.from_label("XX")])
+
+
+def test_noncommuting_generators_rejected():
+    with pytest.raises(ValueError):
+        stabilizer_state_to_graph_state(
+            [PauliString.from_label("XI"), PauliString.from_label("ZI")]
+        )
+
+
+def test_dependent_generators_rejected():
+    with pytest.raises(ValueError):
+        stabilizer_state_to_graph_state(
+            [
+                PauliString.from_label("XX"),
+                PauliString.from_label("XX"),
+            ]
+        )
+
+
+def test_adjacency_matrix_is_symmetric():
+    code = steane_code()
+    result = stabilizer_state_to_graph_state(code.zero_state_stabilizers())
+    adjacency = result.adjacency_matrix()
+    assert np.array_equal(adjacency, adjacency.T)
+    assert not adjacency.diagonal().any()
+    assert adjacency.sum() == 2 * result.num_cz_gates
+
+
+def _expand(decomposition):
+    """Expand a GraphStateDecomposition into a flat circuit."""
+    from repro.circuit.state_prep_circuit import StatePrepCircuit
+
+    return StatePrepCircuit(
+        num_qubits=decomposition.num_qubits,
+        cz_gates=list(decomposition.edges),
+        local_corrections=dict(decomposition.local_corrections),
+    ).to_circuit()
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end state preparation for the evaluation codes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", available_codes())
+def test_state_prep_prepares_logical_zero(name):
+    code = get_code(name)
+    prep = state_preparation_circuit(code)
+    assert prepares_logical_zero(prep, code), stabilized_violations(prep, code)
+
+
+@pytest.mark.parametrize("name", available_codes())
+def test_state_prep_structure(name):
+    code = get_code(name)
+    prep = state_preparation_circuit(code)
+    assert prep.num_qubits == code.num_qubits
+    assert prep.num_cz_gates > 0
+    # Every CZ operand is a valid qubit and no self-loops exist.
+    for a, b in prep.cz_gates:
+        assert 0 <= a < b < code.num_qubits
+
+
+def test_steane_cz_count_matches_paper():
+    # Table I reports 9 CZ gates for the Steane code.
+    prep = state_preparation_circuit(steane_code())
+    assert prep.num_cz_gates == 9
+
+
+@pytest.mark.parametrize(
+    "name, paper_count, tolerance",
+    [
+        ("steane", 9, 0),
+        ("surface", 8, 2),
+        ("shor", 10, 2),
+        ("hamming", 28, 2),
+        ("tetrahedral", 28, 2),
+    ],
+)
+def test_cz_counts_close_to_paper(name, paper_count, tolerance):
+    """Graph-state extraction is not unique, so allow a small deviation."""
+    prep = state_preparation_circuit(get_code(name))
+    assert abs(prep.num_cz_gates - paper_count) <= tolerance
+
+
+def test_corrupted_circuit_fails_verification():
+    code = steane_code()
+    prep = state_preparation_circuit(code)
+    # Drop one CZ gate: the state is no longer the logical zero.
+    broken = prep.to_circuit()
+    from repro.circuit.circuit import Circuit
+
+    gates = [g for g in broken.gates]
+    removed = next(i for i, g in enumerate(gates) if g.kind is GateKind.CZ)
+    corrupted = Circuit(broken.num_qubits, gates[:removed] + gates[removed + 1 :])
+    assert not prepares_logical_zero(corrupted, code)
+    assert stabilized_violations(corrupted, code)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_property_random_graph_states_roundtrip(data):
+    """Building a random graph state and reducing its stabilizers recovers
+    a circuit that prepares the same state."""
+    n = data.draw(st.integers(min_value=2, max_value=5))
+    possible_edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    edges = [e for e in possible_edges if data.draw(st.booleans())]
+    # Stabilizers of the graph state: K_i = X_i prod_{j in N(i)} Z_j.
+    generators = []
+    for i in range(n):
+        x = np.zeros(n, dtype=np.uint8)
+        z = np.zeros(n, dtype=np.uint8)
+        x[i] = 1
+        for a, b in edges:
+            if a == i:
+                z[b] = 1
+            elif b == i:
+                z[a] = 1
+        generators.append(PauliString(x, z))
+    result = stabilizer_state_to_graph_state(generators)
+    circuit = _expand(result)
+    simulator = TableauSimulator(n)
+    simulator.run_circuit(circuit)
+    for generator in generators:
+        assert simulator.is_stabilized_by(generator)

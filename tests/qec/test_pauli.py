@@ -1,0 +1,220 @@
+"""Tests for Pauli-string algebra and Clifford conjugation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qec.pauli import PauliString
+
+
+def pauli_strategy(num_qubits=4):
+    return st.tuples(
+        st.lists(st.integers(0, 1), min_size=num_qubits, max_size=num_qubits),
+        st.lists(st.integers(0, 1), min_size=num_qubits, max_size=num_qubits),
+        st.integers(0, 3),
+    ).map(lambda t: PauliString(np.array(t[0]), np.array(t[1]), t[2]))
+
+
+# --------------------------------------------------------------------------- #
+# Construction and representation
+# --------------------------------------------------------------------------- #
+def test_identity():
+    identity = PauliString.identity(3)
+    assert identity.weight == 0
+    assert identity.is_identity()
+    assert identity.to_label() == "+III"
+
+
+def test_from_label_roundtrip():
+    pauli = PauliString.from_label("XZIY")
+    assert pauli.to_label() == "+XZIY"
+    assert pauli.weight == 3
+    assert pauli.support == [0, 1, 3]
+
+
+def test_from_label_invalid_character():
+    with pytest.raises(ValueError):
+        PauliString.from_label("XQ")
+
+
+def test_from_support():
+    pauli = PauliString.from_support(5, "Z", [1, 3])
+    assert pauli.to_label() == "+IZIZI"
+    with pytest.raises(ValueError):
+        PauliString.from_support(5, "Q", [0])
+    with pytest.raises(ValueError):
+        PauliString.from_support(5, "X", [7])
+
+
+def test_mismatched_xz_lengths_rejected():
+    with pytest.raises(ValueError):
+        PauliString(np.array([1, 0]), np.array([1]))
+
+
+def test_symplectic_vector():
+    pauli = PauliString.from_label("XZ")
+    assert np.array_equal(pauli.symplectic, [1, 0, 0, 1])
+
+
+# --------------------------------------------------------------------------- #
+# Multiplication and commutation
+# --------------------------------------------------------------------------- #
+def test_multiplication_xz():
+    x = PauliString.from_label("X")
+    z = PauliString.from_label("Z")
+    xz = x * z
+    # X * Z = -i Y.
+    assert xz.to_label() == "-iY"
+    zx = z * x
+    assert zx.to_label() == "+iY"
+
+
+def test_multiplication_inverse():
+    pauli = PauliString.from_label("XYZ")
+    product = pauli * pauli
+    assert product.is_identity()
+    assert product.phase == 0
+
+
+def test_commutation_single_qubit():
+    x = PauliString.from_label("X")
+    z = PauliString.from_label("Z")
+    y = PauliString.from_label("Y")
+    assert not x.commutes_with(z)
+    assert not x.commutes_with(y)
+    assert x.commutes_with(x)
+
+
+def test_commutation_multi_qubit():
+    a = PauliString.from_label("XX")
+    b = PauliString.from_label("ZZ")
+    assert a.commutes_with(b)
+    c = PauliString.from_label("ZI")
+    assert not a.commutes_with(c)
+
+
+def test_size_mismatch_raises():
+    with pytest.raises(ValueError):
+        PauliString.from_label("X") * PauliString.from_label("XX")
+    with pytest.raises(ValueError):
+        PauliString.from_label("X").commutes_with(PauliString.from_label("XX"))
+
+
+def test_equality_and_hash():
+    a = PauliString.from_label("XZ")
+    b = PauliString.from_label("XZ")
+    c = PauliString.from_label("ZX")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a != "XZ"
+
+
+# --------------------------------------------------------------------------- #
+# Clifford conjugation
+# --------------------------------------------------------------------------- #
+def test_hadamard_conjugation():
+    pauli = PauliString.from_label("X")
+    pauli.apply_h(0)
+    assert pauli.to_label() == "+Z"
+    pauli = PauliString.from_label("Y")
+    pauli.apply_h(0)
+    assert pauli.to_label() == "-Y"
+
+
+def test_s_conjugation():
+    pauli = PauliString.from_label("X")
+    pauli.apply_s(0)
+    assert pauli.to_label() == "+Y"
+    pauli.apply_s(0)
+    assert pauli.to_label() == "-X"
+    pauli = PauliString.from_label("Z")
+    pauli.apply_s(0)
+    assert pauli.to_label() == "+Z"
+
+
+def test_sdg_is_inverse_of_s():
+    pauli = PauliString.from_label("Y")
+    pauli.apply_s(0)
+    pauli.apply_sdg(0)
+    assert pauli.to_label() == "+Y"
+
+
+def test_pauli_conjugation():
+    pauli = PauliString.from_label("X")
+    pauli.apply_z(0)
+    assert pauli.to_label() == "-X"
+    pauli.apply_x(0)
+    assert pauli.to_label() == "-X"
+    pauli = PauliString.from_label("Z")
+    pauli.apply_x(0)
+    assert pauli.to_label() == "-Z"
+
+
+def test_cz_conjugation():
+    pauli = PauliString.from_label("XI")
+    pauli.apply_cz(0, 1)
+    assert pauli.to_label() == "+XZ"
+    pauli = PauliString.from_label("XX")
+    pauli.apply_cz(0, 1)
+    assert pauli.to_label() == "+YY"
+    pauli = PauliString.from_label("ZZ")
+    pauli.apply_cz(0, 1)
+    assert pauli.to_label() == "+ZZ"
+
+
+def test_cx_conjugation():
+    pauli = PauliString.from_label("XI")
+    pauli.apply_cx(0, 1)
+    assert pauli.to_label() == "+XX"
+    pauli = PauliString.from_label("IZ")
+    pauli.apply_cx(0, 1)
+    assert pauli.to_label() == "+ZZ"
+    pauli = PauliString.from_label("ZI")
+    pauli.apply_cx(0, 1)
+    assert pauli.to_label() == "+ZI"
+
+
+@settings(max_examples=80, deadline=None)
+@given(pauli_strategy(), pauli_strategy())
+def test_property_commutation_symmetry(a, b):
+    assert a.commutes_with(b) == b.commutes_with(a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pauli_strategy(), pauli_strategy())
+def test_property_product_commutation_consistency(a, b):
+    """a*b = ±(b*a); + exactly when the operators commute."""
+    ab = a * b
+    ba = b * a
+    assert np.array_equal(ab.x, ba.x)
+    assert np.array_equal(ab.z, ba.z)
+    if a.commutes_with(b):
+        assert ab.phase == ba.phase
+    else:
+        assert (ab.phase - ba.phase) % 4 == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(pauli_strategy())
+def test_property_clifford_conjugation_preserves_weight_parity_relations(pauli):
+    """Conjugating twice by H or by S/S† returns the original operator."""
+    original = pauli.copy()
+    pauli.apply_h(0)
+    pauli.apply_h(0)
+    assert pauli == original
+    pauli.apply_s(1)
+    pauli.apply_sdg(1)
+    assert pauli == original
+
+
+@settings(max_examples=60, deadline=None)
+@given(pauli_strategy(), pauli_strategy())
+def test_property_conjugation_is_homomorphism(a, b):
+    """U(ab)U† = (UaU†)(UbU†) for U = H_0, CZ_{1,2}."""
+    product = a * b
+    a_conj, b_conj, product_conj = a.copy(), b.copy(), product.copy()
+    for operator in (a_conj, b_conj, product_conj):
+        operator.apply_h(0)
+        operator.apply_cz(1, 2)
+    assert (a_conj * b_conj) == product_conj

@@ -1,0 +1,96 @@
+"""Tests for the CNF container and DIMACS serialisation."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+def test_empty_formula():
+    cnf = CNF()
+    assert cnf.num_vars == 0
+    assert cnf.num_clauses == 0
+    assert cnf.evaluate({})
+
+
+def test_add_clause_tracks_variables():
+    cnf = CNF()
+    cnf.add_clause([1, -3])
+    assert cnf.num_vars == 3
+    assert cnf.num_clauses == 1
+    assert cnf.clauses[0] == (1, -3)
+
+
+def test_duplicate_literals_are_removed():
+    cnf = CNF()
+    cnf.add_clause([2, 2, -1])
+    assert cnf.clauses[0] == (2, -1)
+
+
+def test_tautologies_are_dropped():
+    cnf = CNF()
+    cnf.add_clause([1, -1, 2])
+    assert cnf.num_clauses == 0
+
+
+def test_zero_literal_rejected():
+    cnf = CNF()
+    with pytest.raises(ValueError):
+        cnf.add_clause([1, 0])
+
+
+def test_non_integer_literal_rejected():
+    cnf = CNF()
+    with pytest.raises(TypeError):
+        cnf.add_clause([1, "2"])
+
+
+def test_new_var_increments():
+    cnf = CNF(num_vars=3)
+    assert cnf.new_var() == 4
+    assert cnf.new_var() == 5
+
+
+def test_negative_num_vars_rejected():
+    with pytest.raises(ValueError):
+        CNF(num_vars=-1)
+
+
+def test_evaluate():
+    cnf = CNF([[1, 2], [-1, 3]])
+    assert cnf.evaluate({1: True, 2: False, 3: True})
+    assert not cnf.evaluate({1: True, 2: False, 3: False})
+    assert cnf.evaluate({1: False, 2: True, 3: False})
+
+
+def test_dimacs_roundtrip():
+    cnf = CNF([[1, -2, 3], [-1], [2, 3]])
+    text = cnf.to_dimacs()
+    assert text.startswith("p cnf 3 3")
+    parsed = CNF.from_dimacs(text)
+    assert parsed.num_vars == cnf.num_vars
+    assert parsed.clauses == cnf.clauses
+
+
+def test_dimacs_parse_with_comments_and_blank_lines():
+    text = """
+c a comment
+p cnf 4 2
+1 -2 0
+c another comment
+
+3 4 0
+"""
+    cnf = CNF.from_dimacs(text)
+    assert cnf.num_vars == 4
+    assert cnf.clauses == ((1, -2), (3, 4))
+
+
+def test_dimacs_malformed_problem_line():
+    with pytest.raises(ValueError):
+        CNF.from_dimacs("p dnf 3 1\n1 0\n")
+
+
+def test_extend():
+    cnf = CNF()
+    cnf.extend([[1], [2, -3]])
+    assert cnf.num_clauses == 2

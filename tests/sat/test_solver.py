@@ -1,0 +1,243 @@
+"""Tests for the CDCL SAT solver, including randomised cross-checks against
+a brute-force model enumerator."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, CDCLSolver, SolveResult
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    """Check satisfiability by enumerating all assignments (small formulas)."""
+    n = cnf.num_vars
+    for bits in itertools.product([False, True], repeat=n):
+        assignment = {i + 1: bits[i] for i in range(n)}
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+def solve_cnf(cnf: CNF) -> tuple[SolveResult, dict]:
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    result = solver.solve()
+    model = solver.model() if result is SolveResult.SAT else {}
+    return result, model
+
+
+def test_empty_formula_is_sat():
+    solver = CDCLSolver()
+    assert solver.solve() is SolveResult.SAT
+
+
+def test_single_unit_clause():
+    solver = CDCLSolver()
+    v = solver.new_var()
+    solver.add_clause([v])
+    assert solver.solve() is SolveResult.SAT
+    assert solver.model()[v] is True
+
+
+def test_conflicting_units_unsat():
+    solver = CDCLSolver()
+    v = solver.new_var()
+    solver.add_clause([v])
+    solver.add_clause([-v])
+    assert solver.solve() is SolveResult.UNSAT
+
+
+def test_simple_implication_chain():
+    solver = CDCLSolver()
+    a, b, c = (solver.new_var() for _ in range(3))
+    solver.add_clause([-a, b])
+    solver.add_clause([-b, c])
+    solver.add_clause([a])
+    assert solver.solve() is SolveResult.SAT
+    model = solver.model()
+    assert model[a] and model[b] and model[c]
+
+
+def test_pigeonhole_3_into_2_is_unsat():
+    # 3 pigeons, 2 holes: variables p[i][j] = pigeon i in hole j.
+    solver = CDCLSolver()
+    var = {}
+    for i in range(3):
+        for j in range(2):
+            var[i, j] = solver.new_var()
+    for i in range(3):
+        solver.add_clause([var[i, 0], var[i, 1]])
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                solver.add_clause([-var[i1, j], -var[i2, j]])
+    assert solver.solve() is SolveResult.UNSAT
+
+
+def test_pigeonhole_4_into_3_is_unsat():
+    solver = CDCLSolver()
+    var = {}
+    pigeons, holes = 4, 3
+    for i in range(pigeons):
+        for j in range(holes):
+            var[i, j] = solver.new_var()
+    for i in range(pigeons):
+        solver.add_clause([var[i, j] for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                solver.add_clause([-var[i1, j], -var[i2, j]])
+    assert solver.solve() is SolveResult.UNSAT
+
+
+def test_graph_coloring_sat():
+    # A 4-cycle is 2-colourable.
+    solver = CDCLSolver()
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    color = {}
+    for node in range(4):
+        for c in range(2):
+            color[node, c] = solver.new_var()
+        solver.add_clause([color[node, 0], color[node, 1]])
+        solver.add_clause([-color[node, 0], -color[node, 1]])
+    for u, v in edges:
+        for c in range(2):
+            solver.add_clause([-color[u, c], -color[v, c]])
+    assert solver.solve() is SolveResult.SAT
+
+
+def test_odd_cycle_not_two_colorable():
+    solver = CDCLSolver()
+    edges = [(0, 1), (1, 2), (2, 0)]
+    color = {}
+    for node in range(3):
+        for c in range(2):
+            color[node, c] = solver.new_var()
+        solver.add_clause([color[node, 0], color[node, 1]])
+        solver.add_clause([-color[node, 0], -color[node, 1]])
+    for u, v in edges:
+        for c in range(2):
+            solver.add_clause([-color[u, c], -color[v, c]])
+    assert solver.solve() is SolveResult.UNSAT
+
+
+def test_model_satisfies_formula():
+    random.seed(7)
+    cnf = CNF()
+    n_vars = 12
+    for _ in range(40):
+        clause = random.sample(range(1, n_vars + 1), 3)
+        cnf.add_clause([lit if random.random() < 0.5 else -lit for lit in clause])
+    result, model = solve_cnf(cnf)
+    if result is SolveResult.SAT:
+        assert cnf.evaluate(model)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_3sat_agrees_with_brute_force(seed):
+    rng = random.Random(seed)
+    n_vars = rng.randint(4, 9)
+    n_clauses = rng.randint(2, int(4.5 * n_vars))
+    cnf = CNF(num_vars=n_vars)
+    for _ in range(n_clauses):
+        size = rng.randint(1, 3)
+        variables = rng.sample(range(1, n_vars + 1), size)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    expected = brute_force_satisfiable(cnf)
+    result, model = solve_cnf(cnf)
+    assert result is not SolveResult.UNKNOWN
+    assert (result is SolveResult.SAT) == expected
+    if result is SolveResult.SAT:
+        assert cnf.evaluate(model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_property_random_formulas(data):
+    n_vars = data.draw(st.integers(min_value=2, max_value=7))
+    n_clauses = data.draw(st.integers(min_value=1, max_value=20))
+    clauses = []
+    for _ in range(n_clauses):
+        size = data.draw(st.integers(min_value=1, max_value=3))
+        clause = []
+        for _ in range(size):
+            var = data.draw(st.integers(min_value=1, max_value=n_vars))
+            sign = data.draw(st.booleans())
+            clause.append(var if sign else -var)
+        clauses.append(clause)
+    cnf = CNF(clauses, num_vars=n_vars)
+    expected = brute_force_satisfiable(cnf)
+    result, model = solve_cnf(cnf)
+    assert (result is SolveResult.SAT) == expected
+    if result is SolveResult.SAT:
+        assert cnf.evaluate(model)
+
+
+def test_solve_under_assumptions():
+    solver = CDCLSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    assert solver.solve(assumptions=[-a]) is SolveResult.SAT
+    assert solver.model()[b] is True
+    assert solver.solve(assumptions=[-a, -b]) is SolveResult.UNSAT
+    # The formula itself stays satisfiable after an UNSAT assumption query.
+    assert solver.solve() is SolveResult.SAT
+
+
+def test_incremental_clause_addition():
+    solver = CDCLSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    assert solver.solve() is SolveResult.SAT
+    solver.add_clause([-a])
+    assert solver.solve() is SolveResult.SAT
+    assert solver.model()[b] is True
+    solver.add_clause([-b])
+    assert solver.solve() is SolveResult.UNSAT
+
+
+def test_conflict_limit_returns_unknown():
+    # A hard instance with a conflict budget of 1 should give up.
+    solver = CDCLSolver()
+    var = {}
+    pigeons, holes = 6, 5
+    for i in range(pigeons):
+        for j in range(holes):
+            var[i, j] = solver.new_var()
+    for i in range(pigeons):
+        solver.add_clause([var[i, j] for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                solver.add_clause([-var[i1, j], -var[i2, j]])
+    result = solver.solve(max_conflicts=1)
+    assert result in (SolveResult.UNKNOWN, SolveResult.UNSAT)
+
+
+def test_statistics_are_collected():
+    solver = CDCLSolver()
+    a, b, c = (solver.new_var() for _ in range(3))
+    solver.add_clause([a, b, c])
+    solver.add_clause([-a, b])
+    solver.add_clause([-b, c])
+    solver.add_clause([-c, -a])
+    solver.solve()
+    stats = solver.stats.as_dict()
+    assert stats["propagations"] >= 0
+    assert "conflicts" in stats
+
+
+def test_model_before_solve_raises():
+    solver = CDCLSolver()
+    solver.new_var()
+    with pytest.raises(RuntimeError):
+        solver.model()
+
+
+def test_add_cnf_bulk():
+    cnf = CNF([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    assert solver.solve() is SolveResult.UNSAT

@@ -1,0 +1,130 @@
+"""Tests for the Tseitin gate encoder."""
+
+import itertools
+
+import pytest
+
+from repro.sat import CNF, CDCLSolver, SolveResult, TseitinEncoder
+
+
+def all_models(solver_factory, n_inputs):
+    """Yield all combinations of input truth values."""
+    return itertools.product([False, True], repeat=n_inputs)
+
+
+def check_gate(gate_builder, reference, n_inputs):
+    """Verify that a Tseitin gate matches its truth-table *reference*.
+
+    For every input combination the gate output is forced to both
+    polarities; exactly the polarity agreeing with the reference function
+    must be satisfiable.
+    """
+    for bits in itertools.product([False, True], repeat=n_inputs):
+        for forced in (True, False):
+            solver = CDCLSolver()
+            enc = TseitinEncoder(solver)
+            inputs = [solver.new_var() for _ in range(n_inputs)]
+            out = gate_builder(enc, inputs)
+            for var, value in zip(inputs, bits):
+                solver.add_clause([var if value else -var])
+            solver.add_clause([out if forced else -out])
+            result = solver.solve()
+            expected = reference(*bits) == forced
+            assert (result is SolveResult.SAT) == expected, (bits, forced)
+
+
+def test_and_gate_truth_table():
+    check_gate(lambda enc, ins: enc.AND(ins), lambda a, b: a and b, 2)
+
+
+def test_and_gate_three_inputs():
+    check_gate(lambda enc, ins: enc.AND(ins), lambda a, b, c: a and b and c, 3)
+
+
+def test_or_gate_truth_table():
+    check_gate(lambda enc, ins: enc.OR(ins), lambda a, b: a or b, 2)
+
+
+def test_xor_gate_truth_table():
+    check_gate(lambda enc, ins: enc.XOR(ins[0], ins[1]), lambda a, b: a != b, 2)
+
+
+def test_iff_gate_truth_table():
+    check_gate(lambda enc, ins: enc.IFF(ins[0], ins[1]), lambda a, b: a == b, 2)
+
+
+def test_implies_gate_truth_table():
+    check_gate(
+        lambda enc, ins: enc.IMPLIES(ins[0], ins[1]), lambda a, b: (not a) or b, 2
+    )
+
+
+def test_ite_gate_truth_table():
+    check_gate(
+        lambda enc, ins: enc.ITE(ins[0], ins[1], ins[2]),
+        lambda c, t, e: t if c else e,
+        3,
+    )
+
+
+def test_not_gate():
+    cnf = CNF()
+    enc = TseitinEncoder(cnf)
+    v = cnf.new_var()
+    assert enc.NOT(v) == -v
+    assert enc.NOT(-v) == v
+
+
+def test_constant_literals():
+    solver = CDCLSolver()
+    enc = TseitinEncoder(solver)
+    t = enc.true_literal()
+    f = enc.false_literal()
+    assert f == -t
+    solver.add_clause([t])
+    assert solver.solve() is SolveResult.SAT
+    assert solver.model()[abs(t)] is True
+
+
+def test_and_with_empty_input_is_true():
+    solver = CDCLSolver()
+    enc = TseitinEncoder(solver)
+    out = enc.AND([])
+    solver.add_clause([out])
+    assert solver.solve() is SolveResult.SAT
+
+
+def test_and_with_contradictory_inputs_is_false():
+    solver = CDCLSolver()
+    enc = TseitinEncoder(solver)
+    v = solver.new_var()
+    out = enc.AND([v, -v])
+    solver.add_clause([out])
+    assert solver.solve() is SolveResult.UNSAT
+
+
+def test_gate_caching_reuses_output():
+    cnf = CNF()
+    enc = TseitinEncoder(cnf)
+    a, b = cnf.new_var(), cnf.new_var()
+    out1 = enc.AND([a, b])
+    out2 = enc.AND([b, a])
+    assert out1 == out2
+
+
+def test_ite_same_branches_shortcut():
+    cnf = CNF()
+    enc = TseitinEncoder(cnf)
+    c, x = cnf.new_var(), cnf.new_var()
+    assert enc.ITE(c, x, x) == x
+
+
+def test_assert_true_and_clause():
+    solver = CDCLSolver()
+    enc = TseitinEncoder(solver)
+    a, b = solver.new_var(), solver.new_var()
+    enc.assert_true(a)
+    enc.assert_clause([-a, b])
+    assert solver.solve() is SolveResult.SAT
+    model = solver.model()
+    assert model[a] and model[b]

@@ -1,0 +1,133 @@
+"""Tests for the tableau (stabilizer) simulator."""
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.qec.pauli import PauliString
+from repro.simulator import TableauSimulator
+
+
+def test_initial_state_is_all_zero():
+    simulator = TableauSimulator(3)
+    for qubit in range(3):
+        assert simulator.measure(qubit) == 0
+    assert simulator.is_stabilized_by(PauliString.from_label("ZZZ"))
+
+
+def test_x_flips_measurement():
+    simulator = TableauSimulator(2)
+    simulator.x(1)
+    assert simulator.measure(0) == 0
+    assert simulator.measure(1) == 1
+
+
+def test_hadamard_gives_random_measurement_but_plus_state():
+    simulator = TableauSimulator(1, seed=1)
+    simulator.h(0)
+    assert simulator.is_stabilized_by(PauliString.from_label("X"))
+    assert simulator.expectation(PauliString.from_label("Z")) == 0
+
+
+def test_bell_state_correlations():
+    simulator = TableauSimulator(2, seed=3)
+    simulator.h(0)
+    simulator.cx(0, 1)
+    assert simulator.is_stabilized_by(PauliString.from_label("XX"))
+    assert simulator.is_stabilized_by(PauliString.from_label("ZZ"))
+    first = simulator.measure(0)
+    second = simulator.measure(1)
+    assert first == second
+
+
+def test_cz_creates_graph_state():
+    simulator = TableauSimulator(2)
+    simulator.h(0)
+    simulator.h(1)
+    simulator.cz(0, 1)
+    assert simulator.is_stabilized_by(PauliString.from_label("XZ"))
+    assert simulator.is_stabilized_by(PauliString.from_label("ZX"))
+
+
+def test_s_gate_turns_plus_into_y_eigenstate():
+    simulator = TableauSimulator(1)
+    simulator.h(0)
+    simulator.s(0)
+    assert simulator.is_stabilized_by(PauliString.from_label("Y"))
+    simulator.sdg(0)
+    assert simulator.is_stabilized_by(PauliString.from_label("X"))
+
+
+def test_expectation_values():
+    simulator = TableauSimulator(1)
+    assert simulator.expectation(PauliString.from_label("Z")) == 1
+    simulator.x(0)
+    assert simulator.expectation(PauliString.from_label("Z")) == -1
+    assert simulator.expectation(PauliString.from_label("X")) == 0
+
+
+def test_measurement_collapses_state():
+    simulator = TableauSimulator(1, seed=11)
+    simulator.h(0)
+    outcome = simulator.measure(0)
+    # After measurement the state is a computational-basis state.
+    assert simulator.measure(0) == outcome
+    expected = PauliString.from_label("Z", phase=2 if outcome else 0)
+    assert simulator.is_stabilized_by(expected)
+
+
+def test_forced_measurement_outcome():
+    simulator = TableauSimulator(1)
+    simulator.h(0)
+    assert simulator.measure(0, forced_outcome=1) == 1
+    assert simulator.measure(0) == 1
+
+
+def test_measure_pauli_observable():
+    simulator = TableauSimulator(2, seed=5)
+    simulator.h(0)
+    simulator.cx(0, 1)
+    assert simulator.measure_pauli(PauliString.from_label("ZZ")) == 0
+    assert simulator.measure_pauli(PauliString.from_label("XX")) == 0
+
+
+def test_run_circuit():
+    circuit = Circuit(3)
+    circuit.h(0).cx(0, 1).cx(1, 2)
+    simulator = TableauSimulator(3)
+    simulator.run_circuit(circuit)
+    assert simulator.is_stabilized_by(PauliString.from_label("XXX"))
+    assert simulator.is_stabilized_by(PauliString.from_label("ZZI"))
+    assert simulator.is_stabilized_by(PauliString.from_label("IZZ"))
+
+
+def test_run_circuit_too_many_qubits():
+    simulator = TableauSimulator(1)
+    with pytest.raises(ValueError):
+        simulator.run_circuit(Circuit(2))
+
+
+def test_ghz_via_cz_and_hadamards():
+    # CZ-based GHZ construction used by graph states.
+    simulator = TableauSimulator(3)
+    for qubit in range(3):
+        simulator.h(qubit)
+    simulator.cz(0, 1)
+    simulator.cz(0, 2)
+    simulator.h(1)
+    simulator.h(2)
+    assert simulator.is_stabilized_by(PauliString.from_label("XXX"))
+    assert simulator.is_stabilized_by(PauliString.from_label("ZZI"))
+
+
+def test_stabilizer_generators_property():
+    simulator = TableauSimulator(2)
+    generators = simulator.stabilizer_generators
+    assert len(generators) == 2
+    # Mutating the copies must not affect the simulator.
+    generators[0].apply_x(0)
+    assert simulator.is_stabilized_by(PauliString.from_label("ZI"))
+
+
+def test_invalid_qubit_count():
+    with pytest.raises(ValueError):
+        TableauSimulator(0)

@@ -1,0 +1,129 @@
+"""Tests for the SMT expression AST and constant folding."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt import And, If, Iff, Implies, Not, Or, Distinct
+
+
+def test_and_constant_folding():
+    x = T.BoolVar("x")
+    assert And() is T.TRUE
+    assert And(True, True) is T.TRUE
+    assert And(x, False) is T.FALSE
+    assert And(x) is x
+    assert And(True, x) is x
+
+
+def test_or_constant_folding():
+    x = T.BoolVar("x")
+    assert Or() is T.FALSE
+    assert Or(False, False) is T.FALSE
+    assert Or(x, True) is T.TRUE
+    assert Or(x) is x
+
+
+def test_and_flattening():
+    x, y, z = T.BoolVar("x"), T.BoolVar("y"), T.BoolVar("z")
+    expr = And(And(x, y), z)
+    assert isinstance(expr, T.AndExpr)
+    assert len(expr.args) == 3
+
+
+def test_not_double_negation():
+    x = T.BoolVar("x")
+    assert Not(Not(x)) is x
+    assert Not(True) is T.FALSE
+    assert Not(False) is T.TRUE
+
+
+def test_implies_folding():
+    x = T.BoolVar("x")
+    assert Implies(False, x) is T.TRUE
+    assert Implies(True, x) is x
+    assert Implies(x, True) is T.TRUE
+
+
+def test_iff_folding():
+    x = T.BoolVar("x")
+    assert Iff(x, x) is T.TRUE
+    assert Iff(True, x) is x
+    assert isinstance(Iff(False, x), T.NotExpr)
+
+
+def test_if_over_integers():
+    c = T.BoolVar("c")
+    x = T.IntVar("x", 0, 3)
+    expr = If(c, x, 0)
+    assert isinstance(expr, T.IteIntExpr)
+    assert If(True, x, 0) is x
+    folded = If(False, x, 5)
+    assert isinstance(folded, T.IntConst)
+    assert folded.value == 5
+
+
+def test_int_var_domain_validation():
+    with pytest.raises(ValueError):
+        T.IntVar("bad", 3, 2)
+
+
+def test_bounds_propagation():
+    x = T.IntVar("x", 0, 3)
+    y = T.IntVar("y", -2, 2)
+    assert (x + y).bounds() == (-2, 5)
+    assert (x - y).bounds() == (-2, 5)
+    assert abs(y).bounds() == (0, 2)
+    assert abs(T.IntVar("p", 1, 4)).bounds() == (1, 4)
+    assert abs(T.IntVar("n", -4, -1)).bounds() == (1, 4)
+    assert (x + 1).bounds() == (1, 4)
+
+
+def test_comparison_operators_build_atoms():
+    x = T.IntVar("x", 0, 3)
+    y = T.IntVar("y", 0, 3)
+    assert isinstance(x == y, T.IntEq)
+    assert isinstance(x < y, T.IntLt)
+    assert isinstance(x <= y, T.IntLe)
+    assert isinstance(x > y, T.IntLt)
+    assert isinstance(x >= y, T.IntLe)
+    ne = x != y
+    assert isinstance(ne, T.NotExpr)
+
+
+def test_bool_operator_overloads():
+    a, b = T.BoolVar("a"), T.BoolVar("b")
+    assert isinstance(a & b, T.AndExpr)
+    assert isinstance(a | b, T.OrExpr)
+    assert isinstance(~a, T.NotExpr)
+    assert isinstance(a.iff(b), T.IffExpr)
+    assert isinstance(a.implies(b), T.OrExpr)
+
+
+def test_distinct():
+    xs = [T.IntVar(f"x{i}", 0, 3) for i in range(3)]
+    expr = Distinct(*xs)
+    assert isinstance(expr, T.AndExpr)
+    assert len(expr.args) == 3  # 3 choose 2 pairs
+    assert Distinct(xs[0]) is T.TRUE
+
+
+def test_free_variables():
+    x = T.IntVar("x", 0, 3)
+    b = T.BoolVar("b")
+    expr = And(Implies(b, x < 2), x >= 0)
+    variables = T.free_variables(expr)
+    assert x in variables
+    assert b in variables
+
+
+def test_int_coercion_rejects_bool():
+    x = T.IntVar("x", 0, 3)
+    with pytest.raises(TypeError):
+        x + True
+
+
+def test_repr_smoke():
+    x = T.IntVar("x", 0, 3)
+    b = T.BoolVar("b")
+    assert "x" in repr(x + 1)
+    assert "b" in repr(And(b, x == 1))

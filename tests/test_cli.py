@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_codes_command(capsys):
+    assert main(["codes"]) == 0
+    output = capsys.readouterr().out
+    assert "steane" in output
+    assert "[[17,1,5]]" in output
+
+
+def test_circuit_command(capsys):
+    assert main(["circuit", "steane"]) == 0
+    output = capsys.readouterr().out
+    assert "CZ gates" in output
+    assert "cz q" in output
+
+
+def test_circuit_qasm_command(capsys):
+    assert main(["circuit", "steane", "--qasm"]) == 0
+    output = capsys.readouterr().out
+    assert output.startswith("OPENQASM 2.0;")
+    assert "cz q[" in output
+
+
+def test_schedule_command(capsys):
+    assert main(["schedule", "steane", "--layout", "bottom"]) == 0
+    output = capsys.readouterr().out
+    assert "ASP" in output
+    assert "execution time" in output
+
+
+def test_schedule_render_command(capsys):
+    assert main(["schedule", "steane", "--layout", "bottom", "--render"]) == 0
+    output = capsys.readouterr().out
+    assert "Rydberg beam" in output
+    assert "E y=" in output
+
+
+def test_schedule_json_command(capsys):
+    assert main(["schedule", "steane", "--layout", "none", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["num_qubits"] == 7
+    assert data["stages"]
+
+
+def test_table1_command_restricted(capsys):
+    assert main(["table1", "--codes", "steane"]) == 0
+    output = capsys.readouterr().out
+    assert "Steane" in output
+    assert "No Shielding" in output
+
+
+def test_figure4_command_restricted(capsys):
+    assert main(["figure4", "--codes", "steane"]) == 0
+    output = capsys.readouterr().out
+    assert "dASP" in output
+
+
+def test_explore_command(capsys):
+    assert main(["explore", "steane"]) == 0
+    output = capsys.readouterr().out
+    assert "bottom storage" in output
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(SystemExit):
+        main(["circuit", "unknown-code"])
+
+
+def test_parser_has_version():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--version"])

@@ -1,0 +1,83 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the exact pipeline the paper describes: QEC code ->
+state-preparation circuit -> zoned scheduling -> validation -> metrics, and
+verify cross-cutting invariants that no single module can check on its own.
+"""
+
+import pytest
+
+from repro.arch import bottom_storage_layout, evaluation_layouts, reduced_layout
+from repro.core import SMTScheduler, StructuredScheduler, validate_schedule
+from repro.metrics import approximate_success_probability
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+from repro.qec.verification import prepares_logical_zero
+from repro.simulator import TableauSimulator
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+def test_full_pipeline_per_code(code_name):
+    """Code -> circuit -> schedule -> validation -> ASP, for every code."""
+    code = get_code(code_name)
+    prep = state_preparation_circuit(code)
+    assert prepares_logical_zero(prep, code)
+
+    architecture = bottom_storage_layout()
+    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    validate_schedule(schedule)
+
+    breakdown = approximate_success_probability(schedule, prep)
+    assert 0 < breakdown.asp < 1
+    assert breakdown.timing.total_ms > 0
+
+
+def test_scheduled_gates_reproduce_the_logical_state():
+    """Replaying the schedule's CZ gates (in schedule order) still prepares
+    the logical zero state — scheduling only reorders commuting CZ gates."""
+    code = get_code("steane")
+    prep = state_preparation_circuit(code)
+    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
+        prep.num_qubits, prep.cz_gates
+    )
+    simulator = TableauSimulator(code.num_qubits)
+    for qubit in range(code.num_qubits):
+        simulator.h(qubit)
+    for a, b in schedule.executed_gates:
+        simulator.cz(a, b)
+    from repro.circuit.gates import Gate
+
+    for qubit, kinds in prep.local_corrections.items():
+        for kind in kinds:
+            simulator.apply_gate(Gate(kind, (qubit,)))
+    for stabilizer in code.stabilizers:
+        assert simulator.is_stabilized_by(stabilizer)
+    for logical in code.logical_z_operators():
+        assert simulator.is_stabilized_by(logical)
+
+
+def test_every_layout_executes_every_gate_exactly_once():
+    code = get_code("tetrahedral")
+    prep = state_preparation_circuit(code)
+    for architecture in evaluation_layouts().values():
+        schedule = StructuredScheduler(architecture).schedule(
+            prep.num_qubits, prep.cz_gates
+        )
+        assert sorted(schedule.executed_gates) == sorted(prep.cz_gates)
+
+
+def test_smt_and_structured_agree_on_feasibility():
+    """Both backends produce validator-approved schedules of the same gates."""
+    layout = reduced_layout("bottom", x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+    gates = [(0, 1), (1, 2)]
+    smt_result = SMTScheduler(layout, time_limit_per_instance=120).schedule(3, gates)
+    structured = StructuredScheduler(layout).schedule(3, gates)
+    assert smt_result.found
+    for schedule in (smt_result.schedule, structured):
+        report = validate_schedule(schedule, raise_on_error=False)
+        assert report.ok
+        assert sorted(schedule.executed_gates) == gates
+    # And the optimal backend's ASP is at least as good.
+    asp_smt = approximate_success_probability(smt_result.schedule).asp
+    asp_structured = approximate_success_probability(structured).asp
+    assert asp_smt >= asp_structured - 1e-9
