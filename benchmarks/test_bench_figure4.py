@@ -1,6 +1,5 @@
 """Benchmark regenerating Figure 4 (ASP differences vs. the baseline)."""
 
-import pytest
 
 from repro.evaluation import figure4_from_rows, format_figure4, run_table1
 

@@ -4,7 +4,8 @@ The paper reports Z3 solving times ranging from sub-second (small codes) to
 hundreds of hours (large codes).  With a pure-Python SAT core the same
 encoding is exercised here on reduced-but-structurally-identical instances;
 the benchmark also cross-checks the optimal stage counts against the
-architecture's shielding behaviour (storage zone => extra transfer stage).
+architecture's shielding behaviour (storage zone => extra transfer stage)
+and pits the incremental minimum-stage search against the cold-start one.
 """
 
 import pytest
@@ -12,22 +13,25 @@ import pytest
 from repro.arch import reduced_layout
 from repro.core.scheduler import SMTScheduler
 from repro.core.validator import validate_schedule
+from repro.evaluation.runner import REDUCED_LAYOUT_KWARGS, SMT_INSTANCES
 
-INSTANCES = {
-    "single-gate": (2, [(0, 1)]),
-    "chain-2": (3, [(0, 1), (1, 2)]),
-    "disjoint-pairs": (4, [(0, 1), (2, 3)]),
-    "triangle": (3, [(0, 1), (1, 2), (0, 2)]),
-}
+INSTANCES = SMT_INSTANCES
 
 
+def bench_layout(kind):
+    return reduced_layout(kind, **REDUCED_LAYOUT_KWARGS)
+
+
+@pytest.mark.parametrize("mode", ["incremental", "coldstart"])
 @pytest.mark.parametrize("layout_kind", ["none", "bottom"])
 @pytest.mark.parametrize("instance_name", list(INSTANCES))
-def test_bench_smt_optimal_scheduling(benchmark, layout_kind, instance_name):
+def test_bench_smt_optimal_scheduling(benchmark, mode, layout_kind, instance_name):
     """Time the full iterative-deepening optimal solve of a small instance."""
     num_qubits, gates = INSTANCES[instance_name]
-    architecture = reduced_layout(layout_kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
-    scheduler = SMTScheduler(architecture, time_limit_per_instance=120)
+    architecture = bench_layout(layout_kind)
+    scheduler = SMTScheduler(
+        architecture, time_limit_per_instance=120, incremental=mode == "incremental"
+    )
 
     def solve():
         return scheduler.schedule(num_qubits, gates)
@@ -45,7 +49,7 @@ def test_bench_smt_shielding_costs_one_stage(benchmark):
     def compare():
         results = {}
         for kind in ("none", "bottom"):
-            architecture = reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+            architecture = bench_layout(kind)
             scheduler = SMTScheduler(architecture, time_limit_per_instance=120)
             results[kind] = scheduler.schedule(3, [(0, 1), (1, 2)])
         return results
@@ -56,3 +60,38 @@ def test_bench_smt_shielding_costs_one_stage(benchmark):
     assert unshielded.num_stages == 2
     assert shielded.num_stages == 3
     assert shielded.num_transfer_stages == unshielded.num_transfer_stages + 1
+
+
+def test_bench_smt_incremental_beats_coldstart(benchmark):
+    """The incremental search must win on total solve wall-clock while
+    producing schedules with identical stage counts, all validator-clean."""
+
+    def run(incremental):
+        total_seconds = 0.0
+        stage_counts = {}
+        for layout_kind in ("none", "bottom"):
+            architecture = bench_layout(layout_kind)
+            scheduler = SMTScheduler(
+                architecture, time_limit_per_instance=120, incremental=incremental
+            )
+            for name, (num_qubits, gates) in INSTANCES.items():
+                result = scheduler.schedule(num_qubits, gates)
+                assert result.found and result.optimal
+                validate_schedule(
+                    result.schedule, require_shielding=architecture.has_storage
+                )
+                total_seconds += result.solver_seconds
+                stage_counts[(layout_kind, name)] = result.schedule.num_stages
+        return total_seconds, stage_counts
+
+    def compare():
+        return {"incremental": run(True), "coldstart": run(False)}
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    incremental_seconds, incremental_stages = results["incremental"]
+    coldstart_seconds, coldstart_stages = results["coldstart"]
+    assert incremental_stages == coldstart_stages
+    assert incremental_seconds < coldstart_seconds, (
+        f"incremental search took {incremental_seconds:.2f}s, "
+        f"cold-start {coldstart_seconds:.2f}s"
+    )

@@ -13,7 +13,7 @@ zone, and qubits parked in storage zones are shielded from the Rydberg beam.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.arch.operations import DEFAULT_OPERATION_PARAMETERS, OperationParameters
 from repro.arch.zones import Zone, ZoneKind

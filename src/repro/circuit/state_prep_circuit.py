@@ -15,7 +15,6 @@ rotational gates, exactly as argued in Sec. III of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.gates import Gate, GateKind

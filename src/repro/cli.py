@@ -10,6 +10,7 @@ Examples
     repro-nasp table1                     # regenerate Table I
     repro-nasp figure4                    # regenerate Figure 4
     repro-nasp explore surface            # architecture design-space sweep
+    repro-nasp bench --suite smt --jobs 4 --output results.json
 """
 
 from __future__ import annotations
@@ -28,10 +29,13 @@ from repro.arch import (
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
 from repro.evaluation import (
+    build_suite,
     figure4_from_rows,
+    format_batch,
     format_figure4,
     format_table1,
     run_architecture_exploration,
+    run_batch,
     run_table1,
 )
 from repro.evaluation.exploration import format_exploration
@@ -78,6 +82,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     explore = sub.add_parser("explore", help="architecture design-space exploration")
     explore.add_argument("code", choices=available_codes())
+
+    bench = sub.add_parser(
+        "bench", help="run a benchmark suite, optionally across worker processes"
+    )
+    bench.add_argument(
+        "--suite",
+        choices=["smt", "table1", "exploration", "all"],
+        default="smt",
+        help="which instance family to run (default: smt)",
+    )
+    bench.add_argument(
+        "--codes",
+        nargs="*",
+        choices=available_codes(),
+        default=None,
+        help="restrict the table1/exploration suites to these codes",
+    )
+    bench.add_argument(
+        "--modes",
+        nargs="*",
+        choices=["incremental", "coldstart"],
+        default=None,
+        help="scheduler modes for the smt suite (default: both)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; <=1 runs serially in this process",
+    )
+    bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-instance wall-clock budget in seconds",
+    )
+    bench.add_argument(
+        "--output", default=None, help="persist the results as JSON to this path"
+    )
     return parser
 
 
@@ -144,6 +187,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         results = run_architecture_exploration(args.code)
         print(format_exploration(results))
         return 0
+
+    if args.command == "bench":
+        instances = build_suite(
+            args.suite,
+            codes=args.codes,
+            modes=args.modes,
+            time_limit=args.timeout if args.timeout is not None else 120.0,
+        )
+        try:
+            results = run_batch(
+                instances,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                output_path=args.output,
+            )
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(format_batch(results))
+        if args.output:
+            print(f"results written to {args.output}")
+        return 0 if all(result.status != "error" for result in results) else 1
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

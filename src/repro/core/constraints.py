@@ -5,16 +5,35 @@ one constraint group into the container's solver.  The equations of the
 paper are referenced by number; the two constraints the paper omits "for
 brevity" (the vertical AOD-row ordering counterpart of Eq. 11/21 and the
 loading counterpart of Eq. 20) are spelled out explicitly.
+
+Each stage-indexed group accepts an optional *stages* (intra-stage
+constraints) or *transitions* (constraints linking stage ``t`` to ``t+1``)
+argument selecting which stage indices to assert.  The default (``None``)
+asserts the full instance, matching the original cold-start behaviour;
+:func:`assert_stage` uses the ranged form to extend an instance by one stage
+in place for the incremental scheduler.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.core.variables import StatePrepVariables
-from repro.smt import And, If, Iff, Implies, Not, Or
+from repro.smt import And, Iff, Implies, Not, Or
 
 Gate = tuple[int, int]
+
+
+def _stage_range(
+    variables: StatePrepVariables, stages: Iterable[int] | None
+) -> Iterable[int]:
+    return range(variables.num_stages) if stages is None else stages
+
+
+def _transition_range(
+    variables: StatePrepVariables, transitions: Iterable[int] | None
+) -> Iterable[int]:
+    return range(variables.num_stages - 1) if transitions is None else transitions
 
 
 def assert_all(
@@ -39,13 +58,43 @@ def assert_all(
     loading_and_shuttling_in_transfer_stages(variables)
 
 
+def assert_stage(
+    variables: StatePrepVariables,
+    gates: Sequence[Gate],
+    stage: int,
+    shielding: bool = True,
+) -> None:
+    """Assert every constraint that mentions the freshly added *stage*.
+
+    Complements :meth:`StatePrepVariables.add_stage`: the intra-stage groups
+    are asserted for *stage* alone and the transition groups for the edge
+    ``stage-1 -> stage``.  Asserting stages ``0..S-1`` one by one therefore
+    yields exactly the constraint set of a cold-start ``S``-stage instance
+    (modulo the wider ``gate_stage`` domains, which the incremental scheduler
+    narrows with assumption-guarded horizon constraints).
+    """
+    stages = (stage,)
+    positioning_qubits(variables, stages=stages)
+    ordering_aod_lines(variables, stages=stages)
+    gate_preconditions(variables, gates, stages=stages)
+    shielding_idling_qubits(variables, gates, shielding, stages=stages)
+    no_unintended_interactions(variables, gates, stages=stages)
+    if stage > 0:
+        transitions = (stage - 1,)
+        shuttling_in_execution_stages(variables, transitions=transitions)
+        storing_in_transfer_stages(variables, transitions=transitions)
+        loading_and_shuttling_in_transfer_stages(variables, transitions=transitions)
+
+
 # --------------------------------------------------------------------------- #
 # C1 — positioning qubits (Eqs. 9, 10)
 # --------------------------------------------------------------------------- #
-def positioning_qubits(variables: StatePrepVariables) -> None:
+def positioning_qubits(
+    variables: StatePrepVariables, stages: Iterable[int] | None = None
+) -> None:
     """A trap holds at most one qubit; SLM qubits sit at the site centre."""
     solver = variables.solver
-    for t in range(variables.num_stages):
+    for t in _stage_range(variables, stages):
         for q in range(variables.num_qubits):
             for p in range(q + 1, variables.num_qubits):
                 same_offsets = And(
@@ -69,10 +118,12 @@ def positioning_qubits(variables: StatePrepVariables) -> None:
 # --------------------------------------------------------------------------- #
 # C2 — ordering AOD lines (Eq. 11 and its vertical counterpart)
 # --------------------------------------------------------------------------- #
-def ordering_aod_lines(variables: StatePrepVariables) -> None:
+def ordering_aod_lines(
+    variables: StatePrepVariables, stages: Iterable[int] | None = None
+) -> None:
     """AOD column/row indices reflect the geometric order of AOD qubits."""
     solver = variables.solver
-    for t in range(variables.num_stages):
+    for t in _stage_range(variables, stages):
         for q in range(variables.num_qubits):
             for p in range(variables.num_qubits):
                 if p == q:
@@ -111,12 +162,22 @@ def ordering_aod_lines(variables: StatePrepVariables) -> None:
 # --------------------------------------------------------------------------- #
 def executing_gates(variables: StatePrepVariables, gates: Sequence[Gate]) -> None:
     """Executed gates happen in execution stages with adjacent operands."""
+    gate_preconditions(variables, gates)
+    conflicting_gates_ordered(variables, gates)
+
+
+def gate_preconditions(
+    variables: StatePrepVariables,
+    gates: Sequence[Gate],
+    stages: Iterable[int] | None = None,
+) -> None:
+    """Eq. 12: a gate's stage is an execution stage with adjacent operands."""
     solver = variables.solver
     arch = variables.architecture
     radius = arch.interaction_radius
     e_min, e_max = arch.entangling_rows
     for i, (q, p) in enumerate(gates):
-        for t in range(variables.num_stages):
+        for t in _stage_range(variables, stages):
             preconditions = And(
                 variables.execution[t],
                 variables.x[q][t] == variables.x[p][t],
@@ -129,6 +190,13 @@ def executing_gates(variables: StatePrepVariables, gates: Sequence[Gate]) -> Non
                 variables.y[p][t] <= e_max,
             )
             solver.add(Implies(variables.gate_stage[i] == t, preconditions))  # Eq. 12
+
+
+def conflicting_gates_ordered(
+    variables: StatePrepVariables, gates: Sequence[Gate]
+) -> None:
+    """Eq. 13: gates sharing a qubit run in different stages (stage-free)."""
+    solver = variables.solver
     for i in range(len(gates)):
         for j in range(i + 1, len(gates)):
             if set(gates[i]) & set(gates[j]):
@@ -136,7 +204,10 @@ def executing_gates(variables: StatePrepVariables, gates: Sequence[Gate]) -> Non
 
 
 def shielding_idling_qubits(
-    variables: StatePrepVariables, gates: Sequence[Gate], shielding: bool
+    variables: StatePrepVariables,
+    gates: Sequence[Gate],
+    shielding: bool,
+    stages: Iterable[int] | None = None,
 ) -> None:
     """Eq. 14 (shielded layouts) or the footnote-2 variant (no storage zone)."""
     solver = variables.solver
@@ -144,7 +215,7 @@ def shielding_idling_qubits(
     e_min, e_max = arch.entangling_rows
     for q in range(variables.num_qubits):
         gate_indices = [i for i, gate in enumerate(gates) if q in gate]
-        for t in range(variables.num_stages):
+        for t in _stage_range(variables, stages):
             busy_here = Or(*[variables.gate_stage[i] == t for i in gate_indices])
             inside_entangling_zone = And(
                 variables.y[q][t] >= e_min, variables.y[q][t] <= e_max
@@ -164,7 +235,9 @@ def shielding_idling_qubits(
 
 
 def no_unintended_interactions(
-    variables: StatePrepVariables, gates: Sequence[Gate]
+    variables: StatePrepVariables,
+    gates: Sequence[Gate],
+    stages: Iterable[int] | None = None,
 ) -> None:
     """Two qubits within the blockade radius during a beam must be a gate.
 
@@ -177,7 +250,7 @@ def no_unintended_interactions(
     radius = arch.interaction_radius
     e_min, e_max = arch.entangling_rows
     gate_lookup = {frozenset(gate): i for i, gate in enumerate(gates)}
-    for t in range(variables.num_stages):
+    for t in _stage_range(variables, stages):
         for q in range(variables.num_qubits):
             for p in range(q + 1, variables.num_qubits):
                 near = And(
@@ -199,11 +272,13 @@ def no_unintended_interactions(
 # --------------------------------------------------------------------------- #
 # C4 — shuttling in execution stages (Eqs. 15-17)
 # --------------------------------------------------------------------------- #
-def shuttling_in_execution_stages(variables: StatePrepVariables) -> None:
+def shuttling_in_execution_stages(
+    variables: StatePrepVariables, transitions: Iterable[int] | None = None
+) -> None:
     """During execution stages qubits keep their trap type, SLM qubits their
     site, and AOD qubits their column/row."""
     solver = variables.solver
-    for t in range(variables.num_stages - 1):
+    for t in _transition_range(variables, transitions):
         for q in range(variables.num_qubits):
             solver.add(
                 Implies(
@@ -240,11 +315,13 @@ def shuttling_in_execution_stages(variables: StatePrepVariables) -> None:
 # --------------------------------------------------------------------------- #
 # C5 — storing in transfer stages (Eqs. 18-20)
 # --------------------------------------------------------------------------- #
-def storing_in_transfer_stages(variables: StatePrepVariables) -> None:
+def storing_in_transfer_stages(
+    variables: StatePrepVariables, transitions: Iterable[int] | None = None
+) -> None:
     """Stores happen at site centres, SLM-bound qubits stay put, and stores
     act on whole AOD lines."""
     solver = variables.solver
-    for t in range(variables.num_stages - 1):
+    for t in _transition_range(variables, transitions):
         transfer = Not(variables.execution[t])
         for q in range(variables.num_qubits):
             solver.add(
@@ -288,11 +365,13 @@ def storing_in_transfer_stages(variables: StatePrepVariables) -> None:
 # --------------------------------------------------------------------------- #
 # C6 — loading and shuttling in transfer stages (Eq. 21 + counterparts)
 # --------------------------------------------------------------------------- #
-def loading_and_shuttling_in_transfer_stages(variables: StatePrepVariables) -> None:
+def loading_and_shuttling_in_transfer_stages(
+    variables: StatePrepVariables, transitions: Iterable[int] | None = None
+) -> None:
     """Loads are flagged on their AOD lines and the relative order of AOD
     qubits after a transfer stage matches their geometric order before it."""
     solver = variables.solver
-    for t in range(variables.num_stages - 1):
+    for t in _transition_range(variables, transitions):
         transfer = Not(variables.execution[t])
         for q in range(variables.num_qubits):
             # Loading counterpart of Eq. 20 (omitted in the paper for

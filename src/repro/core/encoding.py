@@ -1,18 +1,40 @@
-"""Complete SMT encoding of one scheduling instance plus model extraction."""
+"""Complete SMT encoding of one scheduling instance plus model extraction.
+
+Two instance flavours exist:
+
+* :class:`EncodedInstance` — the cold-start encoding: a fixed stage count,
+  one fresh solver per instance.
+* :class:`IncrementalInstance` — a growable encoding: the instance starts at
+  some stage count and is *extended in place* one stage at a time
+  (:meth:`IncrementalInstance.extend_to`).  The stage horizon is imposed with
+  fresh activation literals assumed per :meth:`IncrementalInstance.check`
+  call, so the underlying CDCL solver keeps its learned clauses and variable
+  activities across the whole minimum-stage search.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.arch.architecture import ZonedArchitecture
 from repro.core import constraints as C
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
 from repro.core.variables import StatePrepVariables
-from repro.smt import CheckResult, Solver
+from repro.smt import CheckResult, Implies, Not, Solver
 from repro.smt.solver import Model
+from repro.smt.terms import BoolVar
 
 Gate = tuple[int, int]
+
+
+def _normalised_gates(num_qubits: int, gates: Sequence[Gate]) -> list[Gate]:
+    """Validate and canonicalise (sort the endpoints of) every CZ gate."""
+    normalised = [(min(a, b), max(a, b)) for a, b in gates]
+    for a, b in normalised:
+        if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise ValueError(f"invalid CZ gate ({a}, {b})")
+    return normalised
 
 
 @dataclass
@@ -45,6 +67,95 @@ class EncodedInstance:
         return extract_schedule(self, model, metadata)
 
 
+@dataclass
+class IncrementalInstance:
+    """A scheduling instance that can grow from S to S+1 stages in place.
+
+    The ``gate_stage`` variables are allocated with domain
+    ``[0, max_stages-1]`` up front; the *effective* horizon ``S`` is enforced
+    by a per-horizon activation literal ``_horizon_S`` with the guarded
+    constraints ``_horizon_S -> g_i <= S-1`` and passed to the solver as an
+    assumption.  Because assumptions are not asserted, a later check with a
+    larger horizon simply stops assuming the old literal — nothing has to be
+    retracted, and every clause the SAT core learned while refuting the
+    smaller horizon remains valid.
+    """
+
+    architecture: ZonedArchitecture
+    num_qubits: int
+    gates: list[Gate]
+    shielding: bool
+    solver: Solver
+    variables: StatePrepVariables
+    _horizons: dict[int, BoolVar] = field(default_factory=dict)
+
+    @property
+    def num_stages(self) -> int:
+        """The current stage horizon."""
+        return self.variables.num_stages
+
+    @property
+    def max_stages(self) -> int:
+        """The largest horizon this instance can grow to."""
+        return self.variables.gate_stage_capacity
+
+    def extend_to(self, num_stages: int) -> None:
+        """Grow the instance to *num_stages* stages (no-op when already there).
+
+        Each added stage allocates its variables and asserts exactly the
+        constraints a cold-start encoding of the larger instance would
+        contain for that stage (intra-stage groups plus the transition from
+        the previously last stage).
+        """
+        if num_stages > self.max_stages:
+            raise ValueError(
+                f"cannot extend to {num_stages} stages: capacity is {self.max_stages}"
+            )
+        while self.variables.num_stages < num_stages:
+            stage = self.variables.add_stage()
+            C.assert_stage(self.variables, self.gates, stage, shielding=self.shielding)
+
+    def check(
+        self,
+        max_conflicts: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> CheckResult:
+        """Decide the instance at the current stage horizon."""
+        literal = self._horizon_literal()
+        result = self.solver.check(
+            assumptions=[literal],
+            max_conflicts=max_conflicts,
+            time_limit=time_limit,
+        )
+        if result is CheckResult.UNSAT:
+            # UNSAT under the assumption proves the formula entails the
+            # literal's negation; asserting it satisfies the horizon's guard
+            # clauses outright and keeps the solver from ever revisiting the
+            # refuted horizon.  (Not sound after UNKNOWN, hence the guard.)
+            self.solver.add(Not(literal))
+        return result
+
+    def statistics(self) -> dict[str, float]:
+        """Statistics of the most recent check."""
+        return self.solver.statistics()
+
+    def extract_schedule(self, metadata: dict | None = None) -> Schedule:
+        """Convert the satisfying assignment into a :class:`Schedule`."""
+        model = self.solver.model()
+        return extract_schedule(self, model, metadata)
+
+    def _horizon_literal(self) -> BoolVar:
+        """Activation literal restricting every gate to the current stages."""
+        horizon = self.variables.num_stages
+        literal = self._horizons.get(horizon)
+        if literal is None:
+            literal = self.solver.bool_var(f"_horizon_{horizon}")
+            for gate_stage in self.variables.gate_stage:
+                self.solver.add(Implies(literal, gate_stage <= horizon - 1))
+            self._horizons[horizon] = literal
+        return literal
+
+
 def encode_instance(
     architecture: ZonedArchitecture,
     num_qubits: int,
@@ -57,10 +168,7 @@ def encode_instance(
     *shielding* defaults to "the architecture has a storage zone", matching
     the paper's handling of Layout 1 (footnote 2).
     """
-    normalised = [(min(a, b), max(a, b)) for a, b in gates]
-    for a, b in normalised:
-        if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
-            raise ValueError(f"invalid CZ gate ({a}, {b})")
+    normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
     solver = Solver()
@@ -79,8 +187,46 @@ def encode_instance(
     )
 
 
+def encode_incremental_instance(
+    architecture: ZonedArchitecture,
+    num_qubits: int,
+    gates: Sequence[Gate],
+    num_stages: int,
+    max_stages: int,
+    shielding: bool | None = None,
+) -> IncrementalInstance:
+    """Build a growable instance starting at *num_stages* stages.
+
+    The instance can later be extended up to *max_stages* stages without
+    re-encoding the stages that already exist.
+    """
+    normalised = _normalised_gates(num_qubits, gates)
+    if shielding is None:
+        shielding = architecture.has_storage
+    solver = Solver(incremental=True)
+    variables = StatePrepVariables.create(
+        solver,
+        architecture,
+        num_qubits,
+        len(normalised),
+        num_stages,
+        gate_stage_capacity=max_stages,
+    )
+    C.assert_all(variables, normalised, shielding=shielding)
+    return IncrementalInstance(
+        architecture=architecture,
+        num_qubits=num_qubits,
+        gates=list(normalised),
+        shielding=shielding,
+        solver=solver,
+        variables=variables,
+    )
+
+
 def extract_schedule(
-    instance: EncodedInstance, model: Model, metadata: dict | None = None
+    instance: EncodedInstance | IncrementalInstance,
+    model: Model,
+    metadata: dict | None = None,
 ) -> Schedule:
     """Read the variable assignment back into a concrete schedule."""
     variables = instance.variables

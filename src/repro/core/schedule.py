@@ -18,7 +18,6 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from repro.arch.architecture import Position, ZonedArchitecture
 

@@ -9,6 +9,36 @@ schedule with the minimum number of stages; per-instance resource limits
 (conflicts / wall-clock) turn the solver into an anytime procedure that
 reports when optimality could not be certified, mirroring the timeout
 handling of the paper's evaluation.
+
+Incremental vs. cold-start search
+---------------------------------
+
+Two search strategies are available, selected by the ``incremental``
+constructor flag:
+
+* ``incremental=True`` (default) — one growable
+  :class:`~repro.core.encoding.IncrementalInstance` is built at the lower
+  bound and extended in place from ``S`` to ``S+1`` stages.  Stage horizons
+  are imposed through activation literals passed to the SAT core as
+  *assumptions*, so nothing is ever retracted: the bit-blasted clauses of
+  stages ``0..S-1``, all learned clauses, variable activities, and saved
+  phases survive each UNSAT horizon and are reused by the next one.  The
+  encoding cost per additional stage is the delta only, which makes the
+  minimum-``S`` search substantially cheaper whenever more than one horizon
+  has to be tried.  The trade-off: the ``gate_stage`` domains must be sized
+  for ``max_stages`` up front, so each gate-stage comparison bit-blasts a
+  slightly wider bit-vector than a cold-start instance of small ``S`` would
+  use, and solver state is kept alive across the whole search (higher peak
+  memory).
+* ``incremental=False`` — the original cold-start behaviour: every horizon
+  re-encodes a fresh :class:`~repro.core.encoding.EncodedInstance` from
+  scratch and solves it with a brand-new SAT solver.  Slower on multi-horizon
+  searches but with exact (tighter) variable domains per instance and no
+  state carried between attempts; retained as a fallback and as the
+  reference the incremental path is validated against.
+
+Both paths explore the same horizons in the same order and produce
+schedules with identical stage counts.
 """
 
 from __future__ import annotations
@@ -19,12 +49,19 @@ from typing import Optional, Sequence
 
 from repro.arch.architecture import ZonedArchitecture
 from repro.circuit.layers import minimum_layer_count
-from repro.core.encoding import encode_instance
+from repro.core.encoding import encode_incremental_instance, encode_instance
 from repro.core.schedule import Schedule
 from repro.core.validator import validate_schedule
 from repro.smt import CheckResult
 
 Gate = tuple[int, int]
+
+#: Extra stage headroom reserved by a fresh incremental instance beyond the
+#: first horizon it is asked to decide.  A small value keeps the up-front
+#: ``gate_stage`` bit-vectors narrow (their domain covers the full capacity);
+#: searches that outgrow the capacity rebuild the instance with double the
+#: headroom, which costs one cold re-encode and is rare in practice.
+_CAPACITY_HEADROOM = 7
 
 
 @dataclass
@@ -53,12 +90,14 @@ class SMTScheduler:
         max_stages: int = 32,
         max_conflicts_per_instance: Optional[int] = None,
         time_limit_per_instance: Optional[float] = None,
+        incremental: bool = True,
     ) -> None:
         self._arch = architecture
         self._shielding = shielding
         self._max_stages = max_stages
         self._max_conflicts = max_conflicts_per_instance
         self._time_limit = time_limit_per_instance
+        self._incremental = incremental
 
     # ------------------------------------------------------------------ #
     def minimum_stage_bound(self, gates: Sequence[Gate]) -> int:
@@ -80,6 +119,92 @@ class SMTScheduler:
         schedule, if any, is then feasible but possibly not minimal).
         """
         gates = [(min(a, b), max(a, b)) for a, b in cz_gates]
+        if self._incremental:
+            return self._schedule_incremental(num_qubits, gates, metadata, validate)
+        return self._schedule_coldstart(num_qubits, gates, metadata, validate)
+
+    # ------------------------------------------------------------------ #
+    def _schedule_incremental(
+        self,
+        num_qubits: int,
+        gates: list[Gate],
+        metadata: dict | None,
+        validate: bool,
+    ) -> SchedulerResult:
+        start = time.monotonic()
+        stages_tried: list[int] = []
+        optimal = True
+        statistics: dict[str, float] = {}
+        lower_bound = self.minimum_stage_bound(gates)
+        if lower_bound > self._max_stages:
+            return SchedulerResult(
+                schedule=None,
+                optimal=False,
+                stages_tried=stages_tried,
+                solver_seconds=time.monotonic() - start,
+                statistics=statistics,
+            )
+        headroom = _CAPACITY_HEADROOM
+        instance = encode_incremental_instance(
+            self._arch,
+            num_qubits,
+            gates,
+            num_stages=lower_bound,
+            max_stages=min(self._max_stages, lower_bound + headroom),
+            shielding=self._shielding,
+        )
+        for num_stages in range(lower_bound, self._max_stages + 1):
+            stages_tried.append(num_stages)
+            if num_stages > instance.max_stages:
+                # Capacity exhausted: rebuild with more headroom (one cold
+                # re-encode; learned clauses of the old instance are dropped).
+                headroom *= 2
+                instance = encode_incremental_instance(
+                    self._arch,
+                    num_qubits,
+                    gates,
+                    num_stages=num_stages,
+                    max_stages=min(self._max_stages, num_stages + headroom),
+                    shielding=self._shielding,
+                )
+            instance.extend_to(num_stages)
+            result = instance.check(
+                max_conflicts=self._max_conflicts, time_limit=self._time_limit
+            )
+            statistics = instance.statistics()
+            if result is CheckResult.UNKNOWN:
+                optimal = False
+                continue
+            if result is CheckResult.UNSAT:
+                continue
+            schedule = instance.extract_schedule(
+                metadata={"optimal": optimal, **(metadata or {})}
+            )
+            if validate:
+                validate_schedule(schedule, require_shielding=self._effective_shielding())
+            return SchedulerResult(
+                schedule=schedule,
+                optimal=optimal,
+                stages_tried=stages_tried,
+                solver_seconds=time.monotonic() - start,
+                statistics=statistics,
+            )
+        return SchedulerResult(
+            schedule=None,
+            optimal=False,
+            stages_tried=stages_tried,
+            solver_seconds=time.monotonic() - start,
+            statistics=statistics,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _schedule_coldstart(
+        self,
+        num_qubits: int,
+        gates: list[Gate],
+        metadata: dict | None,
+        validate: bool,
+    ) -> SchedulerResult:
         start = time.monotonic()
         stages_tried: list[int] = []
         optimal = True

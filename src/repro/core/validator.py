@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.schedule import QubitPlacement, Schedule, Stage
+from repro.core.schedule import Schedule, Stage
 
 
 class ValidationError(Exception):

@@ -9,16 +9,32 @@ from repro.evaluation.table1 import (
 )
 from repro.evaluation.figure4 import Figure4Bar, figure4_from_rows, format_figure4
 from repro.evaluation.exploration import ExplorationResult, run_architecture_exploration
+from repro.evaluation.runner import (
+    BenchInstance,
+    BenchResult,
+    build_suite,
+    format_batch,
+    load_results,
+    run_batch,
+    save_results,
+)
 
 __all__ = [
+    "BenchInstance",
+    "BenchResult",
     "ExplorationResult",
     "Figure4Bar",
     "LayoutResult",
     "Table1Row",
+    "build_suite",
     "figure4_from_rows",
+    "format_batch",
     "format_figure4",
     "format_table1",
+    "load_results",
     "run_architecture_exploration",
+    "run_batch",
     "run_table1",
     "run_table1_row",
+    "save_results",
 ]

@@ -1,0 +1,463 @@
+"""Parallel batch evaluation engine.
+
+The reproduction's evaluation surfaces (Table I cells, Figure 4 bars,
+exploration sweeps, and the exact-SMT benchmark instances) are all
+embarrassingly parallel: every instance is an independent (circuit,
+architecture, backend) triple.  This module turns each surface into a list
+of picklable :class:`BenchInstance` specs and fans them out across worker
+processes with :mod:`concurrent.futures`, collecting per-instance wall-clock,
+status (``ok`` / ``timeout`` / ``error``) and a JSON-serialisable payload.
+
+Entry points
+------------
+
+* :func:`build_suite` — construct the instance list for a named suite
+  (``smt``, ``table1``, ``exploration`` or ``all``).
+* :func:`run_batch` — execute instances serially (``jobs <= 1``) or on a
+  process pool, with an optional per-instance timeout, and optionally
+  persist the results as JSON.
+* ``repro-nasp bench`` — the CLI wrapper around both (see
+  :mod:`repro.cli`).
+
+The timeout is enforced on two levels: SMT specs forward it to the solver's
+anytime time limit (the worker stops by itself, in serial and parallel mode
+alike), and in parallel mode the harness additionally abandons any instance
+whose *execution* exceeds the budget — its result is recorded as
+``timeout`` and the straggler worker processes are terminated when the
+batch finishes.  Caveat: specs without a cooperative solver limit (table1,
+exploration) cannot be interrupted in serial mode; run those with
+``jobs >= 2`` if a hard budget matters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
+
+#: The reduced-architecture instances exercised by the SMT suite; small
+#: enough for the pure-Python SAT core, structurally identical to the paper's
+#: full encoding.  Shared with ``benchmarks/test_bench_smt.py``.
+SMT_INSTANCES: dict[str, tuple[int, list[tuple[int, int]]]] = {
+    "single-gate": (2, [(0, 1)]),
+    "chain-2": (3, [(0, 1), (1, 2)]),
+    "disjoint-pairs": (4, [(0, 1), (2, 3)]),
+    "triangle": (3, [(0, 1), (1, 2), (0, 2)]),
+}
+
+SMT_LAYOUT_KINDS = ("none", "bottom")
+
+REDUCED_LAYOUT_KWARGS = {"x_max": 2, "h_max": 1, "v_max": 1, "c_max": 2, "r_max": 2}
+
+
+@dataclass
+class BenchInstance:
+    """One unit of benchmark work: a name plus a picklable spec dict."""
+
+    name: str
+    suite: str
+    spec: dict
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one :class:`BenchInstance`."""
+
+    name: str
+    suite: str
+    status: str  # "ok" | "timeout" | "error"
+    seconds: float
+    payload: dict = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# --------------------------------------------------------------------------- #
+# Suite construction
+# --------------------------------------------------------------------------- #
+def smt_suite(
+    modes: Sequence[str] = ("incremental", "coldstart"),
+    instances: Sequence[str] | None = None,
+    layout_kinds: Sequence[str] = SMT_LAYOUT_KINDS,
+    time_limit: Optional[float] = 120.0,
+) -> list[BenchInstance]:
+    """Exact-SMT scheduling of the reduced benchmark instances."""
+    names = list(instances) if instances is not None else list(SMT_INSTANCES)
+    suite: list[BenchInstance] = []
+    for mode in modes:
+        if mode not in ("incremental", "coldstart"):
+            raise ValueError(f"unknown SMT scheduler mode {mode!r}")
+        for kind in layout_kinds:
+            for name in names:
+                num_qubits, gates = SMT_INSTANCES[name]
+                suite.append(
+                    BenchInstance(
+                        name=f"smt/{mode}/{kind}/{name}",
+                        suite="smt",
+                        spec={
+                            "kind": "smt",
+                            "mode": mode,
+                            "layout_kind": kind,
+                            "layout_kwargs": dict(REDUCED_LAYOUT_KWARGS),
+                            "instance": name,
+                            "num_qubits": num_qubits,
+                            "gates": [list(g) for g in gates],
+                            "time_limit": time_limit,
+                        },
+                    )
+                )
+    return suite
+
+
+def table1_suite(codes: Sequence[str] | None = None) -> list[BenchInstance]:
+    """One instance per Table I cell (code x layout, structured backend).
+
+    Figure 4 is derived from the same rows
+    (:func:`repro.evaluation.figure4.figure4_from_rows`), so this suite
+    covers both evaluation surfaces.
+    """
+    from repro.arch import evaluation_layouts
+    from repro.qec import available_codes
+
+    code_names = list(codes) if codes is not None else available_codes()
+    layout_names = list(evaluation_layouts())
+    return [
+        BenchInstance(
+            name=f"table1/{code}/{layout}",
+            suite="table1",
+            spec={"kind": "table1", "code": code, "layout": layout},
+        )
+        for code in code_names
+        for layout in layout_names
+    ]
+
+
+def exploration_suite(codes: Sequence[str] | None = None) -> list[BenchInstance]:
+    """One design-space sweep per code."""
+    from repro.qec import available_codes
+
+    code_names = list(codes) if codes is not None else available_codes()
+    return [
+        BenchInstance(
+            name=f"exploration/{code}",
+            suite="exploration",
+            spec={"kind": "exploration", "code": code},
+        )
+        for code in code_names
+    ]
+
+
+def build_suite(
+    suite: str,
+    codes: Sequence[str] | None = None,
+    modes: Sequence[str] | None = None,
+    time_limit: Optional[float] = 120.0,
+) -> list[BenchInstance]:
+    """Construct the instance list for a named suite."""
+    smt_modes = tuple(modes) if modes else ("incremental", "coldstart")
+    if suite == "smt":
+        return smt_suite(modes=smt_modes, time_limit=time_limit)
+    if suite == "table1":
+        return table1_suite(codes=codes)
+    if suite == "exploration":
+        return exploration_suite(codes=codes)
+    if suite == "all":
+        return (
+            smt_suite(modes=smt_modes, time_limit=time_limit)
+            + table1_suite(codes=codes)
+            + exploration_suite(codes=codes)
+        )
+    raise ValueError(f"unknown suite {suite!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Workers (module-level so they pickle for ProcessPoolExecutor)
+# --------------------------------------------------------------------------- #
+def execute_spec(spec: dict) -> dict:
+    """Run one instance spec and return its JSON-serialisable payload."""
+    kind = spec["kind"]
+    if kind == "smt":
+        return _execute_smt(spec)
+    if kind == "table1":
+        return _execute_table1(spec)
+    if kind == "exploration":
+        return _execute_exploration(spec)
+    raise ValueError(f"unknown spec kind {kind!r}")
+
+
+def _execute_smt(spec: dict) -> dict:
+    from repro.arch import reduced_layout
+    from repro.core.scheduler import SMTScheduler
+    from repro.core.validator import validate_schedule
+
+    architecture = reduced_layout(spec["layout_kind"], **spec["layout_kwargs"])
+    scheduler = SMTScheduler(
+        architecture,
+        time_limit_per_instance=spec.get("time_limit"),
+        incremental=spec["mode"] == "incremental",
+    )
+    gates = [tuple(g) for g in spec["gates"]]
+    result = scheduler.schedule(spec["num_qubits"], gates)
+    payload = {
+        "mode": spec["mode"],
+        "layout": spec["layout_kind"],
+        "instance": spec["instance"],
+        "found": result.found,
+        "optimal": result.optimal,
+        "stages_tried": result.stages_tried,
+        "solver_seconds": result.solver_seconds,
+    }
+    if result.found:
+        validate_schedule(
+            result.schedule, require_shielding=architecture.has_storage
+        )
+        payload.update(
+            num_stages=result.schedule.num_stages,
+            num_rydberg_stages=result.schedule.num_rydberg_stages,
+            num_transfer_stages=result.schedule.num_transfer_stages,
+            validated=True,
+        )
+    return payload
+
+
+def _execute_table1(spec: dict) -> dict:
+    from repro.arch import evaluation_layouts
+    from repro.evaluation.table1 import run_table1_row
+
+    layouts = evaluation_layouts()
+    layout_name = spec["layout"]
+    if layout_name not in layouts:
+        raise ValueError(f"unknown layout {layout_name!r}")
+    row = run_table1_row(spec["code"], layouts={layout_name: layouts[layout_name]})
+    cell = row.layouts[layout_name]
+    return {
+        "code": spec["code"],
+        "layout": layout_name,
+        "num_qubits": row.num_qubits,
+        "num_cz_gates": row.num_cz_gates,
+        "scheduling_seconds": cell.scheduling_seconds,
+        "num_rydberg_stages": cell.num_rydberg_stages,
+        "num_transfer_stages": cell.num_transfer_stages,
+        "num_transfer_operations": cell.num_transfer_operations,
+        "execution_time_ms": cell.execution_time_ms,
+        "asp": cell.asp,
+    }
+
+
+def _execute_exploration(spec: dict) -> dict:
+    from repro.evaluation.exploration import run_architecture_exploration
+
+    results = run_architecture_exploration(spec["code"])
+    return {
+        "code": spec["code"],
+        "design_points": [asdict(result) for result in results],
+    }
+
+
+def _timed_execute(spec: dict) -> dict:
+    start = time.monotonic()
+    payload = execute_spec(spec)
+    payload["seconds"] = time.monotonic() - start
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Batch execution
+# --------------------------------------------------------------------------- #
+def run_batch(
+    instances: Sequence[BenchInstance],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    output_path: str | os.PathLike | None = None,
+) -> list[BenchResult]:
+    """Execute *instances*, optionally in parallel, and collect results.
+
+    ``jobs=None`` or ``jobs <= 1`` runs serially in this process (no pickling
+    round-trips, easiest to debug); larger values fan out across that many
+    worker processes.  *timeout* bounds each instance's execution time: SMT
+    instances enforce it cooperatively through the solver's anytime limit,
+    and in parallel mode the harness additionally abandons any instance that
+    overruns (status ``"timeout"``), terminating straggler workers at the
+    end of the batch.  Non-SMT instances cannot be preempted in serial mode.
+    When *output_path* is given the results are additionally persisted as
+    JSON.
+    """
+    if jobs is None or jobs <= 1:
+        results = _run_serial(instances, timeout)
+    else:
+        results = _run_parallel(instances, jobs, timeout)
+    if output_path is not None:
+        save_results(results, output_path)
+    return results
+
+
+def _run_serial(
+    instances: Sequence[BenchInstance], timeout: Optional[float]
+) -> list[BenchResult]:
+    results: list[BenchResult] = []
+    for instance in instances:
+        spec = _with_timeout(instance.spec, timeout)
+        start = time.monotonic()
+        try:
+            payload = execute_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - reported per instance
+            results.append(
+                BenchResult(
+                    name=instance.name,
+                    suite=instance.suite,
+                    status="error",
+                    seconds=time.monotonic() - start,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        results.append(
+            BenchResult(
+                name=instance.name,
+                suite=instance.suite,
+                status="ok",
+                seconds=time.monotonic() - start,
+                payload=payload,
+            )
+        )
+    return results
+
+
+def _run_parallel(
+    instances: Sequence[BenchInstance], jobs: int, timeout: Optional[float]
+) -> list[BenchResult]:
+    results: dict[int, BenchResult] = {}
+    abandoned_running = False
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = {}
+        for index, instance in enumerate(instances):
+            future = pool.submit(_timed_execute, _with_timeout(instance.spec, timeout))
+            futures[future] = (index, instance)
+        pending = set(futures)
+        # Execution start per future, observed by polling: the timeout is a
+        # budget on a worker actually running the instance, so time spent
+        # waiting in the pool queue must not count against it.
+        execution_started: dict[object, float] = {}
+        while pending:
+            done, pending = wait(pending, timeout=0.5, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in pending:
+                if future not in execution_started and future.running():
+                    execution_started[future] = now
+            for future in done:
+                index, instance = futures[future]
+                elapsed = now - execution_started.get(future, now)
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported per instance
+                    results[index] = BenchResult(
+                        name=instance.name,
+                        suite=instance.suite,
+                        status="error",
+                        seconds=elapsed,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    results[index] = BenchResult(
+                        name=instance.name,
+                        suite=instance.suite,
+                        status="ok",
+                        seconds=payload.pop("seconds", elapsed),
+                        payload=payload,
+                    )
+            if timeout is not None:
+                overdue = {
+                    future
+                    for future in pending
+                    if future in execution_started
+                    and now - execution_started[future] > timeout
+                }
+                for future in overdue:
+                    index, instance = futures[future]
+                    results[index] = BenchResult(
+                        name=instance.name,
+                        suite=instance.suite,
+                        status="timeout",
+                        seconds=now - execution_started[future],
+                        error=f"exceeded {timeout:.0f}s harness timeout",
+                    )
+                    abandoned_running = True
+                pending -= overdue
+    finally:
+        # Don't block on abandoned workers: release the queue, then
+        # terminate any process still grinding on a timed-out instance.
+        workers = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=not abandoned_running, cancel_futures=True)
+        if abandoned_running:
+            for process in workers.values():
+                process.terminate()
+    return [results[index] for index in sorted(results)]
+
+
+def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
+    """Forward the harness timeout to specs that support a solver limit."""
+    if timeout is None or spec.get("kind") != "smt":
+        return spec
+    spec = dict(spec)
+    limit = spec.get("time_limit")
+    spec["time_limit"] = timeout if limit is None else min(limit, timeout)
+    return spec
+
+
+# --------------------------------------------------------------------------- #
+# Persistence and formatting
+# --------------------------------------------------------------------------- #
+def save_results(
+    results: Sequence[BenchResult], path: str | os.PathLike
+) -> None:
+    """Persist a batch run as a JSON document."""
+    document = {
+        "version": 1,
+        "created_unix": time.time(),
+        "num_instances": len(results),
+        "num_ok": sum(1 for r in results if r.ok),
+        "results": [asdict(result) for result in results],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path: str | os.PathLike) -> list[BenchResult]:
+    """Load a batch run persisted by :func:`save_results`."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    return [BenchResult(**entry) for entry in document["results"]]
+
+
+def format_batch(results: Sequence[BenchResult]) -> str:
+    """Human-readable summary table of a batch run."""
+    lines = [f"{'Instance':<42}{'Status':>9}{'Time[s]':>9}  Details"]
+    for result in results:
+        details = ""
+        payload = result.payload
+        if result.suite == "smt" and payload.get("found"):
+            details = (
+                f"stages={payload['num_stages']} "
+                f"tried={payload['stages_tried']}"
+            )
+        elif result.suite == "table1" and result.ok:
+            details = (
+                f"#R={payload['num_rydberg_stages']} #T={payload['num_transfer_stages']} "
+                f"ASP={payload['asp']:.3f}"
+            )
+        elif result.suite == "exploration" and result.ok:
+            details = f"{len(payload['design_points'])} design points"
+        elif result.error:
+            details = result.error
+        lines.append(f"{result.name:<42}{result.status:>9}{result.seconds:>9.2f}  {details}")
+    ok = sum(1 for r in results if r.ok)
+    lines.append(f"{ok}/{len(results)} instances ok")
+    return "\n".join(lines)

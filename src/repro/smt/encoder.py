@@ -54,10 +54,15 @@ class ExpressionEncoder:
         # Caches are keyed by expression identity: expressions are immutable
         # trees, and reusing structurally identical sub-trees is the caller's
         # job (the scheduler reuses variable objects, which is what matters).
+        # Every cached expression is pinned in ``_pinned``: the encoder can
+        # outlive the expressions it translated (incremental solving), and an
+        # id() reused by a newly allocated expression would otherwise alias a
+        # stale cache entry.
         self._bool_cache: dict[int, int] = {}
         self._int_cache: dict[int, BitVector] = {}
         self._bool_vars: dict[int, int] = {}
         self._int_vars: dict[int, BitVector] = {}
+        self._pinned: list[T.Expr] = []
 
     @property
     def gates(self) -> TseitinEncoder:
@@ -103,6 +108,7 @@ class ExpressionEncoder:
             return cached
         lit = self._encode_bool_uncached(expr)
         self._bool_cache[key] = lit
+        self._pinned.append(expr)
         return lit
 
     def _encode_bool_uncached(self, expr: T.BoolExpr) -> int:
@@ -148,6 +154,7 @@ class ExpressionEncoder:
             return cached
         vec = self._encode_int_uncached(expr)
         self._int_cache[key] = vec
+        self._pinned.append(expr)
         return vec
 
     def _encode_int_uncached(self, expr: T.IntExpr) -> BitVector:

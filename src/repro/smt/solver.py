@@ -4,8 +4,22 @@
 integer and boolean variables), bit-blasts them with
 :class:`repro.smt.encoder.ExpressionEncoder` and decides them with the CDCL
 solver from :mod:`repro.sat`.  The interface mirrors the subset of the Z3
-Python API used by the paper's scheduling encoding: ``add``, ``check``,
-``model``, ``push``/``pop`` and per-call resource limits.
+Python API used by the paper's scheduling encoding: ``add``, ``check`` (with
+assumptions), ``model``, ``push``/``pop`` and per-call resource limits.
+
+Two operating modes exist:
+
+* **cold-start** (default) — every :meth:`Solver.check` bit-blasts the whole
+  constraint set into a fresh :class:`~repro.sat.solver.CDCLSolver`.  This
+  supports :meth:`Solver.push`/:meth:`Solver.pop` (constraints can be
+  retracted) but throws all learned clauses away between checks.
+* **incremental** (``Solver(incremental=True)``) — one SAT solver and one
+  expression encoder persist across checks; only constraints and variables
+  added since the previous check are encoded.  Learned clauses, variable
+  activities and saved phases carry over, which is what makes the
+  minimum-stage search of :class:`repro.core.scheduler.SMTScheduler` cheap.
+  Constraints are permanent in this mode (``push``/``pop`` raise); queries
+  that must be retractable are expressed through ``check(assumptions=...)``.
 """
 
 from __future__ import annotations
@@ -17,6 +31,10 @@ from typing import Iterable, Optional
 from repro.sat.solver import CDCLSolver, SolveResult
 from repro.smt import terms as T
 from repro.smt.encoder import ExpressionEncoder
+
+
+#: Solver statistics that are high-water gauges rather than monotone counters.
+_GAUGE_STATISTICS = frozenset({"max_decision_level"})
 
 
 class CheckResult(enum.Enum):
@@ -108,12 +126,25 @@ class Model:
 class Solver:
     """Finite-domain SMT solver with a Z3-like interface."""
 
-    def __init__(self) -> None:
+    def __init__(self, incremental: bool = False) -> None:
         self._constraints: list[T.BoolExpr] = []
         self._scopes: list[int] = []
         self._variables: list[T.Expr] = []
         self._model: Optional[Model] = None
         self._last_statistics: dict[str, float] = {}
+        self._incremental = incremental
+        self._sat_solver: Optional[CDCLSolver] = None
+        self._encoder: Optional[ExpressionEncoder] = None
+        self._encoded_constraints = 0
+        self._encoded_variables = 0
+        if incremental:
+            self._sat_solver = CDCLSolver()
+            self._encoder = ExpressionEncoder(self._sat_solver)
+
+    @property
+    def incremental(self) -> bool:
+        """True when the solver keeps its SAT state across checks."""
+        return self._incremental
 
     # ------------------------------------------------------------------ #
     # Variable creation helpers
@@ -149,10 +180,20 @@ class Solver:
 
     def push(self) -> None:
         """Open a backtracking scope."""
+        if self._incremental:
+            raise RuntimeError(
+                "push()/pop() are not supported by an incremental solver; "
+                "use check(assumptions=...) for retractable constraints"
+            )
         self._scopes.append(len(self._constraints))
 
     def pop(self) -> None:
         """Discard all constraints added since the matching :meth:`push`."""
+        if self._incremental:
+            raise RuntimeError(
+                "push()/pop() are not supported by an incremental solver; "
+                "use check(assumptions=...) for retractable constraints"
+            )
         if not self._scopes:
             raise RuntimeError("pop() without matching push()")
         length = self._scopes.pop()
@@ -163,31 +204,62 @@ class Solver:
     # ------------------------------------------------------------------ #
     def check(
         self,
+        assumptions: Iterable[T.BoolExpr] = (),
         max_conflicts: Optional[int] = None,
         time_limit: Optional[float] = None,
     ) -> CheckResult:
-        """Decide the conjunction of all asserted constraints."""
+        """Decide the asserted constraints, optionally under *assumptions*.
+
+        *assumptions* are boolean expressions that must hold for this call
+        only; they are not retained.  In incremental mode only the delta
+        since the previous check is bit-blasted and the underlying SAT
+        solver's learned clauses survive between calls.
+        """
         start = time.monotonic()
-        sat_solver = CDCLSolver()
-        encoder = ExpressionEncoder(sat_solver)
-        # Touch every registered variable so that it is present in the model
-        # even when no constraint mentions it.
-        for var in self._variables:
+        if self._incremental:
+            sat_solver = self._sat_solver
+            encoder = self._encoder
+            new_variables = self._variables[self._encoded_variables :]
+            new_constraints = self._constraints[self._encoded_constraints :]
+        else:
+            sat_solver = CDCLSolver()
+            encoder = ExpressionEncoder(sat_solver)
+            new_variables = self._variables
+            new_constraints = self._constraints
+        # Touch every (new) registered variable so that it is present in the
+        # model even when no constraint mentions it.
+        for var in new_variables:
             if isinstance(var, T.BoolVar):
                 encoder.encode_bool(var)
             elif isinstance(var, T.IntVar):
                 encoder.encode_int(var)
-        for constraint in self._constraints:
+        for constraint in new_constraints:
             encoder.assert_expr(constraint)
+        if self._incremental:
+            self._encoded_variables = len(self._variables)
+            self._encoded_constraints = len(self._constraints)
+        assumption_literals = [encoder.encode_bool(a) for a in assumptions]
         encode_time = time.monotonic() - start
-        result = sat_solver.solve(max_conflicts=max_conflicts, time_limit=time_limit)
+        stats_before = sat_solver.stats.as_dict()
+        result = sat_solver.solve(
+            assumptions=assumption_literals,
+            max_conflicts=max_conflicts,
+            time_limit=time_limit,
+        )
         solve_time = time.monotonic() - start - encode_time
+        stats_after = sat_solver.stats.as_dict()
         self._last_statistics = {
             "encode_seconds": encode_time,
             "solve_seconds": solve_time,
             "sat_variables": sat_solver.num_vars,
             "sat_clauses": sat_solver.num_clauses,
-            **{f"sat_{k}": v for k, v in sat_solver.stats.as_dict().items()},
+            # Monotone counters are reported as per-check deltas; gauges
+            # (high-water marks) would be meaningless as differences and are
+            # reported as-is.
+            **{
+                f"sat_{k}": v if k in _GAUGE_STATISTICS else v - stats_before[k]
+                for k, v in stats_after.items()
+            },
         }
         if result is SolveResult.UNSAT:
             self._model = None

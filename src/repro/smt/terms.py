@@ -11,7 +11,7 @@ lifting (bit-blasting) happens in :mod:`repro.smt.encoder`.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Sequence, Union
 
 IntLike = Union["IntExpr", int]
 BoolLike = Union["BoolExpr", bool]

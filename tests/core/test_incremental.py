@@ -1,0 +1,158 @@
+"""Tests for the incremental minimum-stage search.
+
+The assumption-guarded stage extension must return the same minimal stage
+count — and validator-clean schedules — as the cold-start path on every
+instance, while reusing one SAT solver across the whole search.
+"""
+
+import pytest
+
+from repro.arch import reduced_layout
+from repro.core.encoding import encode_incremental_instance
+from repro.core.scheduler import SMTScheduler
+from repro.core.validator import validate_schedule
+from repro.evaluation.runner import SMT_INSTANCES
+from repro.qec import get_code
+from repro.qec.state_prep import state_preparation_circuit
+from repro.smt import CheckResult, Solver
+
+
+def tiny_layout(kind):
+    return reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+
+
+def steane_subinstance(qubits=(0, 1, 2, 4, 5)):
+    """Gates of the Steane prep circuit restricted to *qubits*, compacted."""
+    prep = state_preparation_circuit(get_code("steane"))
+    keep = set(qubits)
+    remap = {q: i for i, q in enumerate(sorted(keep))}
+    gates = [
+        (remap[a], remap[b]) for a, b in prep.cz_gates if a in keep and b in keep
+    ]
+    assert gates, "sub-instance must keep at least one gate"
+    return len(remap), gates
+
+
+INSTANCES = {**SMT_INSTANCES, "steane-sub": steane_subinstance()}
+
+
+# --------------------------------------------------------------------------- #
+# Agreement with the cold-start path
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("layout_kind", ["none", "bottom"])
+@pytest.mark.parametrize("instance_name", list(INSTANCES))
+def test_incremental_matches_coldstart(layout_kind, instance_name):
+    num_qubits, gates = INSTANCES[instance_name]
+    architecture = tiny_layout(layout_kind)
+    results = {}
+    for incremental in (True, False):
+        scheduler = SMTScheduler(
+            architecture, time_limit_per_instance=300, incremental=incremental
+        )
+        result = scheduler.schedule(num_qubits, gates)
+        assert result.found and result.optimal
+        validate_schedule(result.schedule, require_shielding=architecture.has_storage)
+        results[incremental] = result
+    assert results[True].schedule.num_stages == results[False].schedule.num_stages
+    assert results[True].stages_tried == results[False].stages_tried
+    assert (
+        results[True].schedule.num_rydberg_stages
+        == results[False].schedule.num_rydberg_stages
+    )
+
+
+def test_incremental_scheduler_respects_max_stages():
+    scheduler = SMTScheduler(tiny_layout("bottom"), max_stages=1, incremental=True)
+    result = scheduler.schedule(3, [(0, 1), (1, 2)])
+    assert not result.found
+    assert result.schedule is None
+
+
+def test_incremental_capacity_rebuild_still_optimal(monkeypatch):
+    """Outgrowing the initial gate-stage capacity rebuilds transparently."""
+    import repro.core.scheduler as scheduler_module
+
+    monkeypatch.setattr(scheduler_module, "_CAPACITY_HEADROOM", 1)
+    scheduler = SMTScheduler(tiny_layout("bottom"), time_limit_per_instance=300)
+    result = scheduler.schedule(3, [(0, 1), (1, 2), (0, 2)])
+    assert result.found and result.optimal
+    assert result.schedule.num_stages == 5
+    assert result.stages_tried == [2, 3, 4, 5]
+
+
+# --------------------------------------------------------------------------- #
+# Instance-level mechanics
+# --------------------------------------------------------------------------- #
+def test_incremental_instance_extends_in_place():
+    architecture = tiny_layout("bottom")
+    instance = encode_incremental_instance(
+        architecture, 3, [(0, 1), (1, 2)], num_stages=2, max_stages=6
+    )
+    solver = instance.solver
+    assert solver.incremental
+    assert instance.check(time_limit=300) is CheckResult.UNSAT
+    clauses_after_first = solver.statistics()["sat_clauses"]
+    instance.extend_to(3)
+    assert instance.solver is solver, "extension must reuse the same solver"
+    assert instance.check(time_limit=300) is CheckResult.SAT
+    # The second check only encoded the delta on top of the existing clauses.
+    assert solver.statistics()["sat_clauses"] > clauses_after_first
+    schedule = instance.extract_schedule()
+    validate_schedule(schedule)
+    assert schedule.num_stages == 3
+
+
+def test_incremental_instance_rejects_growth_beyond_capacity():
+    instance = encode_incremental_instance(
+        tiny_layout("none"), 2, [(0, 1)], num_stages=1, max_stages=2
+    )
+    instance.extend_to(2)
+    with pytest.raises(ValueError):
+        instance.extend_to(3)
+
+
+def test_extend_to_is_idempotent():
+    instance = encode_incremental_instance(
+        tiny_layout("none"), 2, [(0, 1)], num_stages=1, max_stages=4
+    )
+    instance.extend_to(1)
+    assert instance.num_stages == 1
+    assert instance.check(time_limit=300) is CheckResult.SAT
+
+
+# --------------------------------------------------------------------------- #
+# Incremental SMT solver facade
+# --------------------------------------------------------------------------- #
+def test_incremental_solver_reuses_state_across_checks():
+    solver = Solver(incremental=True)
+    x = solver.int_var("x", 0, 7)
+    flag = solver.bool_var("flag")
+    solver.add(flag.implies(x >= 5))
+    assert solver.check(assumptions=[flag]).is_sat()
+    assert solver.model()[x] >= 5
+    # The assumption is not asserted: without it, x is unconstrained.
+    solver.add(x <= 4)
+    assert solver.check().is_sat()
+    assert solver.model()[x] <= 4
+    # Under the assumption the combined constraints are now contradictory.
+    assert solver.check(assumptions=[flag]).is_unsat()
+    # ... but the formula itself stays satisfiable.
+    assert solver.check().is_sat()
+
+
+def test_incremental_solver_rejects_push_pop():
+    solver = Solver(incremental=True)
+    with pytest.raises(RuntimeError):
+        solver.push()
+    with pytest.raises(RuntimeError):
+        solver.pop()
+
+
+def test_coldstart_solver_supports_assumptions_too():
+    solver = Solver()
+    a = solver.bool_var("a")
+    b = solver.bool_var("b")
+    solver.add(a | b)
+    assert solver.check(assumptions=[~a, ~b]).is_unsat()
+    assert solver.check(assumptions=[~a]).is_sat()
+    assert solver.model()[b] is True

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import bottom_storage_layout, no_shielding_layout
-from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+from repro.core.schedule import QubitPlacement, Schedule
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import ValidationError, validate_schedule
 from repro.qec import steane_code

@@ -1,0 +1,114 @@
+"""Tests for the parallel batch evaluation engine."""
+
+import json
+
+import pytest
+
+from repro.evaluation.runner import (
+    BenchInstance,
+    build_suite,
+    execute_spec,
+    format_batch,
+    load_results,
+    run_batch,
+    smt_suite,
+    table1_suite,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Suite construction
+# --------------------------------------------------------------------------- #
+def test_build_suite_shapes():
+    smt = build_suite("smt")
+    assert len(smt) == 2 * 2 * 4  # modes x layouts x instances
+    assert all(inst.suite == "smt" for inst in smt)
+    table1 = build_suite("table1", codes=["steane"])
+    assert len(table1) == 3  # three layouts
+    exploration = build_suite("exploration", codes=["steane", "surface"])
+    assert len(exploration) == 2
+    everything = build_suite("all", codes=["steane"], modes=["incremental"])
+    assert len(everything) == 8 + 3 + 1
+
+
+def test_build_suite_unknown_name():
+    with pytest.raises(ValueError):
+        build_suite("nope")
+
+
+def test_smt_suite_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        smt_suite(modes=["warmstart"])
+
+
+# --------------------------------------------------------------------------- #
+# Spec execution
+# --------------------------------------------------------------------------- #
+def test_execute_table1_spec():
+    instance = table1_suite(codes=["steane"])[0]
+    payload = execute_spec(instance.spec)
+    assert payload["code"] == "steane"
+    assert payload["num_rydberg_stages"] > 0
+    assert 0.0 < payload["asp"] <= 1.0
+    json.dumps(payload)  # payloads must be JSON-serialisable
+
+
+def test_execute_smt_spec_both_modes_agree():
+    instances = smt_suite(
+        modes=("incremental", "coldstart"),
+        instances=["chain-2"],
+        layout_kinds=("bottom",),
+        time_limit=300,
+    )
+    payloads = [execute_spec(inst.spec) for inst in instances]
+    assert all(p["found"] and p["optimal"] and p["validated"] for p in payloads)
+    assert payloads[0]["num_stages"] == payloads[1]["num_stages"] == 3
+
+
+# --------------------------------------------------------------------------- #
+# Batch execution
+# --------------------------------------------------------------------------- #
+def _tiny_suite():
+    return smt_suite(
+        modes=("incremental",),
+        instances=["single-gate", "disjoint-pairs"],
+        layout_kinds=("none",),
+        time_limit=300,
+    )
+
+
+def test_run_batch_serial_with_json_output(tmp_path):
+    output = tmp_path / "results.json"
+    results = run_batch(_tiny_suite(), jobs=1, output_path=output)
+    assert [r.status for r in results] == ["ok", "ok"]
+    assert all(r.seconds >= 0 for r in results)
+    document = json.loads(output.read_text())
+    assert document["num_instances"] == 2
+    assert document["num_ok"] == 2
+    reloaded = load_results(output)
+    assert [r.name for r in reloaded] == [r.name for r in results]
+
+
+def test_run_batch_parallel_matches_serial(tmp_path):
+    suite = _tiny_suite()
+    serial = run_batch(suite, jobs=1)
+    parallel = run_batch(suite, jobs=2, output_path=tmp_path / "parallel.json")
+    assert [r.name for r in parallel] == [r.name for r in serial]
+    assert all(r.ok for r in parallel)
+    for left, right in zip(serial, parallel):
+        assert left.payload["num_stages"] == right.payload["num_stages"]
+
+
+def test_run_batch_records_errors():
+    broken = BenchInstance(name="broken", suite="smt", spec={"kind": "nonsense"})
+    results = run_batch([broken], jobs=1)
+    assert results[0].status == "error"
+    assert "nonsense" in results[0].error
+    assert "0/1 instances ok" in format_batch(results)
+
+
+def test_format_batch_mentions_instances():
+    results = run_batch(_tiny_suite(), jobs=1)
+    text = format_batch(results)
+    assert "single-gate" in text
+    assert "2/2 instances ok" in text

@@ -241,3 +241,57 @@ def test_add_cnf_bulk():
     solver = CDCLSolver()
     solver.add_cnf(cnf)
     assert solver.solve() is SolveResult.UNSAT
+
+
+# --------------------------------------------------------------------------- #
+# Regression tests: assumption solving reused across calls (the incremental
+# scheduler keeps one solver alive for the whole minimum-stage search).
+# --------------------------------------------------------------------------- #
+def test_assumption_reuse_interleaved_with_clause_addition():
+    solver = CDCLSolver()
+    a, b, c = (solver.new_var() for _ in range(3))
+    solver.add_clause([a, b])
+    assert solver.solve(assumptions=[-a]) is SolveResult.SAT
+    assert solver.model()[b] is True
+    # Add clauses between assumption queries, as extend_to() does.
+    solver.add_clause([-b, c])
+    assert solver.solve(assumptions=[-a]) is SolveResult.SAT
+    assert solver.model()[c] is True
+    assert solver.solve(assumptions=[-a, -c]) is SolveResult.UNSAT
+    # Neither the UNSAT query nor the added clauses poisoned the formula.
+    assert solver.solve() is SolveResult.SAT
+    assert solver.solve(assumptions=[a]) is SolveResult.SAT
+
+
+def test_assumption_unsat_does_not_block_weaker_assumptions():
+    """Mirrors the horizon search: refute S, then succeed at S+1."""
+    solver = CDCLSolver()
+    horizon2, horizon3 = solver.new_var(), solver.new_var()
+    g1, g2, g3 = (solver.new_var() for _ in range(3))
+    # horizon2 forbids g3; horizon3 allows everything.
+    solver.add_clause([-horizon2, -g3])
+    # The instance needs g3.
+    solver.add_clause([g3])
+    assert solver.solve(assumptions=[horizon2]) is SolveResult.UNSAT
+    assert solver.solve(assumptions=[horizon3]) is SolveResult.SAT
+    assert solver.model()[g3] is True
+    # The refuted horizon literal is now entailed negative.
+    assert solver.solve(assumptions=[horizon2]) is SolveResult.UNSAT
+    assert solver.solve(assumptions=[g1, g2]) is SolveResult.SAT
+
+
+def test_learned_state_survives_assumption_queries():
+    """Conflicts in one query must not corrupt later models."""
+    solver = CDCLSolver()
+    n = 8
+    variables = [solver.new_var() for _ in range(n)]
+    # Chain of implications v0 -> v1 -> ... -> v7.
+    for left, right in zip(variables, variables[1:]):
+        solver.add_clause([-left, right])
+    assert solver.solve(assumptions=[variables[0], -variables[-1]]) is SolveResult.UNSAT
+    assert solver.solve(assumptions=[variables[0]]) is SolveResult.SAT
+    model = solver.model()
+    assert all(model[v] for v in variables)
+    assert solver.solve(assumptions=[-variables[-1]]) is SolveResult.SAT
+    model = solver.model()
+    assert not model[variables[0]]

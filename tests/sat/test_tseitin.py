@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.sat import CNF, CDCLSolver, SolveResult, TseitinEncoder
 

@@ -5,7 +5,7 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.smt import And, If, Iff, Implies, Not, Or, Solver, CheckResult
+from repro.smt import If, Iff, Implies, Not, Or, Solver, CheckResult
 from repro.smt import at_most_one, exactly_one
 
 

@@ -68,6 +68,50 @@ def test_explore_command(capsys):
     assert "bottom storage" in output
 
 
+def test_bench_command_exploration(capsys, tmp_path):
+    output = tmp_path / "bench.json"
+    assert (
+        main(
+            [
+                "bench",
+                "--suite",
+                "exploration",
+                "--codes",
+                "steane",
+                "--output",
+                str(output),
+            ]
+        )
+        == 0
+    )
+    text = capsys.readouterr().out
+    assert "exploration/steane" in text
+    assert "1/1 instances ok" in text
+    document = json.loads(output.read_text())
+    assert document["num_ok"] == 1
+
+
+def test_bench_command_smt_single_instance(capsys):
+    assert (
+        main(
+            [
+                "bench",
+                "--suite",
+                "smt",
+                "--modes",
+                "incremental",
+                "--timeout",
+                "300",
+            ]
+        )
+        == 0
+    )
+    text = capsys.readouterr().out
+    assert "smt/incremental/bottom/chain-2" in text
+    assert "16/16" not in text  # only one mode was requested
+    assert "8/8 instances ok" in text
+
+
 def test_unknown_code_rejected():
     with pytest.raises(SystemExit):
         main(["circuit", "unknown-code"])
