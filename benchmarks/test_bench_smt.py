@@ -4,42 +4,54 @@ The paper reports Z3 solving times ranging from sub-second (small codes) to
 hundreds of hours (large codes).  With a pure-Python SAT core the same
 encoding is exercised here on reduced-but-structurally-identical instances;
 the benchmark also cross-checks the optimal stage counts against the
-architecture's shielding behaviour (storage zone => extra transfer stage)
-and pits the incremental minimum-stage search against the cold-start one.
+architecture's shielding behaviour (storage zone => extra transfer stage),
+pits the incremental minimum-stage search against the cold-start one, and
+certifies that bound-driven bisection reaches the same optima while probing
+strictly fewer stage horizons on multi-horizon instances.
 """
 
 import pytest
 
 from repro.arch import reduced_layout
+from repro.core.problem import SchedulingProblem
 from repro.core.scheduler import SMTScheduler
 from repro.core.validator import validate_schedule
 from repro.evaluation.runner import REDUCED_LAYOUT_KWARGS, SMT_INSTANCES
 
 INSTANCES = SMT_INSTANCES
 
+#: Linear probes every horizon between the analytic lower bound and the
+#: optimum; an instance is "multi-horizon" when that walk visits at least
+#: this many horizons — the regime bisection is built for.
+MULTI_HORIZON = 3
+
 
 def bench_layout(kind):
     return reduced_layout(kind, **REDUCED_LAYOUT_KWARGS)
 
 
-@pytest.mark.parametrize("mode", ["incremental", "coldstart"])
+def bench_problem(kind, instance_name):
+    num_qubits, gates = INSTANCES[instance_name]
+    return SchedulingProblem.from_gates(bench_layout(kind), num_qubits, gates)
+
+
+@pytest.mark.parametrize("strategy", ["linear", "bisection", "warmstart"])
 @pytest.mark.parametrize("layout_kind", ["none", "bottom"])
 @pytest.mark.parametrize("instance_name", list(INSTANCES))
-def test_bench_smt_optimal_scheduling(benchmark, mode, layout_kind, instance_name):
-    """Time the full iterative-deepening optimal solve of a small instance."""
-    num_qubits, gates = INSTANCES[instance_name]
-    architecture = bench_layout(layout_kind)
-    scheduler = SMTScheduler(
-        architecture, time_limit_per_instance=120, incremental=mode == "incremental"
-    )
+def test_bench_smt_optimal_scheduling(benchmark, strategy, layout_kind, instance_name):
+    """Time the full optimal solve of a small instance, per strategy."""
+    problem = bench_problem(layout_kind, instance_name)
+    scheduler = SMTScheduler(time_limit_per_instance=120, strategy=strategy)
 
     def solve():
-        return scheduler.schedule(num_qubits, gates)
+        return scheduler.schedule(problem)
 
-    result = benchmark.pedantic(solve, rounds=1, iterations=1)
-    assert result.found
-    assert result.optimal
-    validate_schedule(result.schedule, require_shielding=architecture.has_storage)
+    report = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert report.found
+    assert report.optimal
+    assert report.strategy == strategy
+    assert report.lower_bound <= report.schedule.num_stages
+    validate_schedule(report.schedule, require_shielding=problem.shielding)
 
 
 def test_bench_smt_shielding_costs_one_stage(benchmark):
@@ -49,9 +61,11 @@ def test_bench_smt_shielding_costs_one_stage(benchmark):
     def compare():
         results = {}
         for kind in ("none", "bottom"):
-            architecture = bench_layout(kind)
-            scheduler = SMTScheduler(architecture, time_limit_per_instance=120)
-            results[kind] = scheduler.schedule(3, [(0, 1), (1, 2)])
+            problem = SchedulingProblem.from_gates(
+                bench_layout(kind), 3, [(0, 1), (1, 2)]
+            )
+            scheduler = SMTScheduler(time_limit_per_instance=120)
+            results[kind] = scheduler.schedule(problem)
         return results
 
     results = benchmark.pedantic(compare, rounds=1, iterations=1)
@@ -70,18 +84,16 @@ def test_bench_smt_incremental_beats_coldstart(benchmark):
         total_seconds = 0.0
         stage_counts = {}
         for layout_kind in ("none", "bottom"):
-            architecture = bench_layout(layout_kind)
             scheduler = SMTScheduler(
-                architecture, time_limit_per_instance=120, incremental=incremental
+                time_limit_per_instance=120, incremental=incremental
             )
-            for name, (num_qubits, gates) in INSTANCES.items():
-                result = scheduler.schedule(num_qubits, gates)
-                assert result.found and result.optimal
-                validate_schedule(
-                    result.schedule, require_shielding=architecture.has_storage
-                )
-                total_seconds += result.solver_seconds
-                stage_counts[(layout_kind, name)] = result.schedule.num_stages
+            for name in INSTANCES:
+                problem = bench_problem(layout_kind, name)
+                report = scheduler.schedule(problem)
+                assert report.found and report.optimal
+                validate_schedule(report.schedule, require_shielding=problem.shielding)
+                total_seconds += report.solver_seconds
+                stage_counts[(layout_kind, name)] = report.schedule.num_stages
         return total_seconds, stage_counts
 
     def compare():
@@ -95,3 +107,39 @@ def test_bench_smt_incremental_beats_coldstart(benchmark):
         f"incremental search took {incremental_seconds:.2f}s, "
         f"cold-start {coldstart_seconds:.2f}s"
     )
+
+
+def test_bench_smt_bisection_solves_fewer_horizons(benchmark):
+    """On multi-horizon instances, bisection certifies the same optimum as
+    linear while asking the solver to decide strictly fewer stage horizons."""
+
+    def run(strategy):
+        reports = {}
+        scheduler = SMTScheduler(time_limit_per_instance=120, strategy=strategy)
+        for layout_kind in ("none", "bottom"):
+            for name in INSTANCES:
+                problem = bench_problem(layout_kind, name)
+                reports[(layout_kind, name)] = scheduler.schedule(problem)
+        return reports
+
+    def compare():
+        return {"linear": run("linear"), "bisection": run("bisection")}
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    multi_horizon_cells = 0
+    for key, linear in results["linear"].items():
+        bisection = results["bisection"][key]
+        assert linear.found and linear.optimal
+        assert bisection.found and bisection.optimal
+        # Identical certified optima on every benchmark instance.
+        assert linear.schedule.num_stages == bisection.schedule.num_stages, key
+        assert bisection.lower_bound == linear.lower_bound
+        assert bisection.upper_bound is not None
+        assert bisection.upper_bound >= bisection.schedule.num_stages
+        if linear.num_horizons >= MULTI_HORIZON:
+            multi_horizon_cells += 1
+            assert bisection.num_horizons < linear.num_horizons, (
+                f"{key}: bisection probed {bisection.stages_tried} vs "
+                f"linear {linear.stages_tried}"
+            )
+    assert multi_horizon_cells > 0, "suite lost its multi-horizon instances"

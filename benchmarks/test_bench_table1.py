@@ -8,6 +8,7 @@ rows the paper reports — at the end of the run.
 import pytest
 
 from repro.arch import evaluation_layouts
+from repro.core.problem import SchedulingProblem
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
 from repro.evaluation import format_table1, run_table1
@@ -25,10 +26,9 @@ def test_bench_table1_cell(benchmark, prep_circuits, code_name, layout_name):
     architecture = LAYOUTS[layout_name]
 
     def cell():
-        schedule = StructuredScheduler(architecture).schedule(
-            prep.num_qubits, prep.cz_gates
-        )
-        validate_schedule(schedule, require_shielding=architecture.has_storage)
+        problem = SchedulingProblem.from_circuit(architecture, prep)
+        schedule = StructuredScheduler().schedule(problem)
+        validate_schedule(schedule, require_shielding=problem.shielding)
         return approximate_success_probability(schedule, prep)
 
     breakdown = benchmark(cell)

@@ -13,7 +13,7 @@ The example walks the full pipeline of the paper:
 """
 
 from repro.arch import bottom_storage_layout
-from repro.core import StructuredScheduler, validate_schedule
+from repro.core import SchedulingProblem, StructuredScheduler, validate_schedule
 from repro.metrics import approximate_success_probability
 from repro.qec import steane_code
 from repro.qec.state_prep import state_preparation_circuit
@@ -35,9 +35,11 @@ def main() -> None:
     # 3. Schedule the CZ gates on the bottom-storage layout (Layout 2).
     architecture = bottom_storage_layout()
     print(architecture.describe())
-    scheduler = StructuredScheduler(architecture)
-    schedule = scheduler.schedule(prep.num_qubits, prep.cz_gates,
-                                  metadata={"code": code.name})
+    problem = SchedulingProblem.from_circuit(
+        architecture, prep, metadata={"code": code.name}
+    )
+    print(f"problem: {problem.describe()}")
+    schedule = StructuredScheduler().schedule(problem)
 
     # 4. Independent validation of every architecture rule.
     validate_schedule(schedule)

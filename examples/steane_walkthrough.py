@@ -14,7 +14,12 @@ shield the idle qubit.
 """
 
 from repro.arch import bottom_storage_layout, no_shielding_layout, reduced_layout
-from repro.core import SMTScheduler, StructuredScheduler, validate_schedule
+from repro.core import (
+    SchedulingProblem,
+    SMTScheduler,
+    StructuredScheduler,
+    validate_schedule,
+)
 from repro.metrics import approximate_success_probability
 from repro.qec import steane_code
 from repro.qec.state_prep import state_preparation_circuit
@@ -29,10 +34,9 @@ def structured_comparison() -> None:
         ("no shielding (cf. Fig. 1)", no_shielding_layout()),
         ("bottom storage (cf. Fig. 2)", bottom_storage_layout()),
     ]:
-        schedule = StructuredScheduler(architecture).schedule(
-            prep.num_qubits, prep.cz_gates
-        )
-        validate_schedule(schedule, require_shielding=architecture.has_storage)
+        problem = SchedulingProblem.from_circuit(architecture, prep)
+        schedule = StructuredScheduler().schedule(problem)
+        validate_schedule(schedule, require_shielding=problem.shielding)
         breakdown = approximate_success_probability(schedule, prep)
         print(f"{label:<30} #R={schedule.num_rydberg_stages} "
               f"#T={schedule.num_transfer_stages} "
@@ -47,14 +51,17 @@ def optimal_small_instance() -> None:
     print("=== optimal SMT backend on a 3-qubit chained-CZ instance ===")
     for kind in ("none", "bottom"):
         architecture = reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
-        scheduler = SMTScheduler(architecture, time_limit_per_instance=120)
-        result = scheduler.schedule(3, gates)
-        assert result.found, "the reduced instance must be solvable"
-        schedule = result.schedule
+        problem = SchedulingProblem.from_gates(architecture, 3, gates)
+        scheduler = SMTScheduler(time_limit_per_instance=120, strategy="bisection")
+        report = scheduler.schedule(problem)
+        assert report.found, "the reduced instance must be solvable"
+        schedule = report.schedule
         print(f"layout={kind:<7} minimal S={schedule.num_stages} "
               f"(#R={schedule.num_rydberg_stages}, #T={schedule.num_transfer_stages}), "
-              f"optimal={result.optimal}, "
-              f"solver time={result.solver_seconds:.2f}s")
+              f"optimal={report.optimal}, "
+              f"bounds=[{report.lower_bound},{report.upper_bound}], "
+              f"horizons={report.stages_tried}, "
+              f"solver time={report.solver_seconds:.2f}s")
     print("-> the storage zone forces one extra (transfer) stage, exactly the")
     print("   shielding behaviour of Fig. 2 in the paper.")
 

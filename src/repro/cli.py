@@ -7,10 +7,12 @@ Examples
     repro-nasp codes                      # list the evaluation codes
     repro-nasp circuit steane             # show the prep circuit for a code
     repro-nasp schedule steane --layout bottom
+    repro-nasp schedule steane --strategy bisection --timeout 60
     repro-nasp table1                     # regenerate Table I
     repro-nasp figure4                    # regenerate Figure 4
     repro-nasp explore surface            # architecture design-space sweep
     repro-nasp bench --suite smt --jobs 4 --output results.json
+    repro-nasp bench --suite smt --strategy linear bisection --output out.json
 """
 
 from __future__ import annotations
@@ -26,6 +28,9 @@ from repro.arch import (
     double_sided_storage_layout,
     no_shielding_layout,
 )
+from repro.core.problem import SchedulingProblem
+from repro.core.scheduler import SMTScheduler
+from repro.core.strategies import available_strategies
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
 from repro.evaluation import (
@@ -39,6 +44,7 @@ from repro.evaluation import (
     run_table1,
 )
 from repro.evaluation.exploration import format_exploration
+from repro.evaluation.runner import SMT_STRATEGIES
 from repro.metrics import approximate_success_probability
 from repro.qec import available_codes, get_code
 from repro.qec.state_prep import state_preparation_circuit
@@ -69,6 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     schedule = sub.add_parser("schedule", help="schedule a preparation circuit")
     schedule.add_argument("code", choices=available_codes())
     schedule.add_argument("--layout", choices=sorted(_LAYOUTS), default="bottom")
+    schedule.add_argument(
+        "--strategy",
+        choices=["structured", *available_strategies()],
+        default="structured",
+        help="scheduling backend: the constructive choreography (default) or "
+        "an exact SMT search strategy (slow on full-size codes)",
+    )
+    schedule.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-horizon solver wall-clock budget for the SMT strategies",
+    )
     schedule.add_argument("--json", action="store_true", help="dump the schedule as JSON")
     schedule.add_argument(
         "--render", action="store_true", help="draw every stage as an ASCII site grid"
@@ -100,11 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the table1/exploration suites to these codes",
     )
     bench.add_argument(
-        "--modes",
+        "--strategy",
         nargs="*",
-        choices=["incremental", "coldstart"],
+        choices=list(SMT_STRATEGIES),
         default=None,
-        help="scheduler modes for the smt suite (default: both)",
+        dest="strategies",
+        help="search strategies for the smt suite (default: all; "
+        "'coldstart' is the non-incremental linear reference)",
     )
     bench.add_argument(
         "--jobs",
@@ -155,16 +176,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         code = get_code(args.code)
         prep = state_preparation_circuit(code)
         architecture = _LAYOUTS[args.layout]()
-        schedule = StructuredScheduler(architecture).schedule(
-            prep.num_qubits, prep.cz_gates, metadata={"code": code.name}
+        problem = SchedulingProblem.from_circuit(
+            architecture, prep, metadata={"code": code.name}
         )
-        validate_schedule(schedule, require_shielding=architecture.has_storage)
+        report = None
+        if args.strategy == "structured":
+            if args.timeout is not None:
+                print(
+                    "warning: --timeout only applies to the SMT strategies; "
+                    "the structured backend runs unbounded",
+                    file=sys.stderr,
+                )
+            schedule = StructuredScheduler().schedule(problem)
+        else:
+            scheduler = SMTScheduler(
+                strategy=args.strategy, time_limit_per_instance=args.timeout
+            )
+            report = scheduler.schedule(problem)
+            if not report.found:
+                print(
+                    f"no schedule within the stage/time budget "
+                    f"(horizons tried: {report.stages_tried})",
+                    file=sys.stderr,
+                )
+                return 1
+            schedule = report.schedule
+        validate_schedule(schedule, require_shielding=problem.shielding)
         breakdown = approximate_success_probability(schedule, prep)
         if args.json:
             print(json.dumps(schedule.to_dict(), indent=2))
         else:
             print(architecture.describe())
+            print(f"problem: {problem.describe()}")
             print(f"schedule: {schedule.summary()}")
+            if report is not None:
+                upper = "-" if report.upper_bound is None else report.upper_bound
+                print(
+                    f"search: strategy={report.strategy} optimal={report.optimal} "
+                    f"bounds=[{report.lower_bound},{upper}] "
+                    f"horizons={report.stages_tried}"
+                )
             print(f"execution time: {breakdown.timing.total_ms:.3f} ms")
             print(f"ASP: {breakdown.asp:.4f}")
             if args.render:
@@ -192,7 +243,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         instances = build_suite(
             args.suite,
             codes=args.codes,
-            modes=args.modes,
+            strategies=args.strategies,
             time_limit=args.timeout if args.timeout is not None else 120.0,
         )
         try:

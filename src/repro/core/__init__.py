@@ -4,12 +4,18 @@ Given the CZ-gate list of a state-preparation circuit and a zoned
 neutral-atom architecture, produce a schedule of Rydberg beams, trap
 transfers and shuttling operations.
 
-Three backends produce the same :class:`~repro.core.schedule.Schedule` type:
+Every backend consumes a :class:`~repro.core.problem.SchedulingProblem` —
+the shared IR bundling circuit, architecture, shielding policy, and derived
+structure (gate loads, interaction graph, zone capacities, analytic stage
+bounds).  Three backends produce the same
+:class:`~repro.core.schedule.Schedule` type:
 
 * :class:`repro.core.scheduler.SMTScheduler` — the faithful reproduction of
   the paper's approach: the symbolic formulation of Sec. IV (variables V1-V3,
   constraints C1-C6) solved with :mod:`repro.smt`, minimising the number of
-  stages by iterative deepening.
+  stages with a pluggable search strategy (``linear`` iterative deepening,
+  ``bisection`` between the IR's analytic bounds, or ``warmstart`` bisection
+  with structured phase seeding — see :mod:`repro.core.strategies`).
 * :class:`repro.core.structured.StructuredScheduler` — a constructive
   zone-aware scheduler used for the larger Table I instances, where a pure
   Python SMT solve would take days.
@@ -21,20 +27,29 @@ Every schedule can be checked independently with
 """
 
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
+from repro.core.problem import SchedulingProblem, ZoneCapacities
+from repro.core.report import SchedulerReport, SchedulerResult
 from repro.core.validator import ValidationError, validate_schedule
 from repro.core.structured import StructuredScheduler
-from repro.core.scheduler import SMTScheduler, SchedulerResult
+from repro.core.scheduler import SMTScheduler
+from repro.core.strategies import available_strategies, get_strategy, register_strategy
 from repro.core.visualize import render_schedule, render_stage
 
 __all__ = [
     "QubitPlacement",
     "SMTScheduler",
     "Schedule",
+    "SchedulerReport",
     "SchedulerResult",
+    "SchedulingProblem",
     "Stage",
     "StageKind",
     "StructuredScheduler",
     "ValidationError",
+    "ZoneCapacities",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
     "render_schedule",
     "render_stage",
     "validate_schedule",

@@ -15,7 +15,7 @@ Two instance flavours exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.arch.architecture import ZonedArchitecture
 from repro.core import constraints as C
@@ -24,6 +24,9 @@ from repro.core.variables import StatePrepVariables
 from repro.smt import CheckResult, Implies, Not, Solver
 from repro.smt.solver import Model
 from repro.smt.terms import BoolVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import SchedulingProblem
 
 Gate = tuple[int, int]
 
@@ -79,6 +82,18 @@ class IncrementalInstance:
     larger horizon simply stops assuming the old literal — nothing has to be
     retracted, and every clause the SAT core learned while refuting the
     smaller horizon remains valid.
+
+    Checks may also target a horizon *below* the current stage count
+    (``check(horizon=h)`` with ``h <= num_stages``), which is what the
+    bisection strategies use: a single instance grown to the largest probed
+    horizon decides every smaller horizon through its activation literal.
+    This is sound in both directions because any satisfying assignment of an
+    ``h``-stage encoding extends to the larger instance by replaying the last
+    placements through do-nothing transfer stages (every trailing constraint
+    is an implication guarded by an execution flag or a load/store flag that
+    the extension sets to false), and conversely the first ``h`` stages of a
+    model with all gates inside the horizon satisfy exactly the ``h``-stage
+    constraint set.  :meth:`extract_schedule` truncates accordingly.
     """
 
     architecture: ZonedArchitecture
@@ -119,9 +134,22 @@ class IncrementalInstance:
         self,
         max_conflicts: Optional[int] = None,
         time_limit: Optional[float] = None,
+        horizon: Optional[int] = None,
     ) -> CheckResult:
-        """Decide the instance at the current stage horizon."""
-        literal = self._horizon_literal()
+        """Decide the instance at *horizon* stages (default: all of them).
+
+        *horizon* may be any value in ``[1, num_stages]``; smaller horizons
+        are decided on the already-encoded larger instance through their
+        activation literal (see the class docstring for why this is exact).
+        """
+        if horizon is None:
+            horizon = self.variables.num_stages
+        elif not 1 <= horizon <= self.variables.num_stages:
+            raise ValueError(
+                f"horizon {horizon} outside the encoded range "
+                f"[1, {self.variables.num_stages}]"
+            )
+        literal = self._horizon_literal(horizon)
         result = self.solver.check(
             assumptions=[literal],
             max_conflicts=max_conflicts,
@@ -139,14 +167,24 @@ class IncrementalInstance:
         """Statistics of the most recent check."""
         return self.solver.statistics()
 
-    def extract_schedule(self, metadata: dict | None = None) -> Schedule:
-        """Convert the satisfying assignment into a :class:`Schedule`."""
-        model = self.solver.model()
-        return extract_schedule(self, model, metadata)
+    def extract_schedule(
+        self, metadata: dict | None = None, horizon: Optional[int] = None
+    ) -> Schedule:
+        """Convert the satisfying assignment into a :class:`Schedule`.
 
-    def _horizon_literal(self) -> BoolVar:
-        """Activation literal restricting every gate to the current stages."""
-        horizon = self.variables.num_stages
+        With *horizon* the schedule is truncated to that many stages — valid
+        after a satisfiable ``check(horizon=...)``, whose assumption confines
+        every gate to the truncated prefix.
+        """
+        model = self.solver.model()
+        return extract_schedule(self, model, metadata, horizon=horizon)
+
+    def set_phase_hints(self, hints: dict) -> None:
+        """Forward branching-phase hints to the underlying solver."""
+        self.solver.set_phase_hints(hints)
+
+    def _horizon_literal(self, horizon: int) -> BoolVar:
+        """Activation literal restricting every gate to the first *horizon* stages."""
         literal = self._horizons.get(horizon)
         if literal is None:
             literal = self.solver.bool_var(f"_horizon_{horizon}")
@@ -223,14 +261,51 @@ def encode_incremental_instance(
     )
 
 
+def encode_problem(
+    problem: "SchedulingProblem", num_stages: int
+) -> EncodedInstance:
+    """Cold-start encoding of a :class:`SchedulingProblem` at a fixed S."""
+    return encode_instance(
+        problem.architecture,
+        problem.num_qubits,
+        problem.gates,
+        num_stages,
+        shielding=problem.shielding,
+    )
+
+
+def encode_incremental_problem(
+    problem: "SchedulingProblem", num_stages: int, max_stages: int
+) -> IncrementalInstance:
+    """Growable encoding of a :class:`SchedulingProblem`."""
+    return encode_incremental_instance(
+        problem.architecture,
+        problem.num_qubits,
+        problem.gates,
+        num_stages=num_stages,
+        max_stages=max_stages,
+        shielding=problem.shielding,
+    )
+
+
 def extract_schedule(
     instance: EncodedInstance | IncrementalInstance,
     model: Model,
     metadata: dict | None = None,
+    horizon: int | None = None,
 ) -> Schedule:
-    """Read the variable assignment back into a concrete schedule."""
+    """Read the variable assignment back into a concrete schedule.
+
+    *horizon* truncates the schedule to its first stages; the caller must
+    guarantee (e.g. through a horizon assumption) that every gate executes
+    inside the truncated prefix.
+    """
     variables = instance.variables
-    num_stages = instance.num_stages
+    num_stages = instance.num_stages if horizon is None else horizon
+    if not 1 <= num_stages <= instance.num_stages:
+        raise ValueError(
+            f"horizon {num_stages} outside the encoded range [1, {instance.num_stages}]"
+        )
     stages: list[Stage] = []
     gate_stages = [model[g] for g in variables.gate_stage]
     for t in range(num_stages):

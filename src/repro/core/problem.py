@@ -1,0 +1,210 @@
+"""The scheduling-problem intermediate representation.
+
+:class:`SchedulingProblem` bundles everything a scheduling backend needs —
+the CZ-gate list, the target architecture, and the effective shielding
+policy — together with derived structure that every backend re-derived for
+itself before this IR existed: per-qubit gate loads, the interaction graph,
+and the architecture's zone capacities.  Both the exact
+:class:`~repro.core.scheduler.SMTScheduler` and the constructive
+:class:`~repro.core.structured.StructuredScheduler` consume a problem
+instance instead of raw ``(circuit, architecture)`` pairs, and the search
+strategies in :mod:`repro.core.strategies` read their analytic stage bounds
+from it.
+
+Analytic lower bound
+--------------------
+
+:meth:`SchedulingProblem.lower_bound` combines three certificates, each a
+sound lower bound on the number of *Rydberg* stages (and therefore on the
+total stage count):
+
+* **per-qubit gate load** — gates sharing a qubit execute in distinct
+  stages (Eq. 13), so a qubit touched by ``k`` gates forces ``k`` stages.
+  Counting gate multiplicity makes this at least the chromatic-index bound
+  (max degree of the simple interaction graph) used by the seed scheduler.
+* **site capacity** — a beam executes at most one gate per entangling-zone
+  interaction site (both operands sit at the same site, Eq. 12, and sites
+  are exclusive, Eq. 9).
+* **AOD capacity** — every executed gate holds at least one operand in an
+  AOD trap (two qubits at one site cannot both sit at the SLM centre,
+  Eqs. 9/10), and two AOD qubits can share neither their column nor their
+  row pair (Eq. 11 ties indices to geometric order), so a beam executes at
+  most ``(Cmax+1) * (Rmax+1)`` gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.arch.architecture import ZonedArchitecture
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.circuit.state_prep_circuit import StatePrepCircuit
+
+Gate = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ZoneCapacities:
+    """Site/trap capacities of an architecture, derived once per problem."""
+
+    #: Interaction sites inside the entangling zone (max gates per beam).
+    entangling_sites: int
+    #: SLM sites inside storage zones (shielded parking spots).
+    storage_sites: int
+    #: Distinct (column, row) AOD index pairs (max airborne qubits).
+    aod_traps: int
+    #: AOD columns available for pick-ups.
+    aod_columns: int
+    #: AOD rows available for pick-ups.
+    aod_rows: int
+
+    @classmethod
+    def of(cls, architecture: ZonedArchitecture) -> "ZoneCapacities":
+        """Compute the capacities of *architecture*."""
+        e_min, e_max = architecture.entangling_rows
+        columns = architecture.x_max + 1
+        return cls(
+            entangling_sites=(e_max - e_min + 1) * columns,
+            storage_sites=len(architecture.storage_rows()) * columns,
+            aod_traps=architecture.num_aod_columns * architecture.num_aod_rows,
+            aod_columns=architecture.num_aod_columns,
+            aod_rows=architecture.num_aod_rows,
+        )
+
+
+@dataclass(frozen=True)
+class SchedulingProblem:
+    """One scheduling instance: circuit + architecture + derived structure.
+
+    Construct through :meth:`from_gates` or :meth:`from_circuit`, which
+    validate and canonicalise the gate list; the raw constructor performs no
+    normalisation.
+    """
+
+    architecture: ZonedArchitecture
+    num_qubits: int
+    gates: tuple[Gate, ...]
+    #: Whether idle qubits must leave the entangling zone during beams
+    #: (Eq. 14).  Defaults to "the architecture has a storage zone".
+    shielding: bool
+    #: Free-form provenance (code name, circuit label, ...).
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_gates(
+        cls,
+        architecture: ZonedArchitecture,
+        num_qubits: int,
+        cz_gates: Sequence[Gate],
+        shielding: bool | None = None,
+        metadata: Mapping[str, object] | None = None,
+    ) -> "SchedulingProblem":
+        """Build a problem from a raw CZ-gate list.
+
+        Gate endpoints are sorted; invalid gates (identical operands or
+        out-of-range qubits) raise ``ValueError``.  Duplicate gates are
+        preserved — each occurrence is scheduled separately, exactly as the
+        backends treated them before this IR existed.
+        """
+        if num_qubits <= 0:
+            raise ValueError("a problem needs at least one qubit")
+        normalised = []
+        for a, b in cz_gates:
+            low, high = (a, b) if a <= b else (b, a)
+            if low == high or low < 0 or high >= num_qubits:
+                raise ValueError(f"invalid CZ gate ({a}, {b})")
+            normalised.append((low, high))
+        if shielding is None:
+            shielding = architecture.has_storage
+        return cls(
+            architecture=architecture,
+            num_qubits=num_qubits,
+            gates=tuple(normalised),
+            shielding=bool(shielding),
+            metadata=dict(metadata or {}),
+        )
+
+    @classmethod
+    def from_circuit(
+        cls,
+        architecture: ZonedArchitecture,
+        circuit: "StatePrepCircuit",
+        shielding: bool | None = None,
+        metadata: Mapping[str, object] | None = None,
+    ) -> "SchedulingProblem":
+        """Build a problem from a state-preparation circuit."""
+        merged = {"circuit": circuit.name, **(metadata or {})}
+        return cls.from_gates(
+            architecture,
+            circuit.num_qubits,
+            circuit.cz_gates,
+            shielding=shielding,
+            metadata=merged,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_gates(self) -> int:
+        """Number of CZ gates (counting duplicates)."""
+        return len(self.gates)
+
+    def gate_load(self) -> list[int]:
+        """Per-qubit gate count (multiplicity included)."""
+        load = [0] * self.num_qubits
+        for a, b in self.gates:
+            load[a] += 1
+            load[b] += 1
+        return load
+
+    def max_gate_load(self) -> int:
+        """The heaviest qubit's gate count — a stage lower bound (Eq. 13)."""
+        return max(self.gate_load(), default=0)
+
+    def interaction_graph(self) -> dict[int, set[int]]:
+        """Adjacency sets of the (simple) interaction graph."""
+        adjacency: dict[int, set[int]] = {q: set() for q in range(self.num_qubits)}
+        for a, b in self.gates:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return adjacency
+
+    def interacting_qubits(self) -> list[int]:
+        """Qubits that participate in at least one gate."""
+        return [q for q, load in enumerate(self.gate_load()) if load > 0]
+
+    def zone_capacities(self) -> ZoneCapacities:
+        """Capacities of the target architecture."""
+        return ZoneCapacities.of(self.architecture)
+
+    # ------------------------------------------------------------------ #
+    # Analytic stage bounds
+    # ------------------------------------------------------------------ #
+    def lower_bound(self) -> int:
+        """Sound analytic lower bound on the total stage count.
+
+        Every certificate bounds the number of Rydberg stages, which never
+        exceeds the total stage count; see the module docstring for why each
+        is sound against the SMT formulation.
+        """
+        capacities = self.zone_capacities()
+        gates_per_beam = min(capacities.entangling_sites, capacities.aod_traps)
+        bounds = [1, self.max_gate_load()]
+        if self.num_gates and gates_per_beam:
+            bounds.append(-(-self.num_gates // gates_per_beam))
+        return max(bounds)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.num_qubits} qubits, {self.num_gates} CZ gates on "
+            f"{self.architecture.name!r} "
+            f"({'shielded' if self.shielding else 'unshielded'} idling), "
+            f"stage lower bound {self.lower_bound()}"
+        )

@@ -1,0 +1,44 @@
+"""The outcome record shared by every scheduling strategy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.schedule import Schedule
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one :class:`~repro.core.scheduler.SMTScheduler` run.
+
+    Besides the schedule itself the report records the full search
+    trajectory — which strategy ran, the analytic lower bound it started
+    from, the constructive upper bound it had available (``None`` for
+    strategies that do not compute one), and every stage horizon probed, in
+    probe order.  The evaluation runner persists these fields so BENCH JSON
+    files stay comparable across revisions.
+    """
+
+    schedule: Optional[Schedule]
+    optimal: bool
+    strategy: str = "linear"
+    lower_bound: int = 0
+    upper_bound: Optional[int] = None
+    stages_tried: list[int] = field(default_factory=list)
+    solver_seconds: float = 0.0
+    statistics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        """True when a schedule was found (optimal or not)."""
+        return self.schedule is not None
+
+    @property
+    def num_horizons(self) -> int:
+        """How many stage horizons the strategy asked the solver to decide."""
+        return len(self.stages_tried)
+
+
+#: Backwards-compatible alias (the seed called the report a "result").
+SchedulerResult = SchedulerReport

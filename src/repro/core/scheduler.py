@@ -1,251 +1,101 @@
 """The optimal SMT-based scheduler (the paper's proposed approach).
 
 To satisfy the objective of Sec. IV-C — minimise the overall number of
-stages — the scheduler gradually increases the stage count ``S`` and decides
-each fixed-``S`` instance with the SMT layer, exactly as described in
-Sec. V-A ("we gradually increment the number of stages S until we find a
-satisfiable instance").  The first satisfiable instance therefore yields a
-schedule with the minimum number of stages; per-instance resource limits
+stages — the scheduler decides fixed-``S`` instances with the SMT layer and
+searches over ``S`` with a pluggable *strategy*
+(:mod:`repro.core.strategies`):
+
+* ``linear`` (default) — the paper's Sec. V-A procedure: increment ``S``
+  from the analytic lower bound until the first satisfiable horizon.  With
+  ``incremental=True`` one growable
+  :class:`~repro.core.encoding.IncrementalInstance` persists across
+  horizons (assumption-guarded activation literals, learned clauses
+  survive); ``incremental=False`` selects the seed's cold-start reference
+  path (fresh encoding and solver per horizon).
+* ``bisection`` — binary search between the
+  :class:`~repro.core.problem.SchedulingProblem` IR's analytic lower bound
+  and the structured scheduler's certified upper bound; solves strictly
+  fewer horizons than ``linear`` whenever the optimum sits more than a
+  couple of steps above the lower bound.
+* ``warmstart`` — bisection plus CDCL phase seeding from the structured
+  schedule's gate-stage assignment.
+
+All strategies return a :class:`SchedulerReport` recording the analytic
+bounds, every horizon probed (in probe order), and the strategy name, and
+all certify the same minimum stage count; per-instance resource limits
 (conflicts / wall-clock) turn the solver into an anytime procedure that
 reports when optimality could not be certified, mirroring the timeout
 handling of the paper's evaluation.
-
-Incremental vs. cold-start search
----------------------------------
-
-Two search strategies are available, selected by the ``incremental``
-constructor flag:
-
-* ``incremental=True`` (default) — one growable
-  :class:`~repro.core.encoding.IncrementalInstance` is built at the lower
-  bound and extended in place from ``S`` to ``S+1`` stages.  Stage horizons
-  are imposed through activation literals passed to the SAT core as
-  *assumptions*, so nothing is ever retracted: the bit-blasted clauses of
-  stages ``0..S-1``, all learned clauses, variable activities, and saved
-  phases survive each UNSAT horizon and are reused by the next one.  The
-  encoding cost per additional stage is the delta only, which makes the
-  minimum-``S`` search substantially cheaper whenever more than one horizon
-  has to be tried.  The trade-off: the ``gate_stage`` domains must be sized
-  for ``max_stages`` up front, so each gate-stage comparison bit-blasts a
-  slightly wider bit-vector than a cold-start instance of small ``S`` would
-  use, and solver state is kept alive across the whole search (higher peak
-  memory).
-* ``incremental=False`` — the original cold-start behaviour: every horizon
-  re-encodes a fresh :class:`~repro.core.encoding.EncodedInstance` from
-  scratch and solves it with a brand-new SAT solver.  Slower on multi-horizon
-  searches but with exact (tighter) variable domains per instance and no
-  state carried between attempts; retained as a fallback and as the
-  reference the incremental path is validated against.
-
-Both paths explore the same horizons in the same order and produce
-schedules with identical stage counts.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
-from repro.arch.architecture import ZonedArchitecture
-from repro.circuit.layers import minimum_layer_count
-from repro.core.encoding import encode_incremental_instance, encode_instance
-from repro.core.schedule import Schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.report import SchedulerReport, SchedulerResult
+from repro.core.strategies import SearchLimits, get_strategy
 from repro.core.validator import validate_schedule
-from repro.smt import CheckResult
 
-Gate = tuple[int, int]
-
-#: Extra stage headroom reserved by a fresh incremental instance beyond the
-#: first horizon it is asked to decide.  A small value keeps the up-front
-#: ``gate_stage`` bit-vectors narrow (their domain covers the full capacity);
-#: searches that outgrow the capacity rebuild the instance with double the
-#: headroom, which costs one cold re-encode and is rare in practice.
-_CAPACITY_HEADROOM = 7
-
-
-@dataclass
-class SchedulerResult:
-    """Outcome of an :class:`SMTScheduler` run."""
-
-    schedule: Optional[Schedule]
-    optimal: bool
-    stages_tried: list[int] = field(default_factory=list)
-    solver_seconds: float = 0.0
-    statistics: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def found(self) -> bool:
-        """True when a schedule was found (optimal or not)."""
-        return self.schedule is not None
+__all__ = ["SMTScheduler", "SchedulerReport", "SchedulerResult"]
 
 
 class SMTScheduler:
-    """Minimal-stage state-preparation scheduling via SMT solving."""
+    """Minimal-stage state-preparation scheduling via SMT solving.
+
+    The scheduler holds solver configuration only; the workload — circuit,
+    architecture, shielding policy — arrives as a
+    :class:`~repro.core.problem.SchedulingProblem` per :meth:`schedule`
+    call, so one scheduler instance serves any number of problems.
+    """
 
     def __init__(
         self,
-        architecture: ZonedArchitecture,
-        shielding: bool | None = None,
         max_stages: int = 32,
         max_conflicts_per_instance: Optional[int] = None,
         time_limit_per_instance: Optional[float] = None,
         incremental: bool = True,
+        strategy: str = "linear",
     ) -> None:
-        self._arch = architecture
-        self._shielding = shielding
-        self._max_stages = max_stages
-        self._max_conflicts = max_conflicts_per_instance
-        self._time_limit = time_limit_per_instance
-        self._incremental = incremental
+        # Resolve eagerly so unknown names and incompatible configurations
+        # fail at construction time, not mid-batch.
+        if get_strategy(strategy).requires_incremental and not incremental:
+            raise ValueError(
+                f"the {strategy!r} strategy requires an incremental scheduler"
+            )
+        self._strategy = strategy
+        self._limits = SearchLimits(
+            max_stages=max_stages,
+            max_conflicts=max_conflicts_per_instance,
+            time_limit=time_limit_per_instance,
+            incremental=incremental,
+        )
 
-    # ------------------------------------------------------------------ #
-    def minimum_stage_bound(self, gates: Sequence[Gate]) -> int:
-        """Lower bound on S: the chromatic-index bound on Rydberg stages."""
-        return max(1, minimum_layer_count(list(gates)))
+    @property
+    def strategy(self) -> str:
+        """Name of the configured search strategy."""
+        return self._strategy
 
     def schedule(
         self,
-        num_qubits: int,
-        cz_gates: Sequence[Gate],
+        problem: SchedulingProblem,
         metadata: dict | None = None,
         validate: bool = True,
-    ) -> SchedulerResult:
-        """Find a schedule with the minimum number of stages.
+    ) -> SchedulerReport:
+        """Find a schedule of *problem* with the minimum number of stages.
 
-        Returns a :class:`SchedulerResult`; ``result.optimal`` is False when
+        Returns a :class:`SchedulerReport`; ``report.optimal`` is False when
         a per-instance resource limit was hit before satisfiability could be
         decided for some stage count smaller than the one finally used (the
         schedule, if any, is then feasible but possibly not minimal).
         """
-        gates = [(min(a, b), max(a, b)) for a, b in cz_gates]
-        if self._incremental:
-            return self._schedule_incremental(num_qubits, gates, metadata, validate)
-        return self._schedule_coldstart(num_qubits, gates, metadata, validate)
-
-    # ------------------------------------------------------------------ #
-    def _schedule_incremental(
-        self,
-        num_qubits: int,
-        gates: list[Gate],
-        metadata: dict | None,
-        validate: bool,
-    ) -> SchedulerResult:
-        start = time.monotonic()
-        stages_tried: list[int] = []
-        optimal = True
-        statistics: dict[str, float] = {}
-        lower_bound = self.minimum_stage_bound(gates)
-        if lower_bound > self._max_stages:
-            return SchedulerResult(
-                schedule=None,
-                optimal=False,
-                stages_tried=stages_tried,
-                solver_seconds=time.monotonic() - start,
-                statistics=statistics,
+        if not isinstance(problem, SchedulingProblem):
+            raise TypeError(
+                "SMTScheduler.schedule() takes a SchedulingProblem; build one "
+                "with SchedulingProblem.from_gates(architecture, num_qubits, "
+                "cz_gates) or SchedulingProblem.from_circuit(...)"
             )
-        headroom = _CAPACITY_HEADROOM
-        instance = encode_incremental_instance(
-            self._arch,
-            num_qubits,
-            gates,
-            num_stages=lower_bound,
-            max_stages=min(self._max_stages, lower_bound + headroom),
-            shielding=self._shielding,
-        )
-        for num_stages in range(lower_bound, self._max_stages + 1):
-            stages_tried.append(num_stages)
-            if num_stages > instance.max_stages:
-                # Capacity exhausted: rebuild with more headroom (one cold
-                # re-encode; learned clauses of the old instance are dropped).
-                headroom *= 2
-                instance = encode_incremental_instance(
-                    self._arch,
-                    num_qubits,
-                    gates,
-                    num_stages=num_stages,
-                    max_stages=min(self._max_stages, num_stages + headroom),
-                    shielding=self._shielding,
-                )
-            instance.extend_to(num_stages)
-            result = instance.check(
-                max_conflicts=self._max_conflicts, time_limit=self._time_limit
-            )
-            statistics = instance.statistics()
-            if result is CheckResult.UNKNOWN:
-                optimal = False
-                continue
-            if result is CheckResult.UNSAT:
-                continue
-            schedule = instance.extract_schedule(
-                metadata={"optimal": optimal, **(metadata or {})}
-            )
-            if validate:
-                validate_schedule(schedule, require_shielding=self._effective_shielding())
-            return SchedulerResult(
-                schedule=schedule,
-                optimal=optimal,
-                stages_tried=stages_tried,
-                solver_seconds=time.monotonic() - start,
-                statistics=statistics,
-            )
-        return SchedulerResult(
-            schedule=None,
-            optimal=False,
-            stages_tried=stages_tried,
-            solver_seconds=time.monotonic() - start,
-            statistics=statistics,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _schedule_coldstart(
-        self,
-        num_qubits: int,
-        gates: list[Gate],
-        metadata: dict | None,
-        validate: bool,
-    ) -> SchedulerResult:
-        start = time.monotonic()
-        stages_tried: list[int] = []
-        optimal = True
-        statistics: dict[str, float] = {}
-        for num_stages in range(self.minimum_stage_bound(gates), self._max_stages + 1):
-            stages_tried.append(num_stages)
-            instance = encode_instance(
-                self._arch, num_qubits, gates, num_stages, shielding=self._shielding
-            )
-            result = instance.check(
-                max_conflicts=self._max_conflicts, time_limit=self._time_limit
-            )
-            statistics = instance.statistics()
-            if result is CheckResult.UNKNOWN:
-                # Could not decide this stage count: any later answer is no
-                # longer guaranteed to be minimal.
-                optimal = False
-                continue
-            if result is CheckResult.UNSAT:
-                continue
-            schedule = instance.extract_schedule(
-                metadata={"optimal": optimal, **(metadata or {})}
-            )
-            if validate:
-                validate_schedule(schedule, require_shielding=self._effective_shielding())
-            return SchedulerResult(
-                schedule=schedule,
-                optimal=optimal,
-                stages_tried=stages_tried,
-                solver_seconds=time.monotonic() - start,
-                statistics=statistics,
-            )
-        return SchedulerResult(
-            schedule=None,
-            optimal=False,
-            stages_tried=stages_tried,
-            solver_seconds=time.monotonic() - start,
-            statistics=statistics,
-        )
-
-    def _effective_shielding(self) -> bool:
-        if self._shielding is None:
-            return self._arch.has_storage
-        return self._shielding
+        report = get_strategy(self._strategy).run(problem, self._limits, metadata)
+        if validate and report.schedule is not None:
+            validate_schedule(report.schedule, require_shielding=problem.shielding)
+        return report

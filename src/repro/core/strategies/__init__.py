@@ -1,0 +1,40 @@
+"""Pluggable minimum-stage search strategies.
+
+Importing this package registers the built-in strategies:
+
+* ``linear`` — iterative deepening from the analytic lower bound (the
+  paper's Sec. V-A procedure and the seed's behaviour).
+* ``bisection`` — binary search between the IR's analytic lower bound and
+  the structured scheduler's certified upper bound, on one incremental
+  instance.
+* ``warmstart`` — bisection plus CDCL phase seeding from the structured
+  schedule's gate-stage assignment.
+
+Strategies are looked up by name through :func:`get_strategy`; third-party
+strategies can join the registry with :func:`register_strategy`.
+"""
+
+from repro.core.strategies.base import (
+    SearchContext,
+    SearchLimits,
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.core.strategies.linear import LinearStrategy
+from repro.core.strategies.bisection import BisectionStrategy
+from repro.core.strategies.warmstart import WarmstartStrategy, structured_phase_hints
+
+__all__ = [
+    "BisectionStrategy",
+    "LinearStrategy",
+    "SearchContext",
+    "SearchLimits",
+    "SearchStrategy",
+    "WarmstartStrategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "structured_phase_hints",
+]

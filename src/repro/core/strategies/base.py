@@ -1,0 +1,173 @@
+"""Strategy infrastructure: registry, limits, and the shared search context.
+
+A *search strategy* decides which stage horizons to probe, and in what
+order, to find the minimum stage count of a
+:class:`~repro.core.problem.SchedulingProblem`.  Every strategy returns a
+:class:`~repro.core.scheduler.SchedulerReport`; the
+:class:`~repro.core.scheduler.SMTScheduler` facade looks strategies up by
+name in the registry populated by :func:`register_strategy`.
+
+:class:`SearchContext` owns the growable
+:class:`~repro.core.encoding.IncrementalInstance` that all SMT-backed
+strategies share: it lazily (re)builds the instance with capacity headroom,
+extends it towards larger horizons, and decides smaller horizons on the same
+instance through assumption literals — so learned clauses persist across
+SAT *and* UNSAT horizons regardless of the probing order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.encoding import IncrementalInstance, encode_incremental_problem
+from repro.core.problem import SchedulingProblem
+from repro.smt import CheckResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedule import Schedule
+    from repro.core.scheduler import SchedulerReport
+
+#: Extra stage headroom reserved by a fresh incremental instance beyond the
+#: first horizon it is asked to decide.  A small value keeps the up-front
+#: ``gate_stage`` bit-vectors narrow (their domain covers the full capacity);
+#: searches that outgrow the capacity rebuild the instance with double the
+#: headroom, which costs one cold re-encode and is rare in practice.
+_CAPACITY_HEADROOM = 7
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Resource limits a scheduler run imposes on its strategy."""
+
+    max_stages: int = 32
+    max_conflicts: Optional[int] = None
+    time_limit: Optional[float] = None
+    #: Honoured by the linear strategy only: ``False`` re-encodes every
+    #: horizon from scratch (the seed's cold-start reference behaviour).
+    incremental: bool = True
+
+
+class SearchContext:
+    """One growable incremental instance serving a whole strategy run."""
+
+    def __init__(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.limits = limits
+        self._fixed_capacity = capacity
+        self._headroom = _CAPACITY_HEADROOM
+        self._instance: Optional[IncrementalInstance] = None
+        self._hint_provider: Optional[Callable[[IncrementalInstance], dict]] = None
+
+    @property
+    def instance(self) -> Optional[IncrementalInstance]:
+        """The current incremental instance (``None`` before the first probe)."""
+        return self._instance
+
+    def decide(self, horizon: int) -> CheckResult:
+        """Decide satisfiability at *horizon* stages, growing as needed."""
+        instance = self._ensure_capacity(horizon)
+        if horizon > instance.num_stages:
+            instance.extend_to(horizon)
+        return instance.check(
+            max_conflicts=self.limits.max_conflicts,
+            time_limit=self.limits.time_limit,
+            horizon=horizon,
+        )
+
+    def extract(self, horizon: int, metadata: dict | None = None) -> "Schedule":
+        """Extract the schedule of the last SAT probe, truncated to *horizon*."""
+        if self._instance is None:
+            raise RuntimeError("no instance built yet; call decide() first")
+        return self._instance.extract_schedule(metadata=metadata, horizon=horizon)
+
+    def statistics(self) -> dict[str, float]:
+        """Statistics of the most recent probe."""
+        return {} if self._instance is None else self._instance.statistics()
+
+    def set_hint_provider(
+        self, provider: Callable[[IncrementalInstance], dict]
+    ) -> None:
+        """Register a callback producing phase hints for a (re)built instance.
+
+        The provider runs once per instance construction (including capacity
+        rebuilds) and returns a ``{variable: value}`` mapping passed to
+        :meth:`repro.smt.solver.Solver.set_phase_hints`.  Registering a
+        provider after the instance exists seeds it immediately.
+        """
+        self._hint_provider = provider
+        if self._instance is not None:
+            self._instance.set_phase_hints(provider(self._instance))
+
+    # ------------------------------------------------------------------ #
+    def _ensure_capacity(self, horizon: int) -> IncrementalInstance:
+        instance = self._instance
+        if instance is not None and horizon <= instance.max_stages:
+            return instance
+        if instance is not None:
+            # Capacity exhausted: rebuild with more headroom (one cold
+            # re-encode; learned clauses of the old instance are dropped).
+            self._headroom *= 2
+        capacity = self._fixed_capacity
+        if capacity is None or capacity < horizon:
+            capacity = min(self.limits.max_stages, horizon + self._headroom)
+        instance = encode_incremental_problem(
+            self.problem, num_stages=horizon, max_stages=max(capacity, horizon)
+        )
+        if self._hint_provider is not None:
+            instance.set_phase_hints(self._hint_provider(instance))
+        self._instance = instance
+        return instance
+
+
+class SearchStrategy(ABC):
+    """Interface every registered search strategy implements."""
+
+    #: Registry key; set by subclasses.
+    name: str = ""
+    #: Whether the strategy needs ``limits.incremental`` (checked eagerly by
+    #: the scheduler constructor so bad configurations fail fast).
+    requires_incremental: bool = False
+
+    @abstractmethod
+    def run(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict | None = None,
+    ) -> "SchedulerReport":
+        """Search for a minimum-stage schedule of *problem*."""
+
+
+_REGISTRY: dict[str, type[SearchStrategy]] = {}
+
+
+def register_strategy(cls: type[SearchStrategy]) -> type[SearchStrategy]:
+    """Class decorator adding a strategy to the registry (keyed by ``name``)."""
+    if not cls.name:
+        raise ValueError(f"strategy {cls.__name__} needs a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"strategy name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered strategies (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    """Instantiate the strategy registered under *name*."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_strategies())
+        raise ValueError(f"unknown strategy {name!r} (available: {known})") from None
+    return cls()

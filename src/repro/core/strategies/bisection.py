@@ -1,0 +1,151 @@
+"""Bound-driven bisection over the stage count.
+
+Instead of walking every horizon from the analytic lower bound upward, this
+strategy binary-searches the interval between the IR's lower bound and a
+*certified* upper bound: the stage count of the constructive
+:class:`~repro.core.structured.StructuredScheduler` schedule, which is
+feasible by construction and validated before use.  Satisfiability is
+monotone in the stage count (any ``S``-stage schedule extends to ``S+1`` by
+appending a do-nothing transfer stage), so an UNSAT probe at ``mid``
+eliminates every horizon ``<= mid`` and a SAT probe every horizon
+``> mid``.  All probes — ascending or descending — run against one
+incremental instance via per-horizon assumption literals, so CDCL learned
+clauses, activities, and saved phases persist across the whole search.
+
+When the interval is degenerate (the structured schedule already matches the
+lower bound), the optimum is certified without a single SMT probe and the
+structured schedule itself is returned.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.problem import SchedulingProblem
+from repro.core.report import SchedulerReport
+from repro.core.schedule import Schedule
+from repro.core.strategies.base import (
+    SearchContext,
+    SearchLimits,
+    SearchStrategy,
+    register_strategy,
+)
+from repro.core.structured import StructuredScheduler
+from repro.core.validator import ValidationError, validate_schedule
+from repro.smt import CheckResult
+
+
+@register_strategy
+class BisectionStrategy(SearchStrategy):
+    """Binary search on S between the analytic LB and the structured UB."""
+
+    name = "bisection"
+    requires_incremental = True
+
+    def run(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict | None = None,
+    ) -> SchedulerReport:
+        start = time.monotonic()
+        if not limits.incremental:
+            raise ValueError(
+                f"the {self.name!r} strategy requires an incremental scheduler"
+            )
+        lower_bound = problem.lower_bound()
+        report = SchedulerReport(
+            schedule=None,
+            optimal=False,
+            strategy=self.name,
+            lower_bound=lower_bound,
+        )
+        if lower_bound > limits.max_stages:
+            report.solver_seconds = time.monotonic() - start
+            return report
+
+        witness = self._upper_bound_schedule(problem)
+        if witness is not None:
+            report.upper_bound = witness.num_stages
+            if witness.num_stages > limits.max_stages:
+                # The constructive schedule overshoots the stage budget; it
+                # still bounds the optimum but cannot serve as a fallback.
+                witness = None
+        high = report.upper_bound if witness is not None else limits.max_stages
+        context = self._make_context(problem, limits, witness, high)
+
+        low = lower_bound
+        best: Optional[Schedule] = None
+        optimal = True
+        # Identical provenance no matter which path produces the schedule:
+        # SMT extractions carry the problem metadata just like the witness
+        # does, and the winning strategy is recorded either way.
+        merged = {"strategy": self.name, **problem.metadata, **(metadata or {})}
+        while low < high:
+            mid = (low + high) // 2
+            report.stages_tried.append(mid)
+            result = context.decide(mid)
+            report.statistics = context.statistics()
+            if result is CheckResult.SAT:
+                high = mid
+                best = context.extract(mid, metadata=dict(merged))
+            elif result is CheckResult.UNSAT:
+                low = mid + 1
+            else:
+                # Undecided horizons may hide the true optimum below the
+                # final answer; search above, like the linear strategy does.
+                optimal = False
+                low = mid + 1
+
+        if best is not None:
+            # ``high`` only ever decreases onto a SAT probe, so the last
+            # extraction is exactly the ``low == high`` horizon.
+            report.schedule = best
+        elif witness is not None and low == witness.num_stages:
+            # Never probed below SAT: the structured witness *is* the answer.
+            witness.metadata.update(merged)
+            report.schedule = witness
+        elif low <= limits.max_stages:
+            # No witness available (or it overshot the budget): the final
+            # horizon was never confirmed satisfiable — decide it directly.
+            report.stages_tried.append(low)
+            result = context.decide(low)
+            report.statistics = context.statistics()
+            if result is CheckResult.SAT:
+                report.schedule = context.extract(low, metadata=dict(merged))
+            else:
+                optimal = False
+        if report.schedule is not None:
+            report.schedule.metadata.setdefault("optimal", optimal)
+            report.optimal = optimal
+        report.solver_seconds = time.monotonic() - start
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _make_context(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        witness: Optional[Schedule],
+        high: int,
+    ) -> SearchContext:
+        """Build the shared incremental context (hook for warm-starting)."""
+        # With a witness the largest horizon ever probed is ``high - 1``
+        # (the witness itself certifies ``high``), so the capacity is known
+        # exactly and no headroom/rebuild cycle is needed.
+        capacity = max(high - 1, 1) if witness is not None else None
+        return SearchContext(problem, limits, capacity=capacity)
+
+    def _upper_bound_schedule(self, problem: SchedulingProblem) -> Optional[Schedule]:
+        """A validated constructive schedule, or ``None`` when unavailable."""
+        if problem.shielding and not problem.architecture.has_storage:
+            # The structured choreography cannot shield idle qubits without
+            # a storage zone, so its schedule would not bound this problem.
+            return None
+        try:
+            schedule = StructuredScheduler().schedule(problem)
+            validate_schedule(schedule, require_shielding=problem.shielding)
+        except (ValueError, ValidationError):
+            return None
+        return schedule

@@ -1,0 +1,85 @@
+"""The linear (iterative-deepening) search strategy.
+
+This is the paper's Sec. V-A procedure and the seed's behaviour: starting
+from the analytic lower bound, increment the stage count until the first
+satisfiable horizon.  With ``limits.incremental`` (the default) one growable
+instance is extended in place and every horizon is decided under an
+assumption literal, so CDCL learned clauses survive each UNSAT horizon; with
+``incremental=False`` every horizon re-encodes a fresh cold-start instance —
+slower on multi-horizon searches, kept as the validation reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.encoding import encode_problem
+from repro.core.problem import SchedulingProblem
+from repro.core.report import SchedulerReport
+from repro.core.strategies.base import (
+    SearchContext,
+    SearchLimits,
+    SearchStrategy,
+    register_strategy,
+)
+from repro.smt import CheckResult
+
+
+@register_strategy
+class LinearStrategy(SearchStrategy):
+    """Try S = lower bound, lower bound + 1, ... until SAT."""
+
+    name = "linear"
+
+    def run(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict | None = None,
+    ) -> SchedulerReport:
+        start = time.monotonic()
+        lower_bound = problem.lower_bound()
+        report = SchedulerReport(
+            schedule=None,
+            optimal=False,
+            strategy=self.name,
+            lower_bound=lower_bound,
+            upper_bound=None,
+        )
+        if lower_bound > limits.max_stages:
+            report.solver_seconds = time.monotonic() - start
+            return report
+        context = SearchContext(problem, limits) if limits.incremental else None
+        optimal = True
+        for num_stages in range(lower_bound, limits.max_stages + 1):
+            report.stages_tried.append(num_stages)
+            if context is not None:
+                result = context.decide(num_stages)
+                report.statistics = context.statistics()
+            else:
+                instance = encode_problem(problem, num_stages)
+                result = instance.check(
+                    max_conflicts=limits.max_conflicts, time_limit=limits.time_limit
+                )
+                report.statistics = instance.statistics()
+            if result is CheckResult.UNKNOWN:
+                # Could not decide this stage count: any later answer is no
+                # longer guaranteed to be minimal.
+                optimal = False
+                continue
+            if result is CheckResult.UNSAT:
+                continue
+            merged = {
+                "optimal": optimal,
+                "strategy": self.name,
+                **problem.metadata,
+                **(metadata or {}),
+            }
+            if context is not None:
+                report.schedule = context.extract(num_stages, metadata=merged)
+            else:
+                report.schedule = instance.extract_schedule(metadata=merged)
+            report.optimal = optimal
+            break
+        report.solver_seconds = time.monotonic() - start
+        return report

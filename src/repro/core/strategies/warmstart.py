@@ -1,0 +1,70 @@
+"""Bisection with structured warm-starts.
+
+Identical horizon search to
+:class:`~repro.core.strategies.bisection.BisectionStrategy`, but the CDCL
+core's saved phases are seeded from the structured schedule before the first
+probe: every ``gate_stage`` variable is hinted to the stage its gate occupies
+in the constructive schedule, and every execution flag to the corresponding
+stage kind.  The hints bias the first descent of the search towards a known
+feasible assignment; they are polarity suggestions only and can never change
+a SAT/UNSAT answer (see :meth:`repro.sat.solver.CDCLSolver.set_phase_hints`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.encoding import IncrementalInstance
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import Schedule
+from repro.core.strategies.base import SearchContext, SearchLimits, register_strategy
+from repro.core.strategies.bisection import BisectionStrategy
+
+
+@register_strategy
+class WarmstartStrategy(BisectionStrategy):
+    """Bisection whose solver phases are seeded from the structured schedule."""
+
+    name = "warmstart"
+
+    def _make_context(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        witness: Optional[Schedule],
+        high: int,
+    ) -> SearchContext:
+        context = super()._make_context(problem, limits, witness, high)
+        if witness is not None:
+            context.set_hint_provider(
+                lambda instance: structured_phase_hints(instance, witness)
+            )
+        return context
+
+
+def structured_phase_hints(
+    instance: IncrementalInstance, witness: Schedule
+) -> dict:
+    """Phase hints mirroring *witness*'s gate-stage assignment.
+
+    Gate stages beyond the instance's capacity are clamped to the last
+    representable stage — hints are heuristics, not constraints, so a lossy
+    projection is harmless.  Execution flags are hinted for the stages that
+    exist at seeding time; stages added later simply keep default phases.
+    """
+    stage_of_gate: dict[frozenset[int], int] = {}
+    for index, stage in enumerate(witness.stages):
+        for gate in stage.gates:
+            stage_of_gate.setdefault(frozenset(gate), index)
+    hints: dict = {}
+    capacity = instance.max_stages
+    for i, gate in enumerate(instance.gates):
+        structured_stage = stage_of_gate.get(frozenset(gate))
+        if structured_stage is not None:
+            hints[instance.variables.gate_stage[i]] = min(
+                structured_stage, capacity - 1
+            )
+    for index, execution in enumerate(instance.variables.execution):
+        if index < len(witness.stages):
+            hints[execution] = witness.stages[index].is_execution
+    return hints

@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.arch.architecture import ZonedArchitecture
+from repro.core.problem import SchedulingProblem
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
 
 
@@ -56,26 +56,38 @@ class _Home:
 
 
 class StructuredScheduler:
-    """Constructive zone-aware scheduler (see module docstring)."""
+    """Constructive zone-aware scheduler (see module docstring).
 
-    def __init__(self, architecture: ZonedArchitecture) -> None:
-        self._arch = architecture
-        self._beam_row = self._choose_beam_row()
+    The scheduler is stateless between calls: each :meth:`schedule`
+    invocation reads circuit and architecture from its
+    :class:`~repro.core.problem.SchedulingProblem` argument, so one instance
+    serves any number of problems (it is not safe to share across threads,
+    as per-call geometry is cached on the instance while scheduling).
+    """
+
+    def __init__(self) -> None:
+        self._arch = None
+        self._beam_row = 0
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def schedule(
         self,
-        num_qubits: int,
-        cz_gates: Sequence[tuple[int, int]],
+        problem: SchedulingProblem,
         metadata: dict | None = None,
     ) -> Schedule:
-        """Build a schedule executing *cz_gates* on the architecture."""
-        gates = [(min(a, b), max(a, b)) for a, b in cz_gates]
-        for a, b in gates:
-            if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
-                raise ValueError(f"invalid CZ gate ({a}, {b})")
+        """Build a schedule for *problem* on its architecture."""
+        if not isinstance(problem, SchedulingProblem):
+            raise TypeError(
+                "StructuredScheduler.schedule() takes a SchedulingProblem; "
+                "build one with SchedulingProblem.from_gates(architecture, "
+                "num_qubits, cz_gates) or SchedulingProblem.from_circuit(...)"
+            )
+        self._arch = problem.architecture
+        self._beam_row = self._choose_beam_row()
+        num_qubits = problem.num_qubits
+        gates = list(problem.gates)
         homes, homeless = self._assign_homes(num_qubits, gates)
         rounds = self._build_rounds(gates, homes, homeless)
         stages = self._build_stages(num_qubits, rounds, homes, homeless)
@@ -84,7 +96,7 @@ class StructuredScheduler:
             num_qubits=num_qubits,
             stages=stages,
             target_gates=list(gates),
-            metadata={"backend": "structured", **(metadata or {})},
+            metadata={"backend": "structured", **problem.metadata, **(metadata or {})},
         )
 
     # ------------------------------------------------------------------ #

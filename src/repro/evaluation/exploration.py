@@ -19,6 +19,7 @@ from repro.arch import (
     no_shielding_layout,
 )
 from repro.arch.architecture import ZonedArchitecture
+from repro.core.problem import SchedulingProblem
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
 from repro.metrics import approximate_success_probability
@@ -59,11 +60,12 @@ def run_architecture_exploration(
     prep = state_preparation_circuit(code)
     results: list[ExplorationResult] = []
     for name, architecture in designs.items():
-        schedule = StructuredScheduler(architecture).schedule(
-            prep.num_qubits, prep.cz_gates, metadata={"code": code.name}
+        problem = SchedulingProblem.from_circuit(
+            architecture, prep, metadata={"code": code.name}
         )
+        schedule = StructuredScheduler().schedule(problem)
         if validate:
-            validate_schedule(schedule, require_shielding=architecture.has_storage)
+            validate_schedule(schedule, require_shielding=problem.shielding)
         breakdown = approximate_success_probability(schedule, prep)
         results.append(
             ExplorationResult(

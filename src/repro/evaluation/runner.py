@@ -50,6 +50,11 @@ SMT_INSTANCES: dict[str, tuple[int, list[tuple[int, int]]]] = {
 
 SMT_LAYOUT_KINDS = ("none", "bottom")
 
+#: Search strategies fanned out by the SMT suite.  ``coldstart`` is the
+#: linear strategy with ``incremental=False`` (the seed's reference path);
+#: the other names match the :mod:`repro.core.strategies` registry.
+SMT_STRATEGIES = ("linear", "coldstart", "bisection", "warmstart")
+
 REDUCED_LAYOUT_KWARGS = {"x_max": 2, "h_max": 1, "v_max": 1, "c_max": 2, "r_max": 2}
 
 
@@ -82,27 +87,32 @@ class BenchResult:
 # Suite construction
 # --------------------------------------------------------------------------- #
 def smt_suite(
-    modes: Sequence[str] = ("incremental", "coldstart"),
+    strategies: Sequence[str] = SMT_STRATEGIES,
     instances: Sequence[str] | None = None,
     layout_kinds: Sequence[str] = SMT_LAYOUT_KINDS,
     time_limit: Optional[float] = 120.0,
 ) -> list[BenchInstance]:
-    """Exact-SMT scheduling of the reduced benchmark instances."""
+    """Exact-SMT scheduling of the reduced instances, one axis per strategy.
+
+    Every (strategy, layout, instance) triple becomes one spec, so a
+    persisted batch captures the full search trajectory — bounds and
+    horizons attempted — per strategy, side by side.
+    """
     names = list(instances) if instances is not None else list(SMT_INSTANCES)
     suite: list[BenchInstance] = []
-    for mode in modes:
-        if mode not in ("incremental", "coldstart"):
-            raise ValueError(f"unknown SMT scheduler mode {mode!r}")
+    for strategy in strategies:
+        if strategy not in SMT_STRATEGIES:
+            raise ValueError(f"unknown SMT scheduler strategy {strategy!r}")
         for kind in layout_kinds:
             for name in names:
                 num_qubits, gates = SMT_INSTANCES[name]
                 suite.append(
                     BenchInstance(
-                        name=f"smt/{mode}/{kind}/{name}",
+                        name=f"smt/{strategy}/{kind}/{name}",
                         suite="smt",
                         spec={
                             "kind": "smt",
-                            "mode": mode,
+                            "strategy": strategy,
                             "layout_kind": kind,
                             "layout_kwargs": dict(REDUCED_LAYOUT_KWARGS),
                             "instance": name,
@@ -156,20 +166,20 @@ def exploration_suite(codes: Sequence[str] | None = None) -> list[BenchInstance]
 def build_suite(
     suite: str,
     codes: Sequence[str] | None = None,
-    modes: Sequence[str] | None = None,
+    strategies: Sequence[str] | None = None,
     time_limit: Optional[float] = 120.0,
 ) -> list[BenchInstance]:
     """Construct the instance list for a named suite."""
-    smt_modes = tuple(modes) if modes else ("incremental", "coldstart")
+    smt_strategies = tuple(strategies) if strategies else SMT_STRATEGIES
     if suite == "smt":
-        return smt_suite(modes=smt_modes, time_limit=time_limit)
+        return smt_suite(strategies=smt_strategies, time_limit=time_limit)
     if suite == "table1":
         return table1_suite(codes=codes)
     if suite == "exploration":
         return exploration_suite(codes=codes)
     if suite == "all":
         return (
-            smt_suite(modes=smt_modes, time_limit=time_limit)
+            smt_suite(strategies=smt_strategies, time_limit=time_limit)
             + table1_suite(codes=codes)
             + exploration_suite(codes=codes)
         )
@@ -193,34 +203,38 @@ def execute_spec(spec: dict) -> dict:
 
 def _execute_smt(spec: dict) -> dict:
     from repro.arch import reduced_layout
+    from repro.core.problem import SchedulingProblem
     from repro.core.scheduler import SMTScheduler
     from repro.core.validator import validate_schedule
 
     architecture = reduced_layout(spec["layout_kind"], **spec["layout_kwargs"])
+    strategy = spec["strategy"]
     scheduler = SMTScheduler(
-        architecture,
         time_limit_per_instance=spec.get("time_limit"),
-        incremental=spec["mode"] == "incremental",
+        strategy="linear" if strategy == "coldstart" else strategy,
+        incremental=strategy != "coldstart",
     )
     gates = [tuple(g) for g in spec["gates"]]
-    result = scheduler.schedule(spec["num_qubits"], gates)
+    problem = SchedulingProblem.from_gates(architecture, spec["num_qubits"], gates)
+    report = scheduler.schedule(problem)
     payload = {
-        "mode": spec["mode"],
+        "strategy": strategy,
         "layout": spec["layout_kind"],
         "instance": spec["instance"],
-        "found": result.found,
-        "optimal": result.optimal,
-        "stages_tried": result.stages_tried,
-        "solver_seconds": result.solver_seconds,
+        "found": report.found,
+        "optimal": report.optimal,
+        "lower_bound": report.lower_bound,
+        "upper_bound": report.upper_bound,
+        "stages_tried": report.stages_tried,
+        "num_horizons": report.num_horizons,
+        "solver_seconds": report.solver_seconds,
     }
-    if result.found:
-        validate_schedule(
-            result.schedule, require_shielding=architecture.has_storage
-        )
+    if report.found:
+        validate_schedule(report.schedule, require_shielding=problem.shielding)
         payload.update(
-            num_stages=result.schedule.num_stages,
-            num_rydberg_stages=result.schedule.num_rydberg_stages,
-            num_transfer_stages=result.schedule.num_transfer_stages,
+            num_stages=report.schedule.num_stages,
+            num_rydberg_stages=report.schedule.num_rydberg_stages,
+            num_transfer_stages=report.schedule.num_transfer_stages,
             validated=True,
         )
     return payload
@@ -419,7 +433,9 @@ def save_results(
 ) -> None:
     """Persist a batch run as a JSON document."""
     document = {
-        "version": 1,
+        # Version 2: SMT payloads carry strategy/lower_bound/upper_bound/
+        # stages_tried/num_horizons so batches stay comparable across PRs.
+        "version": 2,
         "created_unix": time.time(),
         "num_instances": len(results),
         "num_ok": sum(1 for r in results if r.ok),
@@ -437,6 +453,43 @@ def load_results(path: str | os.PathLike) -> list[BenchResult]:
     return [BenchResult(**entry) for entry in document["results"]]
 
 
+def strategy_horizons(
+    results: Sequence[BenchResult], strategy: str
+) -> dict[tuple[str, str], int]:
+    """Horizons attempted per (layout, instance) by *strategy*'s SMT runs."""
+    horizons: dict[tuple[str, str], int] = {}
+    for result in results:
+        payload = result.payload
+        if result.suite != "smt" or payload.get("strategy") != strategy:
+            continue
+        key = (payload.get("layout"), payload.get("instance"))
+        horizons[key] = payload.get("num_horizons", len(payload.get("stages_tried", [])))
+    return horizons
+
+
+def check_bisection_regression(
+    linear_results: Sequence[BenchResult],
+    bisection_results: Sequence[BenchResult],
+    layout: str = "bottom",
+    instance: str = "triangle",
+) -> tuple[int, int]:
+    """Horizon counts of linear vs bisection on the multi-horizon smoke instance.
+
+    Returns ``(linear_horizons, bisection_horizons)`` for the given (layout,
+    instance) cell; raises ``ValueError`` when either batch lacks it.  The CI
+    bench-regression job fails when the bisection count is not strictly
+    smaller.
+    """
+    key = (layout, instance)
+    linear = strategy_horizons(linear_results, "linear").get(key)
+    bisection = strategy_horizons(bisection_results, "bisection").get(key)
+    if linear is None or bisection is None:
+        raise ValueError(
+            f"batches do not both cover the smoke instance {layout}/{instance}"
+        )
+    return linear, bisection
+
+
 def format_batch(results: Sequence[BenchResult]) -> str:
     """Human-readable summary table of a batch run."""
     lines = [f"{'Instance':<42}{'Status':>9}{'Time[s]':>9}  Details"]
@@ -444,9 +497,11 @@ def format_batch(results: Sequence[BenchResult]) -> str:
         details = ""
         payload = result.payload
         if result.suite == "smt" and payload.get("found"):
+            upper = payload.get("upper_bound")
             details = (
                 f"stages={payload['num_stages']} "
-                f"tried={payload['stages_tried']}"
+                f"tried={payload['stages_tried']} "
+                f"bounds=[{payload.get('lower_bound')},{'-' if upper is None else upper}]"
             )
         elif result.suite == "table1" and result.ok:
             details = (

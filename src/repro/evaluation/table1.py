@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 from repro.arch import evaluation_layouts
 from repro.arch.architecture import ZonedArchitecture
 from repro.circuit.state_prep_circuit import StatePrepCircuit
+from repro.core.problem import SchedulingProblem
 from repro.core.schedule import Schedule
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
@@ -65,8 +66,10 @@ def schedule_with_structured_backend(
     prep: StatePrepCircuit,
 ) -> Schedule:
     """Default scheduling backend for the full-size Table I instances."""
-    scheduler = StructuredScheduler(architecture)
-    return scheduler.schedule(prep.num_qubits, prep.cz_gates, metadata={"code": prep.name})
+    problem = SchedulingProblem.from_circuit(
+        architecture, prep, metadata={"code": prep.name}
+    )
+    return StructuredScheduler().schedule(problem)
 
 
 def run_table1_row(

@@ -197,6 +197,20 @@ class CDCLSolver:
         self._attach_clause(clause, learned=False)
         return True
 
+    def set_phase_hints(self, phases: dict[int, bool]) -> None:
+        """Seed the saved phase of variables with preferred polarities.
+
+        Phase hints only steer the branching heuristic (the polarity a
+        variable is first decided with); they can never change the SAT/UNSAT
+        answer.  Phases saved later by backtracking overwrite the hints, so
+        seeding is most effective right before a :meth:`solve` call.
+        """
+        for var, value in phases.items():
+            if var <= 0:
+                raise ValueError(f"{var} is not a valid variable index")
+            self._ensure_var(var)
+            self._saved_phase[var] = bool(value)
+
     def add_cnf(self, cnf: CNF) -> bool:
         """Add every clause of a :class:`~repro.sat.cnf.CNF` formula."""
         self._ensure_var(cnf.num_vars)

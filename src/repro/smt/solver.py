@@ -137,6 +137,7 @@ class Solver:
         self._encoder: Optional[ExpressionEncoder] = None
         self._encoded_constraints = 0
         self._encoded_variables = 0
+        self._pending_phase_hints: dict = {}
         if incremental:
             self._sat_solver = CDCLSolver()
             self._encoder = ExpressionEncoder(self._sat_solver)
@@ -200,6 +201,51 @@ class Solver:
         del self._constraints[length:]
 
     # ------------------------------------------------------------------ #
+    # Phase hints
+    # ------------------------------------------------------------------ #
+    def set_phase_hints(self, hints: dict) -> None:
+        """Suggest initial values for variables to the SAT core's branching.
+
+        *hints* maps :class:`~repro.smt.terms.BoolVar` to ``bool`` and
+        :class:`~repro.smt.terms.IntVar` to ``int`` (clamped to the
+        variable's domain).  Hints are *consumed by the next* :meth:`check`
+        call: they seed the CDCL solver's saved phases after the delta
+        encoding, steering which polarity each variable is first decided
+        with.  They are pure heuristics — a hinted check returns exactly the
+        same SAT/UNSAT/UNKNOWN answer as an unhinted one.
+        """
+        for var, value in hints.items():
+            if isinstance(var, T.BoolVar):
+                self._pending_phase_hints[var] = bool(value)
+            elif isinstance(var, T.IntVar):
+                self._pending_phase_hints[var] = int(value)
+            else:
+                raise TypeError(f"cannot hint a phase for {var!r}")
+
+    def _apply_phase_hints(
+        self, sat_solver: CDCLSolver, encoder: ExpressionEncoder
+    ) -> None:
+        """Translate and flush the pending hints into *sat_solver*."""
+        if not self._pending_phase_hints:
+            return
+        phases: dict[int, bool] = {}
+
+        def hint_literal(lit: int, value: bool) -> None:
+            phases[abs(lit)] = value if lit > 0 else not value
+
+        for var, value in self._pending_phase_hints.items():
+            if isinstance(var, T.BoolVar):
+                hint_literal(encoder.encode_bool(var), bool(value))
+            else:
+                vec = encoder.encode_int(var)
+                clamped = max(var.lo, min(var.hi, value))
+                raw = clamped if clamped >= 0 else clamped + (1 << vec.width)
+                for i, bit in enumerate(vec.bits):
+                    hint_literal(bit, bool((raw >> i) & 1))
+        self._pending_phase_hints.clear()
+        sat_solver.set_phase_hints(phases)
+
+    # ------------------------------------------------------------------ #
     # Solving
     # ------------------------------------------------------------------ #
     def check(
@@ -238,6 +284,7 @@ class Solver:
         if self._incremental:
             self._encoded_variables = len(self._variables)
             self._encoded_constraints = len(self._constraints)
+        self._apply_phase_hints(sat_solver, encoder)
         assumption_literals = [encoder.encode_bool(a) for a in assumptions]
         encode_time = time.monotonic() - start
         stats_before = sat_solver.stats.as_dict()

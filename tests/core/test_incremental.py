@@ -9,6 +9,7 @@ import pytest
 
 from repro.arch import reduced_layout
 from repro.core.encoding import encode_incremental_instance
+from repro.core.problem import SchedulingProblem
 from repro.core.scheduler import SMTScheduler
 from repro.core.validator import validate_schedule
 from repro.evaluation.runner import SMT_INSTANCES
@@ -43,16 +44,16 @@ INSTANCES = {**SMT_INSTANCES, "steane-sub": steane_subinstance()}
 @pytest.mark.parametrize("instance_name", list(INSTANCES))
 def test_incremental_matches_coldstart(layout_kind, instance_name):
     num_qubits, gates = INSTANCES[instance_name]
-    architecture = tiny_layout(layout_kind)
+    problem = SchedulingProblem.from_gates(tiny_layout(layout_kind), num_qubits, gates)
     results = {}
     for incremental in (True, False):
         scheduler = SMTScheduler(
-            architecture, time_limit_per_instance=300, incremental=incremental
+            time_limit_per_instance=300, incremental=incremental
         )
-        result = scheduler.schedule(num_qubits, gates)
-        assert result.found and result.optimal
-        validate_schedule(result.schedule, require_shielding=architecture.has_storage)
-        results[incremental] = result
+        report = scheduler.schedule(problem)
+        assert report.found and report.optimal
+        validate_schedule(report.schedule, require_shielding=problem.shielding)
+        results[incremental] = report
     assert results[True].schedule.num_stages == results[False].schedule.num_stages
     assert results[True].stages_tried == results[False].stages_tried
     assert (
@@ -62,22 +63,28 @@ def test_incremental_matches_coldstart(layout_kind, instance_name):
 
 
 def test_incremental_scheduler_respects_max_stages():
-    scheduler = SMTScheduler(tiny_layout("bottom"), max_stages=1, incremental=True)
-    result = scheduler.schedule(3, [(0, 1), (1, 2)])
-    assert not result.found
-    assert result.schedule is None
+    scheduler = SMTScheduler(max_stages=1, incremental=True)
+    report = scheduler.schedule(
+        SchedulingProblem.from_gates(tiny_layout("bottom"), 3, [(0, 1), (1, 2)])
+    )
+    assert not report.found
+    assert report.schedule is None
 
 
 def test_incremental_capacity_rebuild_still_optimal(monkeypatch):
     """Outgrowing the initial gate-stage capacity rebuilds transparently."""
-    import repro.core.scheduler as scheduler_module
+    import repro.core.strategies.base as strategies_base
 
-    monkeypatch.setattr(scheduler_module, "_CAPACITY_HEADROOM", 1)
-    scheduler = SMTScheduler(tiny_layout("bottom"), time_limit_per_instance=300)
-    result = scheduler.schedule(3, [(0, 1), (1, 2), (0, 2)])
-    assert result.found and result.optimal
-    assert result.schedule.num_stages == 5
-    assert result.stages_tried == [2, 3, 4, 5]
+    monkeypatch.setattr(strategies_base, "_CAPACITY_HEADROOM", 1)
+    scheduler = SMTScheduler(time_limit_per_instance=300)
+    report = scheduler.schedule(
+        SchedulingProblem.from_gates(
+            tiny_layout("bottom"), 3, [(0, 1), (1, 2), (0, 2)]
+        )
+    )
+    assert report.found and report.optimal
+    assert report.schedule.num_stages == 5
+    assert report.stages_tried == [2, 3, 4, 5]
 
 
 # --------------------------------------------------------------------------- #
@@ -100,6 +107,23 @@ def test_incremental_instance_extends_in_place():
     schedule = instance.extract_schedule()
     validate_schedule(schedule)
     assert schedule.num_stages == 3
+
+
+def test_incremental_instance_decides_smaller_horizons_in_place():
+    """A grown instance still decides earlier horizons via assumptions."""
+    instance = encode_incremental_instance(
+        tiny_layout("bottom"), 3, [(0, 1), (1, 2)], num_stages=4, max_stages=6
+    )
+    assert instance.check(time_limit=300, horizon=4) is CheckResult.SAT
+    assert instance.check(time_limit=300, horizon=2) is CheckResult.UNSAT
+    assert instance.check(time_limit=300, horizon=3) is CheckResult.SAT
+    schedule = instance.extract_schedule(horizon=3)
+    validate_schedule(schedule)
+    assert schedule.num_stages == 3
+    with pytest.raises(ValueError):
+        instance.check(horizon=5)
+    with pytest.raises(ValueError):
+        instance.check(horizon=0)
 
 
 def test_incremental_instance_rejects_growth_beyond_capacity():

@@ -1,0 +1,137 @@
+"""Tests for the SchedulingProblem IR and its analytic bounds."""
+
+import pytest
+
+from repro.arch import (
+    bottom_storage_layout,
+    evaluation_layouts,
+    no_shielding_layout,
+    reduced_layout,
+)
+from repro.core.problem import SchedulingProblem, ZoneCapacities
+from repro.core.structured import StructuredScheduler
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+
+
+def tiny_layout(kind="bottom"):
+    return reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+
+
+# --------------------------------------------------------------------------- #
+# Construction and normalisation
+# --------------------------------------------------------------------------- #
+def test_from_gates_normalises_endpoints():
+    problem = SchedulingProblem.from_gates(tiny_layout(), 3, [(2, 0), (1, 0)])
+    assert problem.gates == ((0, 2), (0, 1))
+
+
+def test_from_gates_preserves_duplicates():
+    problem = SchedulingProblem.from_gates(tiny_layout(), 2, [(0, 1), (1, 0)])
+    assert problem.num_gates == 2
+    assert problem.max_gate_load() == 2
+
+
+@pytest.mark.parametrize("bad", [[(0, 0)], [(0, 3)], [(-1, 1)]])
+def test_from_gates_rejects_invalid_gates(bad):
+    with pytest.raises(ValueError):
+        SchedulingProblem.from_gates(tiny_layout(), 3, bad)
+
+
+def test_from_gates_rejects_empty_register():
+    with pytest.raises(ValueError):
+        SchedulingProblem.from_gates(tiny_layout(), 0, [])
+
+
+def test_shielding_defaults_to_storage_presence():
+    zoned = SchedulingProblem.from_gates(tiny_layout("bottom"), 2, [(0, 1)])
+    flat = SchedulingProblem.from_gates(tiny_layout("none"), 2, [(0, 1)])
+    assert zoned.shielding is True
+    assert flat.shielding is False
+    override = SchedulingProblem.from_gates(
+        tiny_layout("bottom"), 2, [(0, 1)], shielding=False
+    )
+    assert override.shielding is False
+
+
+def test_from_circuit_carries_provenance():
+    prep = state_preparation_circuit(get_code("steane"))
+    problem = SchedulingProblem.from_circuit(
+        bottom_storage_layout(), prep, metadata={"origin": "test"}
+    )
+    assert problem.num_qubits == prep.num_qubits
+    assert problem.num_gates == prep.num_cz_gates
+    assert problem.metadata["origin"] == "test"
+    assert "circuit" in problem.metadata
+
+
+# --------------------------------------------------------------------------- #
+# Derived structure
+# --------------------------------------------------------------------------- #
+def test_gate_load_and_interaction_graph():
+    problem = SchedulingProblem.from_gates(
+        tiny_layout(), 4, [(0, 1), (1, 2), (1, 3)]
+    )
+    assert problem.gate_load() == [1, 3, 1, 1]
+    assert problem.max_gate_load() == 3
+    graph = problem.interaction_graph()
+    assert graph[1] == {0, 2, 3}
+    assert graph[0] == {1}
+    assert problem.interacting_qubits() == [0, 1, 2, 3]
+
+
+def test_zone_capacities():
+    capacities = ZoneCapacities.of(tiny_layout("bottom"))
+    # Reduced bottom layout: 3 columns, entangling rows 1..2, storage row 0,
+    # 3 AOD columns x 3 AOD rows.
+    assert capacities.entangling_sites == 6
+    assert capacities.storage_sites == 3
+    assert capacities.aod_traps == 9
+    assert capacities.aod_columns == 3
+    assert capacities.aod_rows == 3
+    flat = ZoneCapacities.of(tiny_layout("none"))
+    assert flat.storage_sites == 0
+
+
+# --------------------------------------------------------------------------- #
+# Analytic lower bound
+# --------------------------------------------------------------------------- #
+def test_lower_bound_gate_load_certificate():
+    star = SchedulingProblem.from_gates(tiny_layout(), 4, [(0, 1), (0, 2), (0, 3)])
+    assert star.lower_bound() == 3
+
+
+def test_lower_bound_capacity_certificate():
+    # 1 site column x 3 entangling rows and 2x2 AOD: 4 gates/beam max by AOD,
+    # 3 by sites -> 7 disjoint gates need ceil(7/3) = 3 beams.
+    cramped = reduced_layout("none", x_max=0, h_max=1, v_max=1, c_max=1, r_max=1)
+    capacities = ZoneCapacities.of(cramped)
+    assert capacities.entangling_sites == 3
+    assert capacities.aod_traps == 4
+    problem = SchedulingProblem.from_gates(
+        cramped, 14, [(2 * i, 2 * i + 1) for i in range(7)]
+    )
+    assert problem.lower_bound() == 3
+
+
+def test_lower_bound_is_at_least_one():
+    idle = SchedulingProblem.from_gates(tiny_layout(), 2, [])
+    assert idle.lower_bound() == 1
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+@pytest.mark.parametrize("layout_name", list(evaluation_layouts()))
+def test_lower_bound_never_exceeds_structured_upper_bound(code_name, layout_name):
+    """LB <= optimum <= structured stage count, for every registered code."""
+    architecture = evaluation_layouts()[layout_name]
+    prep = state_preparation_circuit(get_code(code_name))
+    problem = SchedulingProblem.from_circuit(architecture, prep)
+    schedule = StructuredScheduler().schedule(problem)
+    assert problem.lower_bound() <= schedule.num_stages
+
+
+def test_describe_mentions_the_essentials():
+    text = SchedulingProblem.from_gates(no_shielding_layout(), 2, [(0, 1)]).describe()
+    assert "2 qubits" in text
+    assert "1 CZ gates" in text
+    assert "unshielded" in text

@@ -9,6 +9,7 @@ are kept tiny so that the property runs stay within seconds.
 from hypothesis import given, settings, strategies as st
 
 from repro.arch import reduced_layout
+from repro.core.problem import SchedulingProblem
 from repro.core.scheduler import SMTScheduler
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
@@ -27,19 +28,17 @@ def test_property_smt_schedules_are_valid_and_at_least_as_good(data):
         st.lists(st.sampled_from(possible), min_size=1, max_size=2, unique=True)
     )
     kind = data.draw(st.sampled_from(["none", "bottom"]))
-    layout = _tiny_layout(kind)
+    problem = SchedulingProblem.from_gates(_tiny_layout(kind), num_qubits, gates)
 
-    smt_result = SMTScheduler(layout, time_limit_per_instance=60).schedule(
-        num_qubits, gates
-    )
-    assert smt_result.found
+    smt_report = SMTScheduler(time_limit_per_instance=60).schedule(problem)
+    assert smt_report.found
     report = validate_schedule(
-        smt_result.schedule,
-        require_shielding=layout.has_storage,
+        smt_report.schedule,
+        require_shielding=problem.shielding,
         raise_on_error=False,
     )
     assert report.ok, report.errors[:5]
-    assert sorted(smt_result.schedule.executed_gates) == sorted(gates)
+    assert sorted(smt_report.schedule.executed_gates) == sorted(gates)
 
-    structured = StructuredScheduler(layout).schedule(num_qubits, gates)
-    assert smt_result.schedule.num_stages <= structured.num_stages
+    structured = StructuredScheduler().schedule(problem)
+    assert smt_report.schedule.num_stages <= structured.num_stages

@@ -9,6 +9,7 @@ import pytest
 
 from repro.arch import reduced_layout
 from repro.core.encoding import encode_instance
+from repro.core.problem import SchedulingProblem
 from repro.core.scheduler import SMTScheduler
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
@@ -17,6 +18,10 @@ from repro.smt import CheckResult
 
 def tiny_layout(kind):
     return reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+
+
+def tiny_problem(kind, num_qubits, gates):
+    return SchedulingProblem.from_gates(tiny_layout(kind), num_qubits, gates)
 
 
 # --------------------------------------------------------------------------- #
@@ -64,6 +69,8 @@ def test_disjoint_gates_share_a_stage():
 def test_invalid_gate_rejected():
     with pytest.raises(ValueError):
         encode_instance(tiny_layout("none"), 2, [(0, 0)], num_stages=1)
+    with pytest.raises(ValueError):
+        SchedulingProblem.from_gates(tiny_layout("none"), 2, [(0, 0)])
 
 
 def test_unknown_result_with_tiny_conflict_budget():
@@ -76,34 +83,44 @@ def test_unknown_result_with_tiny_conflict_budget():
 # Iterative-deepening scheduler
 # --------------------------------------------------------------------------- #
 def test_scheduler_finds_minimum_stage_count():
-    scheduler = SMTScheduler(tiny_layout("none"), time_limit_per_instance=120)
-    result = scheduler.schedule(3, [(0, 1), (1, 2)])
-    assert result.found and result.optimal
-    assert result.schedule.num_stages == 2
-    assert result.stages_tried == [2]
+    scheduler = SMTScheduler(time_limit_per_instance=120)
+    report = scheduler.schedule(tiny_problem("none", 3, [(0, 1), (1, 2)]))
+    assert report.found and report.optimal
+    assert report.schedule.num_stages == 2
+    assert report.stages_tried == [2]
+    assert report.strategy == "linear"
 
 
 def test_scheduler_zoned_layout_adds_transfer_stage():
-    scheduler = SMTScheduler(tiny_layout("bottom"), time_limit_per_instance=120)
-    result = scheduler.schedule(3, [(0, 1), (1, 2)])
-    assert result.found and result.optimal
-    assert result.schedule.num_stages == 3
-    assert result.schedule.num_transfer_stages == 1
+    scheduler = SMTScheduler(time_limit_per_instance=120)
+    report = scheduler.schedule(tiny_problem("bottom", 3, [(0, 1), (1, 2)]))
+    assert report.found and report.optimal
+    assert report.schedule.num_stages == 3
+    assert report.schedule.num_transfer_stages == 1
 
 
 def test_scheduler_respects_max_stages():
-    scheduler = SMTScheduler(tiny_layout("bottom"), max_stages=1)
-    result = scheduler.schedule(3, [(0, 1), (1, 2)])
-    assert not result.found
-    assert result.schedule is None
+    scheduler = SMTScheduler(max_stages=1)
+    report = scheduler.schedule(tiny_problem("bottom", 3, [(0, 1), (1, 2)]))
+    assert not report.found
+    assert report.schedule is None
+
+
+def test_scheduler_rejects_raw_gate_lists():
+    scheduler = SMTScheduler()
+    with pytest.raises(TypeError):
+        scheduler.schedule(2, [(0, 1)])
 
 
 def test_scheduler_statistics_and_bound():
-    scheduler = SMTScheduler(tiny_layout("none"), time_limit_per_instance=120)
-    assert scheduler.minimum_stage_bound([(0, 1), (1, 2), (1, 3)]) == 3
-    result = scheduler.schedule(2, [(0, 1)])
-    assert result.statistics.get("sat_clauses", 0) > 0
-    assert result.solver_seconds >= 0.0
+    problem = tiny_problem("none", 4, [(0, 1), (1, 2), (1, 3)])
+    assert problem.lower_bound() == 3
+    report = SMTScheduler(time_limit_per_instance=120).schedule(
+        tiny_problem("none", 2, [(0, 1)])
+    )
+    assert report.statistics.get("sat_clauses", 0) > 0
+    assert report.solver_seconds >= 0.0
+    assert report.lower_bound == 1
 
 
 # --------------------------------------------------------------------------- #
@@ -119,9 +136,9 @@ def test_scheduler_statistics_and_bound():
 )
 def test_smt_never_needs_more_rydberg_stages_than_structured(gates, num_qubits):
     """The optimal backend is at least as good as the constructive one."""
-    layout = tiny_layout("bottom")
-    smt = SMTScheduler(layout, time_limit_per_instance=120).schedule(num_qubits, gates)
-    structured = StructuredScheduler(layout).schedule(num_qubits, gates)
+    problem = tiny_problem("bottom", num_qubits, gates)
+    smt = SMTScheduler(time_limit_per_instance=120).schedule(problem)
+    structured = StructuredScheduler().schedule(problem)
     assert smt.found
     assert smt.schedule.num_rydberg_stages <= structured.num_rydberg_stages
     assert smt.schedule.num_stages <= structured.num_stages

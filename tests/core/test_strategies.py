@@ -1,0 +1,275 @@
+"""Tests for the pluggable minimum-stage search strategies.
+
+Covers the registry, the agreement of linear/bisection/warmstart on the
+certified optimum across sub-instances of every registered code, the
+soundness of the analytic lower bound against certified optima, and the
+no-op guarantee of phase hints on SAT/UNSAT answers.
+"""
+
+import pytest
+
+from repro.arch import reduced_layout
+from repro.core.problem import SchedulingProblem
+from repro.core.report import SchedulerReport, SchedulerResult
+from repro.core.scheduler import SMTScheduler
+from repro.core.strategies import (
+    SearchLimits,
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.core.validator import validate_schedule
+from repro.evaluation.runner import SMT_INSTANCES
+from repro.qec import available_codes, get_code
+from repro.qec.state_prep import state_preparation_circuit
+from repro.smt import Solver
+
+STRATEGIES = ("linear", "bisection", "warmstart")
+
+
+def tiny_layout(kind):
+    return reduced_layout(kind, x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
+
+
+def tiny_problem(kind, num_qubits, gates):
+    return SchedulingProblem.from_gates(tiny_layout(kind), num_qubits, gates)
+
+
+def code_subproblem(code_name, kind="bottom", max_qubits=4):
+    """The prep circuit of *code_name* restricted to its first qubits."""
+    prep = state_preparation_circuit(get_code(code_name))
+    keep = sorted(
+        {q for gate in prep.cz_gates for q in gate}
+    )[:max_qubits]
+    remap = {q: i for i, q in enumerate(keep)}
+    gates = [
+        (remap[a], remap[b])
+        for a, b in prep.cz_gates
+        if a in remap and b in remap
+    ]
+    if not gates:  # pragma: no cover - every code has local CZ pairs
+        gates = [(0, 1)]
+    return SchedulingProblem.from_gates(tiny_layout(kind), len(keep), gates)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+def test_registry_lists_builtin_strategies():
+    assert available_strategies() == ["bisection", "linear", "warmstart"]
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        get_strategy("portfolio")
+    with pytest.raises(ValueError):
+        SMTScheduler(strategy="portfolio")
+
+
+def test_register_strategy_requires_name_and_uniqueness():
+    with pytest.raises(ValueError):
+
+        @register_strategy
+        class Nameless(SearchStrategy):
+            name = ""
+
+            def run(self, problem, limits, metadata=None):  # pragma: no cover
+                raise NotImplementedError
+
+    with pytest.raises(ValueError):
+
+        @register_strategy
+        class Duplicate(SearchStrategy):
+            name = "linear"
+
+            def run(self, problem, limits, metadata=None):  # pragma: no cover
+                raise NotImplementedError
+
+
+def test_bisection_requires_incremental_solving():
+    strategy = get_strategy("bisection")
+    with pytest.raises(ValueError):
+        strategy.run(
+            tiny_problem("none", 2, [(0, 1)]), SearchLimits(incremental=False)
+        )
+    # ... and the scheduler facade rejects the combination eagerly.
+    for name in ("bisection", "warmstart"):
+        with pytest.raises(ValueError):
+            SMTScheduler(strategy=name, incremental=False)
+    SMTScheduler(strategy="linear", incremental=False)  # fine
+
+
+def test_report_alias_preserved():
+    assert SchedulerResult is SchedulerReport
+
+
+# --------------------------------------------------------------------------- #
+# Agreement across strategies, for every registered code
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("code_name", available_codes())
+def test_strategies_agree_on_stage_counts_for_all_codes(code_name):
+    """linear/bisection/warmstart certify the same optimum on a reduced
+    sub-instance of every registered code's preparation circuit."""
+    problem = code_subproblem(code_name)
+    stage_counts = {}
+    for name in STRATEGIES:
+        report = SMTScheduler(time_limit_per_instance=300, strategy=name).schedule(
+            problem
+        )
+        assert report.found and report.optimal, (code_name, name)
+        validate_schedule(report.schedule, require_shielding=problem.shielding)
+        stage_counts[name] = report.schedule.num_stages
+        assert report.lower_bound <= report.schedule.num_stages
+        if report.upper_bound is not None:
+            assert report.schedule.num_stages <= report.upper_bound
+    assert len(set(stage_counts.values())) == 1, stage_counts
+
+
+@pytest.mark.parametrize("layout_kind", ["none", "bottom"])
+@pytest.mark.parametrize("instance_name", list(SMT_INSTANCES))
+def test_lower_bound_never_exceeds_certified_optimum(layout_kind, instance_name):
+    num_qubits, gates = SMT_INSTANCES[instance_name]
+    problem = tiny_problem(layout_kind, num_qubits, gates)
+    report = SMTScheduler(time_limit_per_instance=300).schedule(problem)
+    assert report.found and report.optimal
+    assert problem.lower_bound() <= report.schedule.num_stages
+
+
+# --------------------------------------------------------------------------- #
+# Bisection specifics
+# --------------------------------------------------------------------------- #
+def test_bisection_certifies_degenerate_interval_without_probes():
+    """When the structured upper bound equals the lower bound, the optimum
+    is certified analytically — zero SMT horizons."""
+    report = SMTScheduler(strategy="bisection").schedule(
+        tiny_problem("bottom", 2, [(0, 1)])
+    )
+    assert report.found and report.optimal
+    assert report.stages_tried == []
+    assert report.lower_bound == report.upper_bound == 1
+    assert report.schedule.num_stages == 1
+    assert report.schedule.metadata["backend"] == "structured"
+
+
+def test_bisection_probes_fewer_horizons_on_multi_horizon_instance():
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
+    linear = SMTScheduler(time_limit_per_instance=300, strategy="linear").schedule(
+        problem
+    )
+    bisection = SMTScheduler(
+        time_limit_per_instance=300, strategy="bisection"
+    ).schedule(problem)
+    assert linear.schedule.num_stages == bisection.schedule.num_stages == 5
+    assert linear.num_horizons >= 3
+    assert bisection.num_horizons < linear.num_horizons
+
+
+def test_bisection_probes_stay_within_the_bounds():
+    report = SMTScheduler(
+        time_limit_per_instance=300, strategy="bisection"
+    ).schedule(tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)]))
+    assert all(
+        report.lower_bound <= probe <= report.upper_bound
+        for probe in report.stages_tried
+    )
+
+
+def test_schedule_metadata_provenance_is_path_independent():
+    """SMT-extracted schedules and the structured witness both carry the
+    problem metadata and the winning strategy name."""
+    probed = SMTScheduler(time_limit_per_instance=300, strategy="bisection").schedule(
+        SchedulingProblem.from_gates(
+            tiny_layout("bottom"), 3, [(0, 1), (1, 2)], metadata={"code": "chain"}
+        )
+    )
+    degenerate = SMTScheduler(strategy="bisection").schedule(
+        SchedulingProblem.from_gates(
+            tiny_layout("bottom"), 2, [(0, 1)], metadata={"code": "pair"}
+        )
+    )
+    linear = SMTScheduler(time_limit_per_instance=300).schedule(
+        SchedulingProblem.from_gates(
+            tiny_layout("bottom"), 2, [(0, 1)], metadata={"code": "pair"}
+        )
+    )
+    assert probed.schedule.metadata["code"] == "chain"
+    assert probed.schedule.metadata["strategy"] == "bisection"
+    assert degenerate.schedule.metadata["code"] == "pair"
+    assert degenerate.schedule.metadata["strategy"] == "bisection"
+    assert linear.schedule.metadata["code"] == "pair"
+    assert linear.schedule.metadata["strategy"] == "linear"
+    for report in (probed, degenerate, linear):
+        assert report.schedule.metadata["optimal"] is True
+
+
+def test_bisection_falls_back_to_witness_under_harsh_limits():
+    """With a conflict budget too small to decide anything, the structured
+    witness is still returned (anytime behaviour), flagged non-optimal."""
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2)])
+    report = SMTScheduler(
+        max_conflicts_per_instance=1, strategy="bisection"
+    ).schedule(problem)
+    assert report.found
+    assert not report.optimal
+    validate_schedule(report.schedule, require_shielding=True)
+
+
+# --------------------------------------------------------------------------- #
+# Phase hints
+# --------------------------------------------------------------------------- #
+def test_phase_hints_never_change_answers():
+    """The same formula answers identically with and without hints."""
+
+    def build(hinted):
+        solver = Solver(incremental=True)
+        x = solver.int_var("x", 0, 7)
+        a = solver.bool_var("a")
+        solver.add(a | (x >= 5))
+        if hinted:
+            solver.set_phase_hints({x: 7, a: False})
+        return solver, x, a
+
+    for hinted in (False, True):
+        solver, x, a = build(hinted)
+        assert solver.check().is_sat()
+        solver.add(x <= 4)
+        assert solver.check(assumptions=[~a]).is_unsat()
+        assert solver.check().is_sat()
+
+
+def test_phase_hints_bias_the_first_model():
+    solver = Solver(incremental=True)
+    x = solver.int_var("x", 0, 7)
+    solver.set_phase_hints({x: 5})
+    assert solver.check().is_sat()
+    assert solver.model()[x] == 5
+
+
+def test_phase_hints_clamp_out_of_domain_values():
+    solver = Solver(incremental=True)
+    x = solver.int_var("x", 0, 3)
+    solver.set_phase_hints({x: 99})
+    assert solver.check().is_sat()
+    assert solver.model()[x] == 3
+
+
+def test_phase_hints_reject_non_variables():
+    solver = Solver()
+    with pytest.raises(TypeError):
+        solver.set_phase_hints({"x": True})
+
+
+def test_warmstart_matches_bisection_answers_with_and_without_budget():
+    """Hints must not perturb SAT/UNSAT outcomes of the scheduler either."""
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2)])
+    plain = SMTScheduler(time_limit_per_instance=300, strategy="bisection").schedule(
+        problem
+    )
+    warm = SMTScheduler(time_limit_per_instance=300, strategy="warmstart").schedule(
+        problem
+    )
+    assert warm.found and plain.found
+    assert warm.schedule.num_stages == plain.schedule.num_stages
+    assert warm.optimal == plain.optimal
+    assert warm.stages_tried == plain.stages_tried

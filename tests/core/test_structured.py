@@ -9,25 +9,49 @@ from repro.arch import (
     evaluation_layouts,
     no_shielding_layout,
 )
+from repro.core.problem import SchedulingProblem
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
 from repro.qec import available_codes, get_code
 from repro.qec.state_prep import state_preparation_circuit
 
 
-@pytest.mark.parametrize("code_name", available_codes())
-@pytest.mark.parametrize("layout_name", list(evaluation_layouts()))
-def test_all_codes_all_layouts_are_valid(code_name, layout_name):
-    """Every Table I cell yields a schedule accepted by the validator."""
-    architecture = evaluation_layouts()[layout_name]
+def problem_for(architecture, num_qubits, gates, **kwargs):
+    return SchedulingProblem.from_gates(architecture, num_qubits, gates, **kwargs)
+
+
+def code_problem(code_name, architecture):
     code = get_code(code_name)
     prep = state_preparation_circuit(code)
-    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    return SchedulingProblem.from_circuit(
+        architecture, prep, metadata={"code": code_name}
+    ), prep
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+@pytest.mark.parametrize("layout_name", list(evaluation_layouts()))
+def test_all_codes_all_layouts_round_trip_the_validator(code_name, layout_name):
+    """Every registered code on every layout yields a validator-clean schedule.
+
+    This is the full round trip: problem IR -> structured schedule ->
+    independent validation with the problem's own shielding policy, plus
+    gate-coverage and serialisation checks.
+    """
+    architecture = evaluation_layouts()[layout_name]
+    problem, prep = code_problem(code_name, architecture)
+    schedule = StructuredScheduler().schedule(problem)
     report = validate_schedule(
-        schedule, require_shielding=architecture.has_storage, raise_on_error=False
+        schedule, require_shielding=problem.shielding, raise_on_error=False
     )
     assert report.ok, report.errors[:5]
-    assert sorted(schedule.executed_gates) == sorted(prep.cz_gates)
+    assert sorted(schedule.executed_gates) == sorted(problem.gates)
+    assert schedule.num_qubits == prep.num_qubits
+    assert schedule.metadata["backend"] == "structured"
+    assert schedule.metadata["code"] == code_name
+    # The schedule certifies an upper bound at least as large as the IR's
+    # analytic lower bound.
+    assert schedule.num_stages >= problem.lower_bound()
+    assert schedule.to_dict()["num_qubits"] == prep.num_qubits
 
 
 @pytest.mark.parametrize("code_name", ["steane", "surface", "honeycomb"])
@@ -36,18 +60,16 @@ def test_shielding_on_zoned_layouts(code_name):
     code = get_code(code_name)
     prep = state_preparation_circuit(code)
     for architecture in (bottom_storage_layout(), double_sided_storage_layout()):
-        schedule = StructuredScheduler(architecture).schedule(
-            prep.num_qubits, prep.cz_gates
-        )
+        problem = SchedulingProblem.from_circuit(architecture, prep)
+        schedule = StructuredScheduler().schedule(problem)
         assert schedule.total_unshielded_idle() == 0
 
 
 def test_no_shielding_layout_exposes_idle_qubits():
     code = get_code("steane")
     prep = state_preparation_circuit(code)
-    schedule = StructuredScheduler(no_shielding_layout()).schedule(
-        prep.num_qubits, prep.cz_gates
-    )
+    problem = SchedulingProblem.from_circuit(no_shielding_layout(), prep)
+    schedule = StructuredScheduler().schedule(problem)
     assert schedule.total_unshielded_idle() > 0
 
 
@@ -55,8 +77,8 @@ def test_transfer_stage_count_relation():
     """The choreography uses between #R-1 and 2(#R-1) transfer stages."""
     code = get_code("shor")
     prep = state_preparation_circuit(code)
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
-        prep.num_qubits, prep.cz_gates
+    schedule = StructuredScheduler().schedule(
+        SchedulingProblem.from_circuit(bottom_storage_layout(), prep)
     )
     rydberg = schedule.num_rydberg_stages
     assert rydberg - 1 <= schedule.num_transfer_stages <= 2 * (rydberg - 1)
@@ -68,27 +90,39 @@ def test_rydberg_stage_lower_bound():
 
     code = get_code("steane")
     prep = state_preparation_circuit(code)
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
-        prep.num_qubits, prep.cz_gates
+    schedule = StructuredScheduler().schedule(
+        SchedulingProblem.from_circuit(bottom_storage_layout(), prep)
     )
     assert schedule.num_rydberg_stages >= minimum_layer_count(prep.cz_gates)
 
 
-def test_metadata_records_backend():
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(2, [(0, 1)])
+def test_metadata_records_backend_and_problem_provenance():
+    problem = problem_for(
+        bottom_storage_layout(), 2, [(0, 1)], metadata={"origin": "unit-test"}
+    )
+    schedule = StructuredScheduler().schedule(problem, metadata={"run": 1})
     assert schedule.metadata["backend"] == "structured"
+    assert schedule.metadata["origin"] == "unit-test"
+    assert schedule.metadata["run"] == 1
 
 
-def test_invalid_gate_rejected():
-    scheduler = StructuredScheduler(bottom_storage_layout())
+def test_invalid_gate_rejected_by_problem_construction():
+    layout = bottom_storage_layout()
     with pytest.raises(ValueError):
-        scheduler.schedule(2, [(0, 0)])
+        problem_for(layout, 2, [(0, 0)])
     with pytest.raises(ValueError):
-        scheduler.schedule(2, [(0, 5)])
+        problem_for(layout, 2, [(0, 5)])
+
+
+def test_raw_gate_lists_rejected():
+    with pytest.raises(TypeError):
+        StructuredScheduler().schedule(2, [(0, 1)])
 
 
 def test_single_gate_schedule():
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(2, [(0, 1)])
+    schedule = StructuredScheduler().schedule(
+        problem_for(bottom_storage_layout(), 2, [(0, 1)])
+    )
     validate_schedule(schedule)
     assert schedule.num_rydberg_stages == 1
     assert schedule.num_transfer_stages == 0
@@ -96,8 +130,8 @@ def test_single_gate_schedule():
 
 def test_isolated_qubits_never_move():
     """Qubits without gates stay at their home for the whole schedule."""
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
-        5, [(0, 1), (1, 2)]
+    schedule = StructuredScheduler().schedule(
+        problem_for(bottom_storage_layout(), 5, [(0, 1), (1, 2)])
     )
     validate_schedule(schedule)
     trajectories = {
@@ -110,9 +144,20 @@ def test_isolated_qubits_never_move():
 
 def test_too_many_qubits_for_architecture():
     # The bottom-storage layout offers 16 storage homes + 1 airborne qubit.
-    scheduler = StructuredScheduler(bottom_storage_layout())
+    scheduler = StructuredScheduler()
     with pytest.raises(ValueError):
-        scheduler.schedule(18, [(0, 1)])
+        scheduler.schedule(problem_for(bottom_storage_layout(), 18, [(0, 1)]))
+
+
+def test_one_scheduler_serves_many_problems():
+    """The stateless facade reschedules across architectures correctly."""
+    scheduler = StructuredScheduler()
+    zoned = scheduler.schedule(problem_for(bottom_storage_layout(), 3, [(0, 1), (1, 2)]))
+    flat = scheduler.schedule(problem_for(no_shielding_layout(), 3, [(0, 1), (1, 2)]))
+    assert zoned.architecture.has_storage
+    assert not flat.architecture.has_storage
+    validate_schedule(zoned)
+    validate_schedule(flat, require_shielding=False)
 
 
 @settings(max_examples=30, deadline=None)
@@ -127,10 +172,10 @@ def test_property_random_interaction_graphs_are_scheduled_validly(data):
     layout_factory = data.draw(
         st.sampled_from([no_shielding_layout, bottom_storage_layout, double_sided_storage_layout])
     )
-    architecture = layout_factory()
-    schedule = StructuredScheduler(architecture).schedule(num_qubits, gates)
+    problem = problem_for(layout_factory(), num_qubits, gates)
+    schedule = StructuredScheduler().schedule(problem)
     report = validate_schedule(
-        schedule, require_shielding=architecture.has_storage, raise_on_error=False
+        schedule, require_shielding=problem.shielding, raise_on_error=False
     )
     assert report.ok, report.errors[:5]
     assert sorted(schedule.executed_gates) == sorted(set(gates))

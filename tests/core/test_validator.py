@@ -3,6 +3,7 @@
 import pytest
 
 from repro.arch import bottom_storage_layout, no_shielding_layout
+from repro.core.problem import SchedulingProblem
 from repro.core.schedule import QubitPlacement, Schedule
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import ValidationError, validate_schedule
@@ -13,10 +14,8 @@ from repro.qec.state_prep import state_preparation_circuit
 def valid_steane_schedule(architecture=None):
     architecture = architecture or bottom_storage_layout()
     prep = state_preparation_circuit(steane_code())
-    return (
-        StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates),
-        prep,
-    )
+    problem = SchedulingProblem.from_circuit(architecture, prep)
+    return StructuredScheduler().schedule(problem), prep
 
 
 def test_valid_schedule_passes():

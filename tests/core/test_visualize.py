@@ -1,16 +1,23 @@
 """Tests for the ASCII schedule renderer."""
 
 from repro.arch import bottom_storage_layout, reduced_layout
+from repro.core.problem import SchedulingProblem
 from repro.core.structured import StructuredScheduler
 from repro.core.visualize import render_schedule, render_stage
 from repro.qec import steane_code
 from repro.qec.state_prep import state_preparation_circuit
 
 
+def _schedule(architecture, num_qubits, gates):
+    return StructuredScheduler().schedule(
+        SchedulingProblem.from_gates(architecture, num_qubits, gates)
+    )
+
+
 def test_render_stage_contains_all_qubits():
     prep = state_preparation_circuit(steane_code())
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
-        prep.num_qubits, prep.cz_gates
+    schedule = StructuredScheduler().schedule(
+        SchedulingProblem.from_circuit(bottom_storage_layout(), prep)
     )
     text = render_stage(schedule, 0)
     assert "Rydberg beam" in text
@@ -23,8 +30,8 @@ def test_render_stage_contains_all_qubits():
 
 def test_render_transfer_stage_mentions_transfers():
     prep = state_preparation_circuit(steane_code())
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
-        prep.num_qubits, prep.cz_gates
+    schedule = StructuredScheduler().schedule(
+        SchedulingProblem.from_circuit(bottom_storage_layout(), prep)
     )
     transfer_index = next(
         i for i, stage in enumerate(schedule.stages) if not stage.is_execution
@@ -35,12 +42,12 @@ def test_render_transfer_stage_mentions_transfers():
 
 
 def test_render_schedule_has_one_block_per_stage():
-    schedule = StructuredScheduler(reduced_layout("bottom")).schedule(3, [(0, 1), (1, 2)])
+    schedule = _schedule(reduced_layout("bottom"), 3, [(0, 1), (1, 2)])
     text = render_schedule(schedule)
     assert text.count("stage ") == schedule.num_stages
 
 
 def test_aod_qubits_are_starred():
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(2, [(0, 1)])
+    schedule = _schedule(bottom_storage_layout(), 2, [(0, 1)])
     text = render_stage(schedule, 0)
     assert "0*" in text and "1*" in text

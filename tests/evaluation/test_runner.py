@@ -6,12 +6,15 @@ import pytest
 
 from repro.evaluation.runner import (
     BenchInstance,
+    SMT_STRATEGIES,
     build_suite,
+    check_bisection_regression,
     execute_spec,
     format_batch,
     load_results,
     run_batch,
     smt_suite,
+    strategy_horizons,
     table1_suite,
 )
 
@@ -21,13 +24,13 @@ from repro.evaluation.runner import (
 # --------------------------------------------------------------------------- #
 def test_build_suite_shapes():
     smt = build_suite("smt")
-    assert len(smt) == 2 * 2 * 4  # modes x layouts x instances
+    assert len(smt) == 4 * 2 * 4  # strategies x layouts x instances
     assert all(inst.suite == "smt" for inst in smt)
     table1 = build_suite("table1", codes=["steane"])
     assert len(table1) == 3  # three layouts
     exploration = build_suite("exploration", codes=["steane", "surface"])
     assert len(exploration) == 2
-    everything = build_suite("all", codes=["steane"], modes=["incremental"])
+    everything = build_suite("all", codes=["steane"], strategies=["linear"])
     assert len(everything) == 8 + 3 + 1
 
 
@@ -36,9 +39,17 @@ def test_build_suite_unknown_name():
         build_suite("nope")
 
 
-def test_smt_suite_rejects_unknown_mode():
+def test_smt_suite_rejects_unknown_strategy():
     with pytest.raises(ValueError):
-        smt_suite(modes=["warmstart"])
+        smt_suite(strategies=["simulated-annealing"])
+
+
+def test_smt_suite_names_carry_the_strategy():
+    suite = smt_suite(strategies=("bisection",), instances=["triangle"])
+    assert [inst.name for inst in suite] == [
+        "smt/bisection/none/triangle",
+        "smt/bisection/bottom/triangle",
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -53,16 +64,28 @@ def test_execute_table1_spec():
     json.dumps(payload)  # payloads must be JSON-serialisable
 
 
-def test_execute_smt_spec_both_modes_agree():
+def test_execute_smt_spec_all_strategies_agree():
     instances = smt_suite(
-        modes=("incremental", "coldstart"),
+        strategies=SMT_STRATEGIES,
         instances=["chain-2"],
         layout_kinds=("bottom",),
         time_limit=300,
     )
     payloads = [execute_spec(inst.spec) for inst in instances]
     assert all(p["found"] and p["optimal"] and p["validated"] for p in payloads)
-    assert payloads[0]["num_stages"] == payloads[1]["num_stages"] == 3
+    assert {p["num_stages"] for p in payloads} == {3}
+    json.dumps(payloads)
+
+
+def test_execute_smt_spec_records_search_trajectory():
+    [instance] = smt_suite(
+        strategies=("bisection",), instances=["chain-2"], layout_kinds=("bottom",)
+    )
+    payload = execute_spec(instance.spec)
+    assert payload["strategy"] == "bisection"
+    assert payload["lower_bound"] == 2
+    assert payload["upper_bound"] >= payload["num_stages"] == 3
+    assert payload["num_horizons"] == len(payload["stages_tried"])
 
 
 # --------------------------------------------------------------------------- #
@@ -70,7 +93,7 @@ def test_execute_smt_spec_both_modes_agree():
 # --------------------------------------------------------------------------- #
 def _tiny_suite():
     return smt_suite(
-        modes=("incremental",),
+        strategies=("linear",),
         instances=["single-gate", "disjoint-pairs"],
         layout_kinds=("none",),
         time_limit=300,
@@ -85,6 +108,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
+    assert document["version"] == 2
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -112,3 +136,29 @@ def test_format_batch_mentions_instances():
     text = format_batch(results)
     assert "single-gate" in text
     assert "2/2 instances ok" in text
+
+
+# --------------------------------------------------------------------------- #
+# Bench regression helpers (used by the CI bench-regression job)
+# --------------------------------------------------------------------------- #
+def test_check_bisection_regression_on_the_smoke_instance():
+    linear = run_batch(
+        smt_suite(
+            strategies=("linear",), instances=["triangle"], layout_kinds=("bottom",)
+        ),
+        jobs=1,
+    )
+    bisection = run_batch(
+        smt_suite(
+            strategies=("bisection",), instances=["triangle"], layout_kinds=("bottom",)
+        ),
+        jobs=1,
+    )
+    linear_horizons, bisection_horizons = check_bisection_regression(linear, bisection)
+    assert bisection_horizons < linear_horizons
+    assert strategy_horizons(linear, "linear") == {("bottom", "triangle"): linear_horizons}
+
+
+def test_check_bisection_regression_requires_the_instance():
+    with pytest.raises(ValueError):
+        check_bisection_regression([], [])

@@ -5,18 +5,24 @@ import math
 import pytest
 
 from repro.arch import bottom_storage_layout, no_shielding_layout
+from repro.core.problem import SchedulingProblem
 from repro.core.structured import StructuredScheduler
 from repro.metrics import approximate_success_probability, execution_time
 from repro.qec import steane_code, get_code
 from repro.qec.state_prep import state_preparation_circuit
 
 
+def _structured(architecture, prep):
+    return StructuredScheduler().schedule(
+        SchedulingProblem.from_circuit(architecture, prep)
+    )
+
+
 @pytest.fixture(scope="module")
 def steane_setup():
     code = steane_code()
     prep = state_preparation_circuit(code)
-    architecture = bottom_storage_layout()
-    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    schedule = _structured(bottom_storage_layout(), prep)
     return prep, schedule
 
 
@@ -78,8 +84,7 @@ def test_asp_shielded_layout_has_no_rydberg_idle_penalty(steane_setup):
 def test_asp_unshielded_layout_pays_idle_penalty():
     code = get_code("steane")
     prep = state_preparation_circuit(code)
-    architecture = no_shielding_layout()
-    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    schedule = _structured(no_shielding_layout(), prep)
     breakdown = approximate_success_probability(schedule, prep)
     assert breakdown.unshielded_idle_count > 0
     assert breakdown.rydberg_idle_factor == pytest.approx(
@@ -110,12 +115,8 @@ def test_shielding_improves_asp_for_every_code():
     for code_name in ("steane", "hamming", "honeycomb"):
         code = get_code(code_name)
         prep = state_preparation_circuit(code)
-        shielded = StructuredScheduler(bottom_storage_layout()).schedule(
-            prep.num_qubits, prep.cz_gates
-        )
-        unshielded = StructuredScheduler(no_shielding_layout()).schedule(
-            prep.num_qubits, prep.cz_gates
-        )
+        shielded = _structured(bottom_storage_layout(), prep)
+        unshielded = _structured(no_shielding_layout(), prep)
         asp_shielded = approximate_success_probability(shielded, prep).asp
         asp_unshielded = approximate_success_probability(unshielded, prep).asp
         assert asp_shielded > asp_unshielded

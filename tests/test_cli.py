@@ -33,6 +33,20 @@ def test_schedule_command(capsys):
     output = capsys.readouterr().out
     assert "ASP" in output
     assert "execution time" in output
+    assert "stage lower bound" in output
+
+
+def test_schedule_command_smt_strategy(capsys):
+    """An SMT strategy with a harsh per-horizon budget still answers: the
+    bisection strategy falls back on its structured upper-bound witness."""
+    exit_code = main(
+        ["schedule", "steane", "--layout", "none", "--strategy", "bisection",
+         "--timeout", "2"]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "strategy=bisection" in output
+    assert "bounds=[" in output
 
 
 def test_schedule_render_command(capsys):
@@ -91,15 +105,15 @@ def test_bench_command_exploration(capsys, tmp_path):
     assert document["num_ok"] == 1
 
 
-def test_bench_command_smt_single_instance(capsys):
+def test_bench_command_smt_single_strategy(capsys):
     assert (
         main(
             [
                 "bench",
                 "--suite",
                 "smt",
-                "--modes",
-                "incremental",
+                "--strategy",
+                "linear",
                 "--timeout",
                 "300",
             ]
@@ -107,8 +121,8 @@ def test_bench_command_smt_single_instance(capsys):
         == 0
     )
     text = capsys.readouterr().out
-    assert "smt/incremental/bottom/chain-2" in text
-    assert "16/16" not in text  # only one mode was requested
+    assert "smt/linear/bottom/chain-2" in text
+    assert "32/32" not in text  # only one strategy was requested
     assert "8/8 instances ok" in text
 
 

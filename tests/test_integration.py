@@ -8,7 +8,12 @@ verify cross-cutting invariants that no single module can check on its own.
 import pytest
 
 from repro.arch import bottom_storage_layout, evaluation_layouts, reduced_layout
-from repro.core import SMTScheduler, StructuredScheduler, validate_schedule
+from repro.core import (
+    SchedulingProblem,
+    SMTScheduler,
+    StructuredScheduler,
+    validate_schedule,
+)
 from repro.metrics import approximate_success_probability
 from repro.qec import available_codes, get_code
 from repro.qec.state_prep import state_preparation_circuit
@@ -23,8 +28,8 @@ def test_full_pipeline_per_code(code_name):
     prep = state_preparation_circuit(code)
     assert prepares_logical_zero(prep, code)
 
-    architecture = bottom_storage_layout()
-    schedule = StructuredScheduler(architecture).schedule(prep.num_qubits, prep.cz_gates)
+    problem = SchedulingProblem.from_circuit(bottom_storage_layout(), prep)
+    schedule = StructuredScheduler().schedule(problem)
     validate_schedule(schedule)
 
     breakdown = approximate_success_probability(schedule, prep)
@@ -37,8 +42,8 @@ def test_scheduled_gates_reproduce_the_logical_state():
     the logical zero state — scheduling only reorders commuting CZ gates."""
     code = get_code("steane")
     prep = state_preparation_circuit(code)
-    schedule = StructuredScheduler(bottom_storage_layout()).schedule(
-        prep.num_qubits, prep.cz_gates
+    schedule = StructuredScheduler().schedule(
+        SchedulingProblem.from_circuit(bottom_storage_layout(), prep)
     )
     simulator = TableauSimulator(code.num_qubits)
     for qubit in range(code.num_qubits):
@@ -60,8 +65,8 @@ def test_every_layout_executes_every_gate_exactly_once():
     code = get_code("tetrahedral")
     prep = state_preparation_circuit(code)
     for architecture in evaluation_layouts().values():
-        schedule = StructuredScheduler(architecture).schedule(
-            prep.num_qubits, prep.cz_gates
+        schedule = StructuredScheduler().schedule(
+            SchedulingProblem.from_circuit(architecture, prep)
         )
         assert sorted(schedule.executed_gates) == sorted(prep.cz_gates)
 
@@ -70,8 +75,9 @@ def test_smt_and_structured_agree_on_feasibility():
     """Both backends produce validator-approved schedules of the same gates."""
     layout = reduced_layout("bottom", x_max=2, h_max=1, v_max=1, c_max=2, r_max=2)
     gates = [(0, 1), (1, 2)]
-    smt_result = SMTScheduler(layout, time_limit_per_instance=120).schedule(3, gates)
-    structured = StructuredScheduler(layout).schedule(3, gates)
+    problem = SchedulingProblem.from_gates(layout, 3, gates)
+    smt_result = SMTScheduler(time_limit_per_instance=120).schedule(problem)
+    structured = StructuredScheduler().schedule(problem)
     assert smt_result.found
     for schedule in (smt_result.schedule, structured):
         report = validate_schedule(schedule, raise_on_error=False)
