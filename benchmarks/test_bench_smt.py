@@ -5,9 +5,12 @@ hundreds of hours (large codes).  With a pure-Python SAT core the same
 encoding is exercised here on reduced-but-structurally-identical instances;
 the benchmark also cross-checks the optimal stage counts against the
 architecture's shielding behaviour (storage zone => extra transfer stage),
-pits the incremental minimum-stage search against the cold-start one, and
+pits the incremental minimum-stage search against the cold-start one,
 certifies that bound-driven bisection reaches the same optima while probing
-strictly fewer stage horizons on multi-horizon instances.
+strictly fewer stage horizons on multi-horizon instances, races the
+flat-array CDCL core against the preserved seed implementation
+(propagation-throughput microbench), and checks the portfolio strategy
+against the single-strategy field.
 """
 
 import pytest
@@ -17,6 +20,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.scheduler import SMTScheduler
 from repro.core.validator import validate_schedule
 from repro.evaluation.runner import REDUCED_LAYOUT_KWARGS, SMT_INSTANCES
+from repro.sat.bench import DEFAULT_CELLS, run_microbench
 
 INSTANCES = SMT_INSTANCES
 
@@ -35,7 +39,7 @@ def bench_problem(kind, instance_name):
     return SchedulingProblem.from_gates(bench_layout(kind), num_qubits, gates)
 
 
-@pytest.mark.parametrize("strategy", ["linear", "bisection", "warmstart"])
+@pytest.mark.parametrize("strategy", ["linear", "bisection", "warmstart", "portfolio"])
 @pytest.mark.parametrize("layout_kind", ["none", "bottom"])
 @pytest.mark.parametrize("instance_name", list(INSTANCES))
 def test_bench_smt_optimal_scheduling(benchmark, strategy, layout_kind, instance_name):
@@ -143,3 +147,84 @@ def test_bench_smt_bisection_solves_fewer_horizons(benchmark):
                 f"linear {linear.stages_tried}"
             )
     assert multi_horizon_cells > 0, "suite lost its multi-horizon instances"
+
+
+# --------------------------------------------------------------------------- #
+# Flat-array CDCL core vs the preserved seed reference
+# --------------------------------------------------------------------------- #
+def test_bench_smt_propagation_throughput_microbench(benchmark):
+    """The flat-array rewrite must beat the seed CDCL loop on every smoke
+    formula (bottom/triangle and bottom/chain-2 probes): strictly faster
+    wall-clock AND strictly higher propagation throughput, with identical
+    SAT/UNSAT answers.
+
+    Reading the output: each cell reports flat/reference seconds, the
+    ``speedup`` (reference/flat wall-clock) and the ``throughput_ratio``
+    (flat props/s over reference props/s); both must stay > 1.0 — the
+    ``repro-nasp microbench`` CLI prints the same table and CI fails on the
+    first cell at or below parity.
+    """
+    document = benchmark.pedantic(run_microbench, rounds=1, iterations=1)
+    assert len(document["cells"]) == len(DEFAULT_CELLS)
+    for cell in document["cells"]:
+        name = f"{cell['layout']}/{cell['instance']}@{cell['num_stages']}"
+        assert cell["flat"]["result"] == cell["reference"]["result"], name
+        assert cell["speedup"] > 1.0, (
+            f"{name}: flat core no longer strictly faster "
+            f"(flat {cell['flat']['seconds']:.3f}s vs "
+            f"reference {cell['reference']['seconds']:.3f}s)"
+        )
+        assert cell["throughput_ratio"] > 1.0, (
+            f"{name}: flat propagation throughput regressed "
+            f"({cell['flat']['propagations_per_second']:,.0f} vs "
+            f"{cell['reference']['propagations_per_second']:,.0f} props/s)"
+        )
+    assert document["flat_faster_everywhere"]
+
+
+# --------------------------------------------------------------------------- #
+# Portfolio racing
+# --------------------------------------------------------------------------- #
+#: Fixed allowance for the portfolio's orchestration overhead (process
+#: fork + result pickling + the race loop's 0.5 s poll granularity) on
+#: cells where every strategy finishes in milliseconds; on wide-interval
+#: cells the race wins outright.  Sized for a loaded 2-core CI runner.
+PORTFOLIO_OVERHEAD_SECONDS = 1.0
+
+
+def test_bench_smt_portfolio_matches_bisection_and_never_trails_the_field(benchmark):
+    """The portfolio certifies the same optimal S as bisection on every
+    smoke instance and never loses to the slowest single strategy by more
+    than the fixed orchestration allowance."""
+
+    def run_all():
+        reports = {}
+        for strategy in ("linear", "bisection", "warmstart", "portfolio"):
+            scheduler = SMTScheduler(time_limit_per_instance=120, strategy=strategy)
+            for layout_kind in ("none", "bottom"):
+                for name in INSTANCES:
+                    problem = bench_problem(layout_kind, name)
+                    reports[(strategy, layout_kind, name)] = scheduler.schedule(
+                        problem
+                    )
+        return reports
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for layout_kind in ("none", "bottom"):
+        for name in INSTANCES:
+            portfolio = reports[("portfolio", layout_kind, name)]
+            bisection = reports[("bisection", layout_kind, name)]
+            assert portfolio.found and portfolio.optimal, (layout_kind, name)
+            assert (
+                portfolio.schedule.num_stages == bisection.schedule.num_stages
+            ), (layout_kind, name)
+            assert portfolio.winner is not None, (layout_kind, name)
+            slowest = max(
+                reports[(strategy, layout_kind, name)].solver_seconds
+                for strategy in ("linear", "bisection", "warmstart")
+            )
+            assert portfolio.solver_seconds <= slowest + PORTFOLIO_OVERHEAD_SECONDS, (
+                f"{layout_kind}/{name}: portfolio took "
+                f"{portfolio.solver_seconds:.2f}s vs slowest single "
+                f"strategy {slowest:.2f}s"
+            )

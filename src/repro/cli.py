@@ -13,6 +13,8 @@ Examples
     repro-nasp explore surface            # architecture design-space sweep
     repro-nasp bench --suite smt --jobs 4 --output results.json
     repro-nasp bench --suite smt --strategy linear bisection --output out.json
+    repro-nasp bench --suite smt --strategy portfolio --output race.json
+    repro-nasp microbench --output microbench.json
 """
 
 from __future__ import annotations
@@ -142,6 +144,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", default=None, help="persist the results as JSON to this path"
     )
+    bench.add_argument(
+        "--schema-version",
+        type=int,
+        choices=[2, 3],
+        default=3,
+        help="bench JSON schema (2 strips the v3-only portfolio fields)",
+    )
+
+    microbench = sub.add_parser(
+        "microbench",
+        help="race the flat-array CDCL core against the seed reference "
+        "solver on the smoke scheduling formulas",
+    )
+    microbench.add_argument(
+        "--output", default=None, help="persist the comparison as JSON to this path"
+    )
     return parser
 
 
@@ -252,6 +270,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 jobs=args.jobs,
                 timeout=args.timeout,
                 output_path=args.output,
+                schema_version=args.schema_version,
             )
         except OSError as exc:
             print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
@@ -260,6 +279,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.output:
             print(f"results written to {args.output}")
         return 0 if all(result.status != "error" for result in results) else 1
+
+    if args.command == "microbench":
+        from repro.sat.bench import format_microbench, run_microbench
+
+        document = run_microbench()
+        print(format_microbench(document))
+        if args.output:
+            try:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+                return 1
+            print(f"comparison written to {args.output}")
+        # Non-zero exit = the flat core regressed below the seed reference;
+        # CI treats this as a propagation-throughput regression.
+        return 0 if document["flat_faster_everywhere"] else 1
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -30,6 +30,11 @@ total stage count):
   Eqs. 9/10), and two AOD qubits can share neither their column nor their
   row pair (Eq. 11 ties indices to geometric order), so a beam executes at
   most ``(Cmax+1) * (Rmax+1)`` gates.
+
+On top of the Rydberg-stage certificates, shielded single-sided
+architectures can earn a **+T transfer-stage certificate** (one extra stage
+for the transfer the shielding choreography cannot avoid); see
+:meth:`SchedulingProblem.transfer_lower_bound` for the soundness argument.
 """
 
 from __future__ import annotations
@@ -186,12 +191,11 @@ class SchedulingProblem:
     # ------------------------------------------------------------------ #
     # Analytic stage bounds
     # ------------------------------------------------------------------ #
-    def lower_bound(self) -> int:
-        """Sound analytic lower bound on the total stage count.
+    def rydberg_lower_bound(self) -> int:
+        """Sound analytic lower bound on the number of Rydberg stages.
 
-        Every certificate bounds the number of Rydberg stages, which never
-        exceeds the total stage count; see the module docstring for why each
-        is sound against the SMT formulation.
+        See the module docstring for why each certificate is sound against
+        the SMT formulation.
         """
         capacities = self.zone_capacities()
         gates_per_beam = min(capacities.entangling_sites, capacities.aod_traps)
@@ -199,6 +203,105 @@ class SchedulingProblem:
         if self.num_gates and gates_per_beam:
             bounds.append(-(-self.num_gates // gates_per_beam))
         return max(bounds)
+
+    def transfer_lower_bound(self) -> int:
+        """Sound lower bound on the number of *transfer* stages (0 or 1).
+
+        The ``+T`` certificate: on a shielded architecture whose rows
+        outside the entangling band all lie on **one side** of it, some pair
+        of qubits forces at least one transfer stage whenever their beam
+        memberships cannot be nested.  The argument runs by refuting a
+        transfer-free schedule:
+
+        * With zero transfer stages every stage is a beam and every
+          transition is an execution transition, so trap types are frozen
+          (Eq. 15), SLM qubits never move (Eq. 16), and AOD qubits keep
+          their column/row indices forever (Eq. 17).
+        * A qubit with ``0 < load < R`` (``R`` = number of beams, at least
+          :meth:`rydberg_lower_bound`) can then be neither an SLM qubit
+          inside the band (shielding, Eq. 14, would force it busy in *every*
+          beam) nor an SLM qubit outside (it could never execute, Eq. 12) —
+          it sits in an AOD trap for the whole schedule.
+        * Take two such qubits ``u``, ``v`` whose busy-sets are
+          incomparable: some beam has ``u`` inside the band and ``v``
+          shielded outside, another beam the converse.  With a single-sided
+          outside region the geometric *vertical* order of ``u`` and ``v``
+          flips between those beams, but Eq. 11's vertical counterpart ties
+          the frozen AOD row indices to that order — contradiction.
+
+        Busy-set incomparability is forced statically when, in **either**
+        direction, the gates of one qubit cannot be injectively co-beamed
+        with gates of the other (same gate, or vertex-disjoint — Eq. 13
+        forbids sharing a beam otherwise): checked exactly with a tiny
+        bipartite matching.
+        """
+        if not self.shielding:
+            return 0
+        e_min, e_max = self.architecture.entangling_rows
+        below = e_min > 0
+        above = e_max < self.architecture.y_max
+        if below == above:
+            # No outside region at all, or outside on both sides: a
+            # transfer-free schedule cannot be refuted by the order argument.
+            return 0
+        rydberg = self.rydberg_lower_bound()
+        load = self.gate_load()
+        partial = [q for q in range(self.num_qubits) if 0 < load[q] < rydberg]
+        gates_of = {q: [i for i, g in enumerate(self.gates) if q in g] for q in partial}
+        for a_index, u in enumerate(partial):
+            for v in partial[a_index + 1 :]:
+                if not self._can_nest_busy_sets(
+                    gates_of[u], gates_of[v]
+                ) and not self._can_nest_busy_sets(gates_of[v], gates_of[u]):
+                    return 1
+        return 0
+
+    def _can_nest_busy_sets(self, inner: list[int], outer: list[int]) -> bool:
+        """Whether every beam of *inner*'s gates could also hold an *outer* gate.
+
+        Exact feasibility of ``B(inner) ⊆ B(outer)``: each gate of *inner*
+        needs its own distinct gate of *outer* sharing its beam — the same
+        gate occurrence, or one with disjoint endpoints (gates sharing a
+        qubit occupy different beams, Eq. 13).  Decided as a bipartite
+        matching saturating *inner* (Kuhn's algorithm; the gate lists are
+        tiny).
+        """
+        if len(inner) > len(outer):
+            return False
+        compatible: list[list[int]] = []
+        for gi in inner:
+            endpoints = set(self.gates[gi])
+            compatible.append(
+                [
+                    slot
+                    for slot, go in enumerate(outer)
+                    if go == gi or not endpoints & set(self.gates[go])
+                ]
+            )
+        matched_to: dict[int, int] = {}
+
+        def assign(i: int, visited: set[int]) -> bool:
+            for slot in compatible[i]:
+                if slot in visited:
+                    continue
+                visited.add(slot)
+                if slot not in matched_to or assign(matched_to[slot], visited):
+                    matched_to[slot] = i
+                    return True
+            return False
+
+        return all(assign(i, set()) for i in range(len(inner)))
+
+    def lower_bound(self) -> int:
+        """Sound analytic lower bound on the total stage count.
+
+        The Rydberg-stage certificates (:meth:`rydberg_lower_bound`) always
+        apply; shielded single-sided architectures may add the ``+T``
+        transfer-stage certificate (:meth:`transfer_lower_bound`).  Both
+        bound disjoint stage kinds of the same schedule, so their sum is a
+        sound bound on the total stage count.
+        """
+        return self.rydberg_lower_bound() + self.transfer_lower_bound()
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -28,6 +28,12 @@ class SchedulerReport:
     stages_tried: list[int] = field(default_factory=list)
     solver_seconds: float = 0.0
     statistics: dict[str, float] = field(default_factory=dict)
+    #: Set by the portfolio strategy only: the configuration whose
+    #: certificate landed first (e.g. ``{"strategy": "warmstart"}`` or
+    #: ``{"strategy": "bisection", "phase_seed": 2}``), plus how it won
+    #: (``"raced"`` across worker processes or ``"inline"`` when the
+    #: analytic interval was too narrow to pay for process fan-out).
+    winner: Optional[dict] = None
 
     @property
     def found(self) -> bool:

@@ -19,6 +19,15 @@ searches over ``S`` with a pluggable *strategy*
   couple of steps above the lower bound.
 * ``warmstart`` — bisection plus CDCL phase seeding from the structured
   schedule's gate-stage assignment.
+* ``portfolio`` — races ``bisection``/``warmstart``/``linear`` and
+  phase-seed variants across worker processes; the first certified optimum
+  wins, losers are terminated, and the winning configuration is recorded on
+  ``report.winner``.  Narrow analytic intervals are delegated inline to
+  bisection instead of paying process fan-out.
+
+``phase_seed`` seeds deterministic pseudo-random CDCL phase hints for the
+strategies that do not install their own (a pure heuristic: answers never
+change); the portfolio uses it to diversify its raced configurations.
 
 All strategies return a :class:`SchedulerReport` recording the analytic
 bounds, every horizon probed (in probe order), and the strategy name, and
@@ -56,6 +65,7 @@ class SMTScheduler:
         time_limit_per_instance: Optional[float] = None,
         incremental: bool = True,
         strategy: str = "linear",
+        phase_seed: Optional[int] = None,
     ) -> None:
         # Resolve eagerly so unknown names and incompatible configurations
         # fail at construction time, not mid-batch.
@@ -69,6 +79,7 @@ class SMTScheduler:
             max_conflicts=max_conflicts_per_instance,
             time_limit=time_limit_per_instance,
             incremental=incremental,
+            phase_seed=phase_seed,
         )
 
     @property

@@ -17,8 +17,10 @@ SAT *and* UNSAT horizons regardless of the probing order.
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.encoding import IncrementalInstance, encode_incremental_problem
@@ -47,6 +49,12 @@ class SearchLimits:
     #: Honoured by the linear strategy only: ``False`` re-encodes every
     #: horizon from scratch (the seed's cold-start reference behaviour).
     incremental: bool = True
+    #: Seed for deterministic pseudo-random CDCL phase hints
+    #: (:func:`seeded_phase_hints`).  ``None`` disables seeding.  Strategies
+    #: that install their own hint provider (warmstart) override the seeded
+    #: one.  Pure heuristic — never changes a SAT/UNSAT answer — which is
+    #: what lets the portfolio race phase-seed variants soundly.
+    phase_seed: Optional[int] = None
 
 
 class SearchContext:
@@ -64,6 +72,8 @@ class SearchContext:
         self._headroom = _CAPACITY_HEADROOM
         self._instance: Optional[IncrementalInstance] = None
         self._hint_provider: Optional[Callable[[IncrementalInstance], dict]] = None
+        if limits.phase_seed is not None:
+            self._hint_provider = partial(seeded_phase_hints, seed=limits.phase_seed)
 
     @property
     def instance(self) -> Optional[IncrementalInstance]:
@@ -124,6 +134,26 @@ class SearchContext:
             instance.set_phase_hints(self._hint_provider(instance))
         self._instance = instance
         return instance
+
+
+def seeded_phase_hints(instance: IncrementalInstance, seed: int) -> dict:
+    """Deterministic pseudo-random phase assignment for a fresh instance.
+
+    Every ``gate_stage`` variable is hinted to a pseudo-random stage and
+    every execution flag to a pseudo-random polarity, reproducibly derived
+    from *seed*.  Like all phase hints these only bias the CDCL core's first
+    descent; they cannot change any SAT/UNSAT answer, so the portfolio can
+    race differently-seeded copies of the same strategy and keep whichever
+    certificate lands first.
+    """
+    rng = random.Random(seed)
+    hints: dict = {}
+    capacity = instance.max_stages
+    for var in instance.variables.gate_stage:
+        hints[var] = rng.randrange(capacity)
+    for var in instance.variables.execution:
+        hints[var] = rng.random() < 0.5
+    return hints
 
 
 class SearchStrategy(ABC):

@@ -38,10 +38,18 @@ from repro.smt import CheckResult
 
 @register_strategy
 class BisectionStrategy(SearchStrategy):
-    """Binary search on S between the analytic LB and the structured UB."""
+    """Binary search on S between the analytic LB and the structured UB.
+
+    An already-computed (and validated) structured *witness* can be injected
+    to skip the redundant constructive-scheduling pass — the portfolio's
+    inline path computes it during triage and hands it over.
+    """
 
     name = "bisection"
     requires_incremental = True
+
+    def __init__(self, witness: Optional[Schedule] = None) -> None:
+        self._witness = witness
 
     def run(
         self,
@@ -139,13 +147,25 @@ class BisectionStrategy(SearchStrategy):
 
     def _upper_bound_schedule(self, problem: SchedulingProblem) -> Optional[Schedule]:
         """A validated constructive schedule, or ``None`` when unavailable."""
-        if problem.shielding and not problem.architecture.has_storage:
-            # The structured choreography cannot shield idle qubits without
-            # a storage zone, so its schedule would not bound this problem.
-            return None
-        try:
-            schedule = StructuredScheduler().schedule(problem)
-            validate_schedule(schedule, require_shielding=problem.shielding)
-        except (ValueError, ValidationError):
-            return None
-        return schedule
+        if self._witness is not None:
+            return self._witness
+        return structured_upper_bound(problem)
+
+
+def structured_upper_bound(problem: SchedulingProblem) -> Optional[Schedule]:
+    """A validated constructive schedule of *problem*, or ``None``.
+
+    Shared by the bound-driven strategies (bisection, warmstart, portfolio):
+    the structured schedule is feasible by construction and validated before
+    use, so its stage count is a certified upper bound on the optimum.
+    """
+    if problem.shielding and not problem.architecture.has_storage:
+        # The structured choreography cannot shield idle qubits without
+        # a storage zone, so its schedule would not bound this problem.
+        return None
+    try:
+        schedule = StructuredScheduler().schedule(problem)
+        validate_schedule(schedule, require_shielding=problem.shielding)
+    except (ValueError, ValidationError):
+        return None
+    return schedule

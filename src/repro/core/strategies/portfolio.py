@@ -1,0 +1,212 @@
+"""Process-level portfolio racing over the single search strategies.
+
+The portfolio fans a set of solver *configurations* — ``bisection``,
+``warmstart``, ``linear``, plus phase-seed variants that only differ in the
+CDCL core's initial branching polarities — across worker processes
+(reusing :func:`repro.evaluation.runner.race_to_first`, the racing
+counterpart of the bench runner's pool machinery), keeps the first
+configuration that certifies an optimum, and cancels/terminates the losers.
+Every configuration is sound and complete for the same problem, so whichever
+certificate lands first reports the *same* optimal stage count — racing buys
+wall-clock, never answers.
+
+Racing only pays when there is search to parallelise.  When the analytic
+interval between :meth:`~repro.core.problem.SchedulingProblem.lower_bound`
+and the structured upper bound is narrower than :data:`RACE_THRESHOLD`
+stages (or only one worker is available), the portfolio delegates inline to
+plain bisection instead of paying process fan-out for a probe or two; the
+report's ``winner`` records which path ran.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.problem import SchedulingProblem
+from repro.core.report import SchedulerReport
+from repro.core.strategies.base import (
+    SearchLimits,
+    SearchStrategy,
+    register_strategy,
+)
+from repro.core.strategies.bisection import BisectionStrategy, structured_upper_bound
+
+#: The default racing configurations, in priority order (ties in the race go
+#: to the earliest index).  Phase-seed variants restart the same bound-driven
+#: search from different first polarities — cheap diversity that pays off
+#: exactly when one descent gets lucky.
+DEFAULT_CONFIGS: tuple[dict, ...] = (
+    {"strategy": "bisection"},
+    {"strategy": "warmstart"},
+    {"strategy": "linear"},
+    {"strategy": "bisection", "phase_seed": 1},
+    {"strategy": "bisection", "phase_seed": 2},
+)
+
+#: Minimum width of the [lower bound, structured upper bound] interval for
+#: which racing worker processes beats running bisection inline.
+RACE_THRESHOLD = 3
+
+
+def run_portfolio_config(task: tuple) -> SchedulerReport:
+    """Worker entry point: run one configuration to completion.
+
+    Module-level so it pickles for the process pool.  *task* is
+    ``(problem, config, limits, metadata, witness)``; the configuration's
+    ``phase_seed`` is folded into the limits so every strategy sees it
+    through the shared :class:`~repro.core.strategies.base.SearchContext`,
+    and the triage-time structured *witness* is injected into the
+    bound-driven strategies so no worker repeats the constructive
+    scheduling pass.
+    """
+    from repro.core.strategies import get_strategy
+
+    problem, config, limits, metadata, witness = task
+    # A config without its own seed inherits the caller's (so a user-level
+    # SMTScheduler(phase_seed=...) behaves the same raced or inline).
+    limits = replace(
+        limits, phase_seed=config.get("phase_seed", limits.phase_seed)
+    )
+    strategy = get_strategy(config["strategy"])
+    if witness is not None and isinstance(strategy, BisectionStrategy):
+        strategy = type(strategy)(witness=witness)
+    return strategy.run(problem, limits, metadata)
+
+
+@register_strategy
+class PortfolioStrategy(SearchStrategy):
+    """Race heterogeneous solver configurations; first certificate wins."""
+
+    name = "portfolio"
+    requires_incremental = True
+
+    def __init__(
+        self,
+        configs: Optional[Sequence[dict]] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self._configs = tuple(dict(config) for config in (configs or DEFAULT_CONFIGS))
+        self._jobs = jobs
+
+    def run(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict | None = None,
+    ) -> SchedulerReport:
+        start = time.monotonic()
+        if not limits.incremental:
+            raise ValueError(
+                f"the {self.name!r} strategy requires an incremental scheduler"
+            )
+        # The schedule must advertise the portfolio whichever configuration
+        # produces it (the winning configuration is recorded separately).
+        metadata = {**(metadata or {}), "strategy": self.name}
+        jobs = self._jobs if self._jobs is not None else (os.cpu_count() or 1)
+        jobs = max(1, min(jobs, len(self._configs)))
+        witness = structured_upper_bound(problem)
+        if jobs > 1 and self._should_race(problem, witness):
+            report = self._run_race(problem, limits, metadata, jobs, witness)
+        else:
+            report = self._run_inline(problem, limits, metadata, witness)
+        report.strategy = self.name
+        report.solver_seconds = time.monotonic() - start
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _should_race(self, problem: SchedulingProblem, witness) -> bool:
+        """Whether the analytic interval is wide enough to pay for fan-out.
+
+        With a structured *witness* within :data:`RACE_THRESHOLD` stages of
+        the lower bound, any single strategy finishes within a couple of
+        probes and process startup would dominate.  Without a witness the
+        interval is open — racing is how the portfolio hedges the unbounded
+        search.  Racing is also disabled inside another pool's worker
+        process (e.g. ``repro-nasp bench --jobs N``): the batch is already
+        parallel there, and a harness-terminated worker cannot clean up a
+        nested pool, which would orphan the grandchild solvers.
+        """
+        if multiprocessing.parent_process() is not None:
+            return False
+        if witness is None:
+            return True
+        return witness.num_stages - problem.lower_bound() >= RACE_THRESHOLD
+
+    def _run_inline(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict,
+        witness=None,
+    ) -> SchedulerReport:
+        report = BisectionStrategy(witness=witness).run(problem, limits, metadata)
+        # Same invariant as the raced path: an uncertified report must not
+        # advertise a winner.
+        if report.found and report.optimal:
+            report.winner = {"strategy": "bisection", "mode": "inline"}
+        return report
+
+    def _run_race(
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict,
+        jobs: int,
+        witness=None,
+    ) -> SchedulerReport:
+        from repro.evaluation.runner import race_to_first
+
+        tasks = [
+            (problem, config, limits, dict(metadata), witness)
+            for config in self._configs
+        ]
+        outcome = race_to_first(
+            run_portfolio_config,
+            tasks,
+            jobs=jobs,
+            accept=lambda report: report.found and report.optimal,
+        )
+        report = outcome.winner
+        if report is None:
+            # No certificate: every configuration finished non-optimal (or
+            # failed).  Keep the best effort — the first finished report
+            # with a schedule, else the first finished, else give up with
+            # the analytic bound, exactly like the single strategies do.
+            report = self._best_effort(problem, outcome.finished)
+        if outcome.winner_index is not None:
+            report.winner = {
+                **self._configs[outcome.winner_index],
+                "mode": "raced",
+                "raced_configs": len(tasks),
+                "finished": len(outcome.finished),
+                "cancelled": len(outcome.cancelled),
+            }
+        else:
+            # Nothing certified: the report is best-effort and must not
+            # advertise a winner (consumers key on winner["strategy"]).
+            report.winner = None
+        report.statistics = {
+            **report.statistics,
+            "portfolio_race_seconds": outcome.seconds,
+            "portfolio_cancelled": len(outcome.cancelled),
+        }
+        return report
+
+    def _best_effort(
+        self, problem: SchedulingProblem, finished: dict[int, SchedulerReport]
+    ) -> SchedulerReport:
+        for index in sorted(finished):
+            if finished[index].found:
+                return finished[index]
+        if finished:
+            return finished[min(finished)]
+        return SchedulerReport(
+            schedule=None,
+            optimal=False,
+            strategy=self.name,
+            lower_bound=problem.lower_bound(),
+        )

@@ -52,8 +52,9 @@ SMT_LAYOUT_KINDS = ("none", "bottom")
 
 #: Search strategies fanned out by the SMT suite.  ``coldstart`` is the
 #: linear strategy with ``incremental=False`` (the seed's reference path);
-#: the other names match the :mod:`repro.core.strategies` registry.
-SMT_STRATEGIES = ("linear", "coldstart", "bisection", "warmstart")
+#: the other names match the :mod:`repro.core.strategies` registry
+#: (``portfolio`` races the single strategies across worker processes).
+SMT_STRATEGIES = ("linear", "coldstart", "bisection", "warmstart", "portfolio")
 
 REDUCED_LAYOUT_KWARGS = {"x_max": 2, "h_max": 1, "v_max": 1, "c_max": 2, "r_max": 2}
 
@@ -213,6 +214,7 @@ def _execute_smt(spec: dict) -> dict:
         time_limit_per_instance=spec.get("time_limit"),
         strategy="linear" if strategy == "coldstart" else strategy,
         incremental=strategy != "coldstart",
+        phase_seed=spec.get("phase_seed"),
     )
     gates = [tuple(g) for g in spec["gates"]]
     problem = SchedulingProblem.from_gates(architecture, spec["num_qubits"], gates)
@@ -229,6 +231,9 @@ def _execute_smt(spec: dict) -> dict:
         "num_horizons": report.num_horizons,
         "solver_seconds": report.solver_seconds,
     }
+    if report.winner is not None:
+        # Schema v3 field (portfolio runs only); stripped for v2 documents.
+        payload["winner"] = report.winner
     if report.found:
         validate_schedule(report.schedule, require_shielding=problem.shielding)
         payload.update(
@@ -289,6 +294,7 @@ def run_batch(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     output_path: str | os.PathLike | None = None,
+    schema_version: int = 3,
 ) -> list[BenchResult]:
     """Execute *instances*, optionally in parallel, and collect results.
 
@@ -307,7 +313,7 @@ def run_batch(
     else:
         results = _run_parallel(instances, jobs, timeout)
     if output_path is not None:
-        save_results(results, output_path)
+        save_results(results, output_path, schema_version=schema_version)
     return results
 
 
@@ -415,6 +421,86 @@ def _run_parallel(
     return [results[index] for index in sorted(results)]
 
 
+@dataclass
+class RaceOutcome:
+    """Result of a :func:`race_to_first` run."""
+
+    #: Index of the first task whose result was accepted (None: no winner).
+    winner_index: Optional[int]
+    #: The accepted result itself (None when no winner).
+    winner: object
+    #: Results of every task that completed before the race was decided,
+    #: keyed by task index (includes the winner).
+    finished: dict[int, object] = field(default_factory=dict)
+    #: Tasks that raised, keyed by task index.
+    errors: dict[int, str] = field(default_factory=dict)
+    #: Tasks cancelled or terminated because the race was already won.
+    cancelled: list[int] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+def race_to_first(
+    fn,
+    tasks: Sequence,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    accept=None,
+) -> RaceOutcome:
+    """Run ``fn(task)`` for every task across worker processes; first
+    acceptable result wins and the losers are cancelled/terminated.
+
+    This is the racing counterpart of :func:`run_batch`: same pool
+    machinery, but the batch stops at the first result for which
+    ``accept(result)`` is true (default: any result).  Queued tasks are
+    cancelled; workers still grinding on a loser are terminated.  Among
+    results arriving in the same poll interval the lowest task index wins,
+    which keeps the outcome deterministic when several tasks finish
+    near-simultaneously.  With no acceptable result the race returns
+    ``winner_index=None`` and every completed result in ``finished``.
+    *timeout* bounds the whole race (seconds); on expiry the still-running
+    tasks are treated as cancelled.
+    """
+    if accept is None:
+        def accept(result):  # default: any completed result wins
+            return True
+    start = time.monotonic()
+    jobs = max(1, min(len(tasks), jobs or os.cpu_count() or 1))
+    outcome = RaceOutcome(winner_index=None, winner=None)
+    deadline = start + timeout if timeout is not None else None
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    abandoned_running = False
+    try:
+        futures = {pool.submit(fn, task): index for index, task in enumerate(tasks)}
+        pending = set(futures)
+        while pending and outcome.winner_index is None:
+            done, pending = wait(pending, timeout=0.5, return_when=FIRST_COMPLETED)
+            for future in sorted(done, key=futures.__getitem__):
+                index = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported per task
+                    outcome.errors[index] = f"{type(exc).__name__}: {exc}"
+                    continue
+                outcome.finished[index] = result
+                if outcome.winner_index is None and accept(result):
+                    outcome.winner_index = index
+                    outcome.winner = result
+            if deadline is not None and time.monotonic() > deadline:
+                break
+        outcome.cancelled = sorted(futures[future] for future in pending)
+        abandoned_running = bool(pending)
+    finally:
+        # Losers must not keep burning CPU: release the queue, then
+        # terminate any worker still grinding on a cancelled task.
+        workers = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=not abandoned_running, cancel_futures=True)
+        if abandoned_running:
+            for process in workers.values():
+                process.terminate()
+    outcome.seconds = time.monotonic() - start
+    return outcome
+
+
 def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
     """Forward the harness timeout to specs that support a solver limit."""
     if timeout is None or spec.get("kind") != "smt":
@@ -428,18 +514,37 @@ def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
 # --------------------------------------------------------------------------- #
 # Persistence and formatting
 # --------------------------------------------------------------------------- #
+#: Payload keys introduced by schema version 3 (portfolio provenance);
+#: stripped when a version-2 document is requested for compatibility.
+_V3_PAYLOAD_KEYS = ("winner",)
+
+
 def save_results(
-    results: Sequence[BenchResult], path: str | os.PathLike
+    results: Sequence[BenchResult],
+    path: str | os.PathLike,
+    schema_version: int = 3,
 ) -> None:
-    """Persist a batch run as a JSON document."""
+    """Persist a batch run as a JSON document.
+
+    Schema history: version 2 gave SMT payloads the search trajectory
+    (strategy/lower_bound/upper_bound/stages_tried/num_horizons); version 3
+    (default) adds the portfolio's ``winner`` configuration.  Requesting
+    ``schema_version=2`` strips the v3-only fields so downstream consumers
+    pinned to v2 keep loading byte-compatible payloads.
+    """
+    if schema_version not in (2, 3):
+        raise ValueError(f"unknown bench schema version {schema_version}")
+    serialised = [asdict(result) for result in results]
+    if schema_version == 2:
+        for entry in serialised:
+            for key in _V3_PAYLOAD_KEYS:
+                entry["payload"].pop(key, None)
     document = {
-        # Version 2: SMT payloads carry strategy/lower_bound/upper_bound/
-        # stages_tried/num_horizons so batches stay comparable across PRs.
-        "version": 2,
+        "version": schema_version,
         "created_unix": time.time(),
         "num_instances": len(results),
         "num_ok": sum(1 for r in results if r.ok),
-        "results": [asdict(result) for result in results],
+        "results": serialised,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -488,6 +593,52 @@ def check_bisection_regression(
             f"batches do not both cover the smoke instance {layout}/{instance}"
         )
     return linear, bisection
+
+
+def check_portfolio_regression(
+    baseline_results: Sequence[BenchResult],
+    portfolio_results: Sequence[BenchResult],
+    baseline_strategy: str = "bisection",
+) -> list[tuple[str, str]]:
+    """Certify the portfolio against a single-strategy baseline batch.
+
+    For every (layout, instance) cell present in both batches the portfolio
+    must have found a schedule, certified optimality, recorded a winning
+    configuration, and reached exactly the baseline's optimal stage count.
+    Returns the list of compared cells; raises ``ValueError`` on the first
+    violated cell or when the batches share no cells — the CI
+    bench-regression job turns that into a failure.
+    """
+
+    def stage_counts(results: Sequence[BenchResult], strategy: str) -> dict:
+        cells = {}
+        for result in results:
+            payload = result.payload
+            if result.suite != "smt" or payload.get("strategy") != strategy:
+                continue
+            cells[(payload.get("layout"), payload.get("instance"))] = payload
+        return cells
+
+    baseline = stage_counts(baseline_results, baseline_strategy)
+    portfolio = stage_counts(portfolio_results, "portfolio")
+    shared = sorted(set(baseline) & set(portfolio))
+    if not shared:
+        raise ValueError("batches share no (layout, instance) cells to compare")
+    for cell in shared:
+        expected = baseline[cell]
+        actual = portfolio[cell]
+        if not (expected.get("found") and expected.get("optimal")):
+            raise ValueError(f"{cell}: baseline {baseline_strategy} did not certify")
+        if not (actual.get("found") and actual.get("optimal")):
+            raise ValueError(f"{cell}: portfolio failed to certify an optimum")
+        if actual.get("num_stages") != expected.get("num_stages"):
+            raise ValueError(
+                f"{cell}: portfolio found {actual.get('num_stages')} stages, "
+                f"{baseline_strategy} certified {expected.get('num_stages')}"
+            )
+        if not actual.get("winner"):
+            raise ValueError(f"{cell}: portfolio did not record a winner")
+    return shared
 
 
 def format_batch(results: Sequence[BenchResult]) -> str:

@@ -12,14 +12,27 @@ corresponding variable.
 
 * :class:`repro.sat.cnf.CNF` — a clause container with DIMACS import/export.
 * :class:`repro.sat.solver.CDCLSolver` — conflict-driven clause-learning
-  solver with two-watched-literal propagation, VSIDS branching, phase saving,
-  Luby restarts and learned-clause database reduction.
+  solver on flat arrays: two-watched-literal propagation with blocker
+  literals, heap-based VSIDS branching, phase saving, Luby restarts and
+  LBD-aware learned-clause database reduction.
+* :class:`repro.sat.reference.ReferenceCDCLSolver` — the seed's object-style
+  implementation, kept as benchmark baseline and differential-testing oracle.
 * :class:`repro.sat.solver.SolveResult` — SAT / UNSAT / UNKNOWN.
+* :class:`repro.sat.solver.SolverStatistics` — per-solver counters
+  (propagations, conflicts, restarts, solve seconds, derived throughput).
 * :mod:`repro.sat.tseitin` — Tseitin transformation of boolean circuits.
 """
 
 from repro.sat.cnf import CNF
-from repro.sat.solver import CDCLSolver, SolveResult
+from repro.sat.reference import ReferenceCDCLSolver
+from repro.sat.solver import CDCLSolver, SolveResult, SolverStatistics
 from repro.sat.tseitin import TseitinEncoder
 
-__all__ = ["CNF", "CDCLSolver", "SolveResult", "TseitinEncoder"]
+__all__ = [
+    "CNF",
+    "CDCLSolver",
+    "ReferenceCDCLSolver",
+    "SolveResult",
+    "SolverStatistics",
+    "TseitinEncoder",
+]

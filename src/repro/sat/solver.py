@@ -1,28 +1,54 @@
-"""A conflict-driven clause-learning (CDCL) SAT solver.
+"""A conflict-driven clause-learning (CDCL) SAT solver on flat arrays.
 
 The solver implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
-* first-UIP conflict analysis with clause learning,
-* VSIDS-style variable activities with phase saving,
+* two-watched-literal unit propagation with *blocker literals*,
+* first-UIP conflict analysis with clause learning and local minimisation,
+* VSIDS variable activities on an *indexed binary max-heap* (no linear
+  scans per decision) with phase saving,
 * Luby-sequence restarts,
-* activity-based learned-clause database reduction,
+* LBD-aware learned-clause database reduction (glue clauses are kept),
 * solving under assumptions (used by the SMT layer for incremental queries).
 
-It deliberately stays in pure Python (no C extensions are available in this
-environment); the implementation therefore favours flat integer arrays and
-avoids per-literal object allocation in the hot loops.
+Hot-path data layout
+--------------------
+
+Everything the propagate/analyze loop touches lives in flat, integer-indexed
+structures instead of per-clause objects or dictionaries:
+
+* ``_ca`` — one clause *arena*: a single Python list holding every clause as
+  ``[size, learned, lbd, activity, lit0, lit1, ...]``.  A clause is
+  identified by its arena offset, which doubles as the reason reference.
+  (A ``array('i')`` arena was measured slower here: CPython re-boxes every
+  element read above the small-int cache, whereas a list of already-boxed
+  ints is a pointer load.  ``array('i')`` is still used for the per-literal
+  assignment values, whose domain {0, 1, 2} always hits the cache.)
+* ``_values`` — assignment state per *encoded literal* (``var<<1 | sign``),
+  so the inner loop reads truth values with one index, no xor/shift.
+* ``_watches`` — per-literal flat lists alternating ``clause_offset,
+  blocker``; a true blocker skips the clause without touching the arena.
+* ``_trail``/``_trail_lim`` — the assignment trail, inlined into the
+  propagation loop (no queue objects, ``_qhead`` is a plain cursor).
+
+The previous object-style implementation is preserved unchanged as
+:class:`repro.sat.reference.ReferenceCDCLSolver`; benchmarks race the two
+and fail if this rewrite stops being strictly faster.  Both cores return
+identical SAT/UNSAT answers on every formula (models may differ).
 """
 
 from __future__ import annotations
 
 import enum
 import time
+from array import array
 from typing import Iterable, Optional, Sequence
 
 from repro.sat.cnf import CNF
 
 _UNASSIGNED = 2
+
+#: Arena slots before a clause's literals: [size, learned, lbd, activity].
+_HDR = 4
 
 
 class SolveResult(enum.Enum):
@@ -48,7 +74,15 @@ def _luby(i: int) -> int:
 
 
 class SolverStatistics:
-    """Counters collected during solving (useful for benchmarks and tests)."""
+    """Counters collected during solving (useful for benchmarks and tests).
+
+    All attributes are monotone counters except ``max_decision_level`` (a
+    high-water gauge).  ``solve_seconds`` accumulates wall-clock time spent
+    inside :meth:`CDCLSolver.solve`; the throughput rates derived from it
+    (:attr:`propagations_per_second`, :attr:`conflicts_per_second`) are
+    lifetime averages — per-call rates are computed by the SMT layer from
+    counter deltas.
+    """
 
     def __init__(self) -> None:
         self.conflicts = 0
@@ -58,10 +92,29 @@ class SolverStatistics:
         self.learned_clauses = 0
         self.deleted_clauses = 0
         self.max_decision_level = 0
+        self.solve_seconds = 0.0
 
-    def as_dict(self) -> dict[str, int]:
-        """Return the statistics as a plain dictionary."""
-        return dict(self.__dict__)
+    @property
+    def propagations_per_second(self) -> float:
+        """Lifetime propagation throughput (0.0 before the first solve)."""
+        return self.propagations / self.solve_seconds if self.solve_seconds else 0.0
+
+    @property
+    def conflicts_per_second(self) -> float:
+        """Lifetime conflict throughput (0.0 before the first solve)."""
+        return self.conflicts / self.solve_seconds if self.solve_seconds else 0.0
+
+    def as_dict(self, rates: bool = False) -> dict[str, float]:
+        """Return the statistics as a plain dictionary.
+
+        The default returns the raw counters only (diffable across calls);
+        ``rates=True`` additionally includes the derived lifetime rates.
+        """
+        counters = dict(self.__dict__)
+        if rates:
+            counters["propagations_per_second"] = self.propagations_per_second
+            counters["conflicts_per_second"] = self.conflicts_per_second
+        return counters
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -84,21 +137,24 @@ class CDCLSolver:
     def __init__(self) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based); index 0 unused.
-        self._assigns: list[int] = [_UNASSIGNED]
         self._level: list[int] = [0]
         self._reason: list[int] = [-1]
         self._activity: list[float] = [0.0]
         self._saved_phase: list[bool] = [False]
         self._seen: list[bool] = [False]
-        # Clauses: list of lists of encoded literals.
-        self._clauses: list[list[int]] = []
-        self._clause_is_learned: list[bool] = []
-        self._clause_activity: list[float] = []
-        # Watch lists indexed by encoded literal.
+        # Assignment state per encoded literal (slots 0/1 unused).
+        self._values = array("i", [_UNASSIGNED, _UNASSIGNED])
+        # Clause arena + offsets of every live clause (problem and learned).
+        self._ca: list = []
+        self._clause_refs: list[int] = []
+        # Watch lists per encoded literal: flat [offset, blocker, ...] pairs.
         self._watches: list[list[int]] = [[], []]
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
+        # VSIDS order: indexed binary max-heap over variable activities.
+        self._heap: list[int] = []
+        self._heap_pos: list[int] = [-1]
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
@@ -121,10 +177,7 @@ class CDCLSolver:
         return -var if enc & 1 else var
 
     def _lit_value(self, enc: int) -> int:
-        val = self._assigns[enc >> 1]
-        if val == _UNASSIGNED:
-            return _UNASSIGNED
-        return val ^ (enc & 1)
+        return self._values[enc]
 
     # ------------------------------------------------------------------ #
     # Problem construction
@@ -137,19 +190,22 @@ class CDCLSolver:
     @property
     def num_clauses(self) -> int:
         """Number of problem plus learned clauses currently stored."""
-        return len(self._clauses)
+        return len(self._clause_refs)
 
     def new_var(self) -> int:
         """Create a fresh variable and return its (positive) index."""
         self._num_vars += 1
-        self._assigns.append(_UNASSIGNED)
         self._level.append(0)
         self._reason.append(-1)
         self._activity.append(0.0)
         self._saved_phase.append(False)
         self._seen.append(False)
+        self._values.append(_UNASSIGNED)
+        self._values.append(_UNASSIGNED)
         self._watches.append([])
         self._watches.append([])
+        self._heap_pos.append(-1)
+        self._heap_insert(self._num_vars)
         return self._num_vars
 
     def _ensure_var(self, var: int) -> None:
@@ -172,11 +228,11 @@ class CDCLSolver:
             if lit in seen:
                 continue
             seen.add(lit)
-            enc = self._encode(lit)
+            enc = (abs(lit) << 1) | (1 if lit < 0 else 0)
             # Drop literals already false at level 0, ignore clause if a
             # literal is already true at level 0.
             if not self._trail_lim:
-                val = self._lit_value(enc)
+                val = self._values[enc]
                 if val == 1:
                     return True
                 if val == 0:
@@ -219,128 +275,258 @@ class CDCLSolver:
             ok = self.add_clause(clause) and ok
         return ok
 
-    def _attach_clause(self, clause: list[int], learned: bool) -> int:
-        index = len(self._clauses)
-        self._clauses.append(clause)
-        self._clause_is_learned.append(learned)
-        self._clause_activity.append(0.0)
-        self._watches[clause[0]].append(index)
-        self._watches[clause[1]].append(index)
-        return index
+    def _attach_clause(self, clause: list[int], learned: bool, lbd: int = 0) -> int:
+        ca = self._ca
+        offset = len(ca)
+        ca.append(len(clause))
+        ca.append(1 if learned else 0)
+        ca.append(lbd)
+        ca.append(0.0)
+        ca.extend(clause)
+        self._clause_refs.append(offset)
+        self._watches[clause[0]].extend((offset, clause[1]))
+        self._watches[clause[1]].extend((offset, clause[0]))
+        return offset
+
+    # ------------------------------------------------------------------ #
+    # VSIDS order heap (indexed binary max-heap on variable activity)
+    # ------------------------------------------------------------------ #
+    def _heap_insert(self, var: int) -> None:
+        pos = self._heap_pos
+        if pos[var] != -1:
+            return
+        heap = self._heap
+        heap.append(var)
+        self._heap_sift_up(len(heap) - 1)
+
+    # Heap order: higher activity first, ties broken towards the smaller
+    # variable index — exactly the order the seed's linear scan produced, so
+    # phase hints and the first descent behave identically across cores.
+    def _heap_sift_up(self, i: int) -> None:
+        heap, pos, act = self._heap, self._heap_pos, self._activity
+        var = heap[i]
+        a = act[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            pa = act[pv]
+            if pa > a or (pa == a and pv < var):
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_sift_down(self, i: int) -> None:
+        heap, pos, act = self._heap, self._heap_pos, self._activity
+        n = len(heap)
+        var = heap[i]
+        a = act[var]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = left
+            if right < n:
+                la, ra = act[heap[left]], act[heap[right]]
+                if ra > la or (ra == la and heap[right] < heap[left]):
+                    child = right
+            cv = heap[child]
+            ca = act[cv]
+            if ca < a or (ca == a and var < cv):
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_pop(self) -> int:
+        heap, pos = self._heap, self._heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    def _pick_branch_var(self) -> int:
+        values = self._values
+        heap = self._heap
+        while heap:
+            var = self._heap_pop()
+            if values[var << 1] == _UNASSIGNED:
+                return var
+        return 0
 
     # ------------------------------------------------------------------ #
     # Assignment / propagation
     # ------------------------------------------------------------------ #
     def _enqueue(self, enc: int, reason: int) -> bool:
-        val = self._lit_value(enc)
+        values = self._values
+        val = values[enc]
         if val == 0:
             return False
         if val == 1:
             return True
+        values[enc] = 1
+        values[enc ^ 1] = 0
         var = enc >> 1
-        self._assigns[var] = 1 ^ (enc & 1)
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._trail.append(enc)
         return True
 
     def _propagate(self) -> int:
-        """Unit propagation.  Returns the index of a conflicting clause or -1."""
-        while self._qhead < len(self._trail):
-            enc = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
+        """Unit propagation.  Returns the arena offset of a conflicting
+        clause, or -1 when a fixpoint is reached without conflict."""
+        # Local aliases: every hot name resolves to a fast local load.
+        ca = self._ca
+        values = self._values
+        watches = self._watches
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        qhead = self._qhead
+        propagations = 0
+        conflict = -1
+        while qhead < len(trail):
+            enc = trail[qhead]
+            qhead += 1
+            propagations += 1
             false_lit = enc ^ 1
-            watch_list = self._watches[false_lit]
-            new_watch_list: list[int] = []
+            wl = watches[false_lit]
             i = 0
-            n = len(watch_list)
+            j = 0
+            n = len(wl)
             while i < n:
-                ci = watch_list[i]
-                i += 1
-                clause = self._clauses[ci]
-                # Ensure the false literal is in position 1.
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._lit_value(first) == 1:
-                    new_watch_list.append(ci)
+                offset = wl[i]
+                blocker = wl[i + 1]
+                i += 2
+                if values[blocker] == 1:
+                    wl[j] = offset
+                    wl[j + 1] = blocker
+                    j += 2
+                    continue
+                base = offset + _HDR
+                first = ca[base]
+                if first == false_lit:
+                    first = ca[base + 1]
+                    ca[base] = first
+                    ca[base + 1] = false_lit
+                if values[first] == 1:
+                    wl[j] = offset
+                    wl[j + 1] = first
+                    j += 2
                     continue
                 # Look for a new literal to watch.
-                found = False
-                for k in range(2, len(clause)):
-                    if self._lit_value(clause[k]) != 0:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches[clause[1]].append(ci)
-                        found = True
+                k = base + 2
+                end = base + ca[offset]
+                while k < end:
+                    other = ca[k]
+                    if values[other] != 0:
+                        ca[base + 1] = other
+                        ca[k] = false_lit
+                        watches[other].extend((offset, first))
                         break
-                if found:
-                    continue
-                # Clause is unit or conflicting.
-                new_watch_list.append(ci)
-                if not self._enqueue(first, ci):
-                    # Conflict: keep remaining watches and report.
-                    new_watch_list.extend(watch_list[i:])
-                    self._watches[false_lit] = new_watch_list
-                    return ci
-            self._watches[false_lit] = new_watch_list
-        return -1
+                    k += 1
+                else:
+                    # Clause is unit or conflicting.
+                    wl[j] = offset
+                    wl[j + 1] = first
+                    j += 2
+                    if values[first] == 0:
+                        # Conflict: keep the remaining watches and report.
+                        while i < n:
+                            wl[j] = wl[i]
+                            j += 1
+                            i += 1
+                        conflict = offset
+                        break
+                    values[first] = 1
+                    values[first ^ 1] = 0
+                    var = first >> 1
+                    level[var] = len(self._trail_lim)
+                    reason[var] = offset
+                    trail.append(first)
+            del wl[j:]
+            if conflict != -1:
+                break
+        self._qhead = qhead
+        self.stats.propagations += propagations
+        return conflict
 
     # ------------------------------------------------------------------ #
     # Conflict analysis
     # ------------------------------------------------------------------ #
     def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
+            # Uniform rescale preserves the heap order.
             for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
+                activity[v] *= 1e-100
             self._var_inc *= 1e-100
+        pos = self._heap_pos[var]
+        if pos != -1:
+            self._heap_sift_up(pos)
 
-    def _bump_clause(self, ci: int) -> None:
-        self._clause_activity[ci] += self._cla_inc
-        if self._clause_activity[ci] > 1e20:
-            for j in range(len(self._clause_activity)):
-                self._clause_activity[j] *= 1e-20
+    def _bump_clause(self, offset: int) -> None:
+        ca = self._ca
+        ca[offset + 3] += self._cla_inc
+        if ca[offset + 3] > 1e20:
+            for other in self._clause_refs:
+                ca[other + 3] *= 1e-20
             self._cla_inc *= 1e-20
 
-    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+    def _analyze(self, conflict: int) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis.
 
         Returns the learned clause (encoded literals, asserting literal
-        first) and the backtrack level.
+        first), the backtrack level, and the clause's LBD (number of
+        distinct decision levels among its literals).
         """
-        learned: list[int] = [0]  # placeholder for the asserting literal
+        ca = self._ca
+        level = self._level
+        reason = self._reason
+        trail = self._trail
         seen = self._seen
+        learned: list[int] = [0]  # placeholder for the asserting literal
         counter = 0
         p = -1
-        index = len(self._trail) - 1
+        index = len(trail) - 1
         current_level = len(self._trail_lim)
-        clause_index = conflict
+        offset = conflict
         while True:
-            clause = self._clauses[clause_index]
-            if self._clause_is_learned[clause_index]:
-                self._bump_clause(clause_index)
-            start = 1 if p != -1 else 0
-            for enc in clause[start:]:
+            if ca[offset + 1]:  # learned clause: bump its activity
+                self._bump_clause(offset)
+            base = offset + _HDR
+            start = base + 1 if p != -1 else base
+            for k in range(start, base + ca[offset]):
+                enc = ca[k]
                 var = enc >> 1
-                if not seen[var] and self._level[var] > 0:
+                if not seen[var] and level[var] > 0:
                     seen[var] = True
                     self._bump_var(var)
-                    if self._level[var] >= current_level:
+                    if level[var] >= current_level:
                         counter += 1
                     else:
                         learned.append(enc)
             # Select next literal to resolve on.
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self._trail[index]
+            p = trail[index]
             index -= 1
             var = p >> 1
             seen[var] = False
             counter -= 1
             if counter == 0:
                 break
-            clause_index = self._reason[var]
+            offset = reason[var]
         learned[0] = p ^ 1
         # Clause minimisation (Sörensson/Biere "local" minimisation): a
         # literal is redundant when every literal of its reason clause is
@@ -350,16 +536,17 @@ class CDCLSolver:
         minimized = [learned[0]]
         for enc in learned[1:]:
             var = enc >> 1
-            reason = self._reason[var]
-            if reason == -1:
+            r = reason[var]
+            if r == -1:
                 minimized.append(enc)
                 continue
-            redundant = all(
-                (other >> 1) == var
-                or self._level[other >> 1] == 0
-                or (other >> 1) in learned_vars
-                for other in self._clauses[reason]
-            )
+            redundant = True
+            base = r + _HDR
+            for k in range(base, base + ca[r]):
+                other = ca[k] >> 1
+                if other != var and level[other] != 0 and other not in learned_vars:
+                    redundant = False
+                    break
             if not redundant:
                 minimized.append(enc)
         learned = minimized
@@ -367,6 +554,7 @@ class CDCLSolver:
         # including the ones dropped by minimisation.
         for enc in original:
             seen[enc >> 1] = False
+        lbd = len({level[enc >> 1] for enc in learned})
         if len(learned) == 1:
             backtrack_level = 0
         else:
@@ -374,88 +562,88 @@ class CDCLSolver:
             # position 1 (needed for correct watching).
             max_i = 1
             for i in range(2, len(learned)):
-                if self._level[learned[i] >> 1] > self._level[learned[max_i] >> 1]:
+                if level[learned[i] >> 1] > level[learned[max_i] >> 1]:
                     max_i = i
             learned[1], learned[max_i] = learned[max_i], learned[1]
-            backtrack_level = self._level[learned[1] >> 1]
-        return learned, backtrack_level
+            backtrack_level = level[learned[1] >> 1]
+        return learned, backtrack_level, lbd
 
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
+        values = self._values
+        saved_phase = self._saved_phase
+        reason = self._reason
+        heap_pos = self._heap_pos
+        trail = self._trail
         bound = self._trail_lim[level]
-        for enc in reversed(self._trail[bound:]):
+        for enc in reversed(trail[bound:]):
             var = enc >> 1
-            self._saved_phase[var] = self._assigns[var] == 1
-            self._assigns[var] = _UNASSIGNED
-            self._reason[var] = -1
-        del self._trail[bound:]
+            saved_phase[var] = not (enc & 1)
+            values[enc] = _UNASSIGNED
+            values[enc ^ 1] = _UNASSIGNED
+            reason[var] = -1
+            if heap_pos[var] == -1:
+                self._heap_insert(var)
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = len(trail)
 
     # ------------------------------------------------------------------ #
-    # Decisions
-    # ------------------------------------------------------------------ #
-    def _pick_branch_var(self) -> int:
-        best_var = 0
-        best_act = -1.0
-        activity = self._activity
-        assigns = self._assigns
-        for var in range(1, self._num_vars + 1):
-            if assigns[var] == _UNASSIGNED and activity[var] > best_act:
-                best_act = activity[var]
-                best_var = var
-        return best_var
-
-    # ------------------------------------------------------------------ #
-    # Learned clause database reduction
+    # Learned clause database reduction (LBD-aware)
     # ------------------------------------------------------------------ #
     def _reduce_db(self) -> None:
-        learned_indices = [
-            i
-            for i, is_learned in enumerate(self._clause_is_learned)
-            if is_learned and len(self._clauses[i]) > 2
+        """Drop half of the unhelpful learned clauses.
+
+        Candidates are learned clauses longer than 2 literals that are not
+        *glue* (LBD <= 2) and not locked as a reason on the trail; they are
+        ranked worst-first by (high LBD, low activity), glucose-style.
+        """
+        ca = self._ca
+        candidates = [
+            offset
+            for offset in self._clause_refs
+            if ca[offset + 1] and ca[offset] > 2 and ca[offset + 2] > 2
         ]
-        if len(learned_indices) < 100:
+        if len(candidates) < 100:
             return
         locked = {self._reason[enc >> 1] for enc in self._trail}
-        learned_indices.sort(key=lambda i: self._clause_activity[i])
+        candidates.sort(key=lambda offset: (-ca[offset + 2], ca[offset + 3]))
         to_remove = set()
-        for i in learned_indices[: len(learned_indices) // 2]:
-            if i not in locked:
-                to_remove.add(i)
+        for offset in candidates[: len(candidates) // 2]:
+            if offset not in locked:
+                to_remove.add(offset)
         if not to_remove:
             return
         self._rebuild_clause_db(to_remove)
         self.stats.deleted_clauses += len(to_remove)
 
     def _rebuild_clause_db(self, to_remove: set[int]) -> None:
-        old_clauses = self._clauses
-        old_learned = self._clause_is_learned
-        old_activity = self._clause_activity
+        """Compact the arena, dropping *to_remove*, and rebuild watches."""
+        old_ca = self._ca
+        new_ca: list = []
+        new_refs: list[int] = []
         remap: dict[int, int] = {}
-        new_clauses: list[list[int]] = []
-        new_learned: list[bool] = []
-        new_activity: list[float] = []
-        for i, clause in enumerate(old_clauses):
-            if i in to_remove:
+        for offset in self._clause_refs:
+            if offset in to_remove:
                 continue
-            remap[i] = len(new_clauses)
-            new_clauses.append(clause)
-            new_learned.append(old_learned[i])
-            new_activity.append(old_activity[i])
-        self._clauses = new_clauses
-        self._clause_is_learned = new_learned
-        self._clause_activity = new_activity
+            new_offset = len(new_ca)
+            remap[offset] = new_offset
+            new_ca.extend(old_ca[offset : offset + _HDR + old_ca[offset]])
+            new_refs.append(new_offset)
+        self._ca = new_ca
+        self._clause_refs = new_refs
         for var in range(1, self._num_vars + 1):
             reason = self._reason[var]
             if reason != -1:
                 self._reason[var] = remap.get(reason, -1)
         self._watches = [[] for _ in range(2 * self._num_vars + 2)]
-        for ci, clause in enumerate(self._clauses):
-            if len(clause) >= 2:
-                self._watches[clause[0]].append(ci)
-                self._watches[clause[1]].append(ci)
+        watches = self._watches
+        for offset in new_refs:
+            base = offset + _HDR
+            first, second = new_ca[base], new_ca[base + 1]
+            watches[first].extend((offset, second))
+            watches[second].extend((offset, first))
 
     # ------------------------------------------------------------------ #
     # Main search
@@ -477,6 +665,18 @@ class CDCLSolver:
         time_limit:
             Abort with :data:`SolveResult.UNKNOWN` after this many seconds.
         """
+        start = time.monotonic()
+        try:
+            return self._solve(assumptions, max_conflicts, time_limit)
+        finally:
+            self.stats.solve_seconds += time.monotonic() - start
+
+    def _solve(
+        self,
+        assumptions: Sequence[int],
+        max_conflicts: Optional[int],
+        time_limit: Optional[float],
+    ) -> SolveResult:
         if not self._ok:
             return SolveResult.UNSAT
         self._backtrack(0)
@@ -484,20 +684,22 @@ class CDCLSolver:
         if conflict != -1:
             self._ok = False
             return SolveResult.UNSAT
-        assumption_encs = [self._encode(lit) for lit in assumptions]
         for lit in assumptions:
             self._ensure_var(abs(lit))
+        assumption_encs = [self._encode(lit) for lit in assumptions]
         deadline = time.monotonic() + time_limit if time_limit is not None else None
         restart_count = 0
         conflicts_until_restart = 100 * _luby(restart_count + 1)
         conflicts_since_restart = 0
         total_conflicts = 0
         max_learned = max(2000, self.num_clauses // 3)
+        values = self._values
+        stats = self.stats
 
         while True:
             conflict = self._propagate()
             if conflict != -1:
-                self.stats.conflicts += 1
+                stats.conflicts += 1
                 total_conflicts += 1
                 conflicts_since_restart += 1
                 if not self._trail_lim:
@@ -508,8 +710,7 @@ class CDCLSolver:
                     # these assumptions (the base formula may still be SAT).
                     self._backtrack(0)
                     return SolveResult.UNSAT
-                learned, backtrack_level = self._analyze(conflict)
-                backtrack_level = max(backtrack_level, 0)
+                learned, backtrack_level, lbd = self._analyze(conflict)
                 self._backtrack(max(backtrack_level, 0))
                 if len(learned) == 1:
                     self._backtrack(0)
@@ -517,9 +718,9 @@ class CDCLSolver:
                         self._ok = False
                         return SolveResult.UNSAT
                 else:
-                    ci = self._attach_clause(learned, learned=True)
-                    self.stats.learned_clauses += 1
-                    self._enqueue(learned[0], ci)
+                    offset = self._attach_clause(learned, learned=True, lbd=lbd)
+                    stats.learned_clauses += 1
+                    self._enqueue(learned[0], offset)
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
                 if max_conflicts is not None and total_conflicts >= max_conflicts:
@@ -529,12 +730,12 @@ class CDCLSolver:
                     self._backtrack(0)
                     return SolveResult.UNKNOWN
                 if conflicts_since_restart >= conflicts_until_restart:
-                    self.stats.restarts += 1
+                    stats.restarts += 1
                     restart_count += 1
                     conflicts_since_restart = 0
                     conflicts_until_restart = 100 * _luby(restart_count + 1)
                     self._backtrack(0)
-                learned_count = self.stats.learned_clauses - self.stats.deleted_clauses
+                learned_count = stats.learned_clauses - stats.deleted_clauses
                 if learned_count > max_learned:
                     self._reduce_db()
                     max_learned = int(max_learned * 1.3)
@@ -545,7 +746,7 @@ class CDCLSolver:
             level = len(self._trail_lim)
             if level < len(assumption_encs):
                 enc = assumption_encs[level]
-                val = self._lit_value(enc)
+                val = values[enc]
                 if val == 0:
                     self._backtrack(0)
                     return SolveResult.UNSAT
@@ -561,17 +762,17 @@ class CDCLSolver:
                     self._store_model()
                     self._backtrack(0)
                     return SolveResult.SAT
-                self.stats.decisions += 1
+                stats.decisions += 1
                 decision = (var << 1) | (0 if self._saved_phase[var] else 1)
             self._trail_lim.append(len(self._trail))
-            self.stats.max_decision_level = max(
-                self.stats.max_decision_level, len(self._trail_lim)
-            )
+            if len(self._trail_lim) > stats.max_decision_level:
+                stats.max_decision_level = len(self._trail_lim)
             self._enqueue(decision, -1)
 
     def _store_model(self) -> None:
+        values = self._values
         self._model = {
-            var: self._assigns[var] == 1 for var in range(1, self._num_vars + 1)
+            var: values[var << 1] == 1 for var in range(1, self._num_vars + 1)
         }
 
     def model(self) -> dict[int, bool]:
@@ -579,3 +780,43 @@ class CDCLSolver:
         if not self._model:
             raise RuntimeError("no model available; call solve() first")
         return dict(self._model)
+
+    # ------------------------------------------------------------------ #
+    # Debug export (first step towards an external-SAT-backend adapter)
+    # ------------------------------------------------------------------ #
+    def to_cnf(self, include_learned: bool = False) -> CNF:
+        """Snapshot the clause database as a :class:`~repro.sat.cnf.CNF`.
+
+        The export contains every problem clause plus the level-0 trail as
+        unit clauses (level-0 assignments are facts of the formula — clauses
+        simplified against them at :meth:`add_clause` time are only
+        recoverable together with these units).  ``include_learned`` adds the
+        learned clauses too; they are implied, so either snapshot is
+        equisatisfiable with the original formula — under every set of
+        assumptions, not just the empty one.
+        """
+        cnf = CNF(num_vars=self._num_vars)
+        if not self._ok:
+            cnf.add_clause([])
+            return cnf
+        root = self._trail[: self._trail_lim[0]] if self._trail_lim else self._trail
+        for enc in root:
+            cnf.add_clause([self._decode(enc)])
+        ca = self._ca
+        for offset in self._clause_refs:
+            if ca[offset + 1] and not include_learned:
+                continue
+            base = offset + _HDR
+            cnf.add_clause(
+                [self._decode(ca[k]) for k in range(base, base + ca[offset])]
+            )
+        return cnf
+
+    def dump_dimacs(self, include_learned: bool = False) -> str:
+        """Serialise the clause database to DIMACS CNF text.
+
+        A debugging aid and the ground work for piping the instance to an
+        external solver binary: ``CNF.from_dimacs(solver.dump_dimacs())``
+        round-trips to an equisatisfiable formula.
+        """
+        return self.to_cnf(include_learned=include_learned).to_dimacs()

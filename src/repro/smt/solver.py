@@ -28,6 +28,7 @@ import enum
 import time
 from typing import Iterable, Optional
 
+from repro.sat.cnf import CNF
 from repro.sat.solver import CDCLSolver, SolveResult
 from repro.smt import terms as T
 from repro.smt.encoder import ExpressionEncoder
@@ -295,18 +296,27 @@ class Solver:
         )
         solve_time = time.monotonic() - start - encode_time
         stats_after = sat_solver.stats.as_dict()
+        # Monotone counters are reported as per-check deltas; gauges
+        # (high-water marks) would be meaningless as differences and are
+        # reported as-is.
+        deltas = {
+            f"sat_{k}": v if k in _GAUGE_STATISTICS else v - stats_before[k]
+            for k, v in stats_after.items()
+        }
         self._last_statistics = {
             "encode_seconds": encode_time,
             "solve_seconds": solve_time,
             "sat_variables": sat_solver.num_vars,
             "sat_clauses": sat_solver.num_clauses,
-            # Monotone counters are reported as per-check deltas; gauges
-            # (high-water marks) would be meaningless as differences and are
-            # reported as-is.
-            **{
-                f"sat_{k}": v if k in _GAUGE_STATISTICS else v - stats_before[k]
-                for k, v in stats_after.items()
-            },
+            **deltas,
+            # Per-check throughput of the CDCL hot loop, derived from the
+            # deltas (the SolverStatistics rates are lifetime averages).
+            "sat_propagations_per_second": (
+                deltas["sat_propagations"] / solve_time if solve_time > 0 else 0.0
+            ),
+            "sat_conflicts_per_second": (
+                deltas["sat_conflicts"] / solve_time if solve_time > 0 else 0.0
+            ),
         }
         if result is SolveResult.UNSAT:
             self._model = None
@@ -320,6 +330,25 @@ class Solver:
     def statistics(self) -> dict[str, float]:
         """Statistics of the most recent :meth:`check` call."""
         return dict(self._last_statistics)
+
+    def to_cnf(self) -> CNF:
+        """Bit-blast the asserted constraints into a standalone CNF snapshot.
+
+        The snapshot uses a fresh encoder and SAT core, so it is independent
+        of any incremental state and safe to call at any time — useful for
+        exporting an instance to DIMACS (debugging, external-solver
+        experiments) and for the propagation-throughput microbench.
+        """
+        sat_solver = CDCLSolver()
+        encoder = ExpressionEncoder(sat_solver)
+        for var in self._variables:
+            if isinstance(var, T.BoolVar):
+                encoder.encode_bool(var)
+            elif isinstance(var, T.IntVar):
+                encoder.encode_int(var)
+        for constraint in self._constraints:
+            encoder.assert_expr(constraint)
+        return sat_solver.to_cnf()
 
     def model(self) -> Model:
         """Return the model found by the last satisfiable :meth:`check`."""

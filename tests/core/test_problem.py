@@ -4,6 +4,7 @@ import pytest
 
 from repro.arch import (
     bottom_storage_layout,
+    double_sided_storage_layout,
     evaluation_layouts,
     no_shielding_layout,
     reduced_layout,
@@ -98,7 +99,10 @@ def test_zone_capacities():
 # --------------------------------------------------------------------------- #
 def test_lower_bound_gate_load_certificate():
     star = SchedulingProblem.from_gates(tiny_layout(), 4, [(0, 1), (0, 2), (0, 3)])
-    assert star.lower_bound() == 3
+    assert star.rydberg_lower_bound() == 3
+    # Shielded bottom layout: the leaves' beams cannot nest, so the +T
+    # transfer certificate applies on top (the certified optimum is 5).
+    assert star.lower_bound() == 4
 
 
 def test_lower_bound_capacity_certificate():
@@ -117,6 +121,80 @@ def test_lower_bound_capacity_certificate():
 def test_lower_bound_is_at_least_one():
     idle = SchedulingProblem.from_gates(tiny_layout(), 2, [])
     assert idle.lower_bound() == 1
+
+
+# --------------------------------------------------------------------------- #
+# The +T transfer-stage certificate
+# --------------------------------------------------------------------------- #
+def test_transfer_bound_fires_on_shielded_chain():
+    """The chain's endpoints swap sides of the entangling band between their
+    beams; on a single-sided shielded layout that forces one transfer stage
+    (the certified optimum is exactly 3 = 2 Rydberg + 1 transfer)."""
+    chain = SchedulingProblem.from_gates(tiny_layout(), 3, [(0, 1), (1, 2)])
+    assert chain.rydberg_lower_bound() == 2
+    assert chain.transfer_lower_bound() == 1
+    assert chain.lower_bound() == 3
+
+
+def test_transfer_bound_skips_unshielded_layouts():
+    chain = SchedulingProblem.from_gates(tiny_layout("none"), 3, [(0, 1), (1, 2)])
+    assert chain.transfer_lower_bound() == 0
+    assert chain.lower_bound() == 2
+
+
+def test_transfer_bound_skips_double_sided_storage():
+    """With storage on both sides the order argument breaks down (each
+    conflicting qubit can park on its own side), so the certificate must
+    not fire."""
+    chain = SchedulingProblem.from_gates(
+        double_sided_storage_layout(), 3, [(0, 1), (1, 2)]
+    )
+    assert chain.transfer_lower_bound() == 0
+
+
+def test_transfer_bound_skips_nestable_busy_sets():
+    """Disjoint gates can share one beam, so no pair of qubits is forced to
+    swap sides — the certificate must stay quiet (the optimum is 1 stage)."""
+    pairs = SchedulingProblem.from_gates(tiny_layout(), 4, [(0, 1), (2, 3)])
+    assert pairs.transfer_lower_bound() == 0
+    assert pairs.lower_bound() == 1
+
+
+def test_transfer_bound_requires_partial_qubits():
+    """When every qubit is loaded up to the Rydberg bound, a transfer-free
+    schedule cannot be refuted by the busy-set argument (triangle: every
+    qubit is busy in 2 of >= 2 beams)."""
+    triangle = SchedulingProblem.from_gates(tiny_layout(), 3, [(0, 1), (1, 2), (0, 2)])
+    assert triangle.transfer_lower_bound() == 0
+
+
+@pytest.mark.parametrize(
+    "gates, expected_extra",
+    [
+        # Star: leaves conflict pairwise through the hub -> +1 (optimum 5).
+        ([(0, 1), (0, 2), (0, 3)], 1),
+        # Path of length 3: the only partial qubits are the endpoints, whose
+        # gates are vertex-disjoint and co-beamable -> no certificate.  The
+        # certified optimum is indeed transfer-free (2 stages: the outer
+        # gates share a beam, the middle gate takes the other).
+        ([(0, 1), (1, 2), (2, 3)], 0),
+    ],
+)
+def test_transfer_bound_small_families(gates, expected_extra):
+    problem = SchedulingProblem.from_gates(tiny_layout(), 4, gates)
+    assert problem.transfer_lower_bound() == expected_extra
+
+
+@pytest.mark.parametrize("code_name", available_codes())
+def test_transfer_bound_never_exceeds_structured_optimum(code_name):
+    """+T soundness on real circuits: LB (with the transfer certificate)
+    never exceeds the structured schedule, which is feasible by
+    construction."""
+    architecture = bottom_storage_layout()
+    prep = state_preparation_circuit(get_code(code_name))
+    problem = SchedulingProblem.from_circuit(architecture, prep)
+    schedule = StructuredScheduler().schedule(problem)
+    assert problem.lower_bound() <= schedule.num_stages
 
 
 @pytest.mark.parametrize("code_name", available_codes())

@@ -9,16 +9,20 @@ no-op guarantee of phase hints on SAT/UNSAT answers.
 import pytest
 
 from repro.arch import reduced_layout
+from repro.core.encoding import encode_incremental_problem
 from repro.core.problem import SchedulingProblem
 from repro.core.report import SchedulerReport, SchedulerResult
 from repro.core.scheduler import SMTScheduler
 from repro.core.strategies import (
+    PortfolioStrategy,
     SearchLimits,
     SearchStrategy,
     available_strategies,
     get_strategy,
     register_strategy,
+    seeded_phase_hints,
 )
+from repro.core.strategies.portfolio import DEFAULT_CONFIGS as PORTFOLIO_CONFIGS
 from repro.core.validator import validate_schedule
 from repro.evaluation.runner import SMT_INSTANCES
 from repro.qec import available_codes, get_code
@@ -57,14 +61,14 @@ def code_subproblem(code_name, kind="bottom", max_qubits=4):
 # Registry
 # --------------------------------------------------------------------------- #
 def test_registry_lists_builtin_strategies():
-    assert available_strategies() == ["bisection", "linear", "warmstart"]
+    assert available_strategies() == ["bisection", "linear", "portfolio", "warmstart"]
 
 
 def test_unknown_strategy_rejected():
     with pytest.raises(ValueError):
-        get_strategy("portfolio")
+        get_strategy("simulated-annealing")
     with pytest.raises(ValueError):
-        SMTScheduler(strategy="portfolio")
+        SMTScheduler(strategy="simulated-annealing")
 
 
 def test_register_strategy_requires_name_and_uniqueness():
@@ -273,3 +277,123 @@ def test_warmstart_matches_bisection_answers_with_and_without_budget():
     assert warm.schedule.num_stages == plain.schedule.num_stages
     assert warm.optimal == plain.optimal
     assert warm.stages_tried == plain.stages_tried
+
+
+# --------------------------------------------------------------------------- #
+# Portfolio racing
+# --------------------------------------------------------------------------- #
+def test_portfolio_certifies_the_bisection_optimum_on_every_smoke_cell():
+    """Same optimal S as bisection on every (layout, instance) smoke cell."""
+    for kind in ("none", "bottom"):
+        for name, (num_qubits, gates) in SMT_INSTANCES.items():
+            problem = tiny_problem(kind, num_qubits, gates)
+            bisection = SMTScheduler(
+                time_limit_per_instance=300, strategy="bisection"
+            ).schedule(problem)
+            portfolio = SMTScheduler(
+                time_limit_per_instance=300, strategy="portfolio"
+            ).schedule(problem)
+            assert portfolio.found and portfolio.optimal, (kind, name)
+            assert (
+                portfolio.schedule.num_stages == bisection.schedule.num_stages
+            ), (kind, name)
+            assert portfolio.strategy == "portfolio"
+            assert portfolio.winner is not None
+            validate_schedule(
+                portfolio.schedule, require_shielding=problem.shielding
+            )
+
+
+def test_portfolio_narrow_interval_runs_inline():
+    """With LB == UB (single gate) no process fan-out can pay off; the
+    portfolio must certify through the inline bisection path."""
+    report = SMTScheduler(strategy="portfolio").schedule(
+        tiny_problem("bottom", 2, [(0, 1)])
+    )
+    assert report.found and report.optimal
+    assert report.schedule.num_stages == 1
+    assert report.winner == {"strategy": "bisection", "mode": "inline"}
+    assert report.strategy == "portfolio"
+
+
+def test_portfolio_race_first_certificate_wins_and_cancels_losers():
+    """Forcing the race (jobs=2) on the wide-interval cell: the winner's
+    configuration is recorded and the losers are cancelled/terminated."""
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
+    report = PortfolioStrategy(jobs=2).run(
+        problem, SearchLimits(time_limit=300)
+    )
+    assert report.found and report.optimal
+    assert report.schedule.num_stages == 5
+    assert report.winner["mode"] == "raced"
+    assert report.winner["strategy"] in {"bisection", "warmstart", "linear"}
+    raced = report.winner["raced_configs"]
+    assert raced == len(PORTFOLIO_CONFIGS)
+    assert report.winner["finished"] + report.winner["cancelled"] <= raced
+    assert report.winner["cancelled"] >= 1  # someone lost the race
+    assert report.statistics["portfolio_cancelled"] == report.winner["cancelled"]
+    assert report.schedule.metadata["strategy"] == "portfolio"
+
+
+def test_portfolio_repeated_runs_return_the_same_optimal_s():
+    """Whichever configuration wins the race, the certified optimum is the
+    same — racing buys wall-clock, never answers."""
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
+    stage_counts = set()
+    for _ in range(2):
+        report = PortfolioStrategy(jobs=2).run(
+            problem, SearchLimits(time_limit=300)
+        )
+        assert report.found and report.optimal
+        stage_counts.add(report.schedule.num_stages)
+    assert stage_counts == {5}
+
+
+def test_portfolio_custom_configs_and_serial_fallback():
+    """jobs=1 must fall back to the deterministic inline path even on a
+    wide interval (nothing to race on one worker)."""
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
+    report = PortfolioStrategy(
+        configs=[{"strategy": "bisection"}, {"strategy": "linear"}], jobs=1
+    ).run(problem, SearchLimits(time_limit=300))
+    assert report.found and report.optimal
+    assert report.schedule.num_stages == 5
+    assert report.winner["mode"] == "inline"
+
+
+def test_portfolio_requires_incremental_limits():
+    with pytest.raises(ValueError):
+        PortfolioStrategy().run(
+            tiny_problem("bottom", 2, [(0, 1)]), SearchLimits(incremental=False)
+        )
+    with pytest.raises(ValueError):
+        SMTScheduler(strategy="portfolio", incremental=False)
+
+
+# --------------------------------------------------------------------------- #
+# Seeded phase hints (the portfolio's diversification knob)
+# --------------------------------------------------------------------------- #
+def test_seeded_phase_hints_are_deterministic():
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2)])
+    instance = encode_incremental_problem(problem, num_stages=2, max_stages=4)
+    first = seeded_phase_hints(instance, seed=7)
+    second = seeded_phase_hints(instance, seed=7)
+    different = seeded_phase_hints(instance, seed=8)
+    assert first == second
+    assert first != different
+    assert all(0 <= v < instance.max_stages for k, v in first.items()
+               if k in instance.variables.gate_stage)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 31337])
+def test_phase_seeded_search_preserves_the_optimum(seed):
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
+    plain = SMTScheduler(time_limit_per_instance=300, strategy="bisection").schedule(
+        problem
+    )
+    seeded = SMTScheduler(
+        time_limit_per_instance=300, strategy="bisection", phase_seed=seed
+    ).schedule(problem)
+    assert seeded.found and seeded.optimal
+    assert seeded.schedule.num_stages == plain.schedule.num_stages
+    assert seeded.stages_tried == plain.stages_tried

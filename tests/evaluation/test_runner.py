@@ -1,18 +1,23 @@
 """Tests for the parallel batch evaluation engine."""
 
 import json
+import time
 
 import pytest
 
 from repro.evaluation.runner import (
     BenchInstance,
+    BenchResult,
     SMT_STRATEGIES,
     build_suite,
     check_bisection_regression,
+    check_portfolio_regression,
     execute_spec,
     format_batch,
     load_results,
+    race_to_first,
     run_batch,
+    save_results,
     smt_suite,
     strategy_horizons,
     table1_suite,
@@ -24,7 +29,7 @@ from repro.evaluation.runner import (
 # --------------------------------------------------------------------------- #
 def test_build_suite_shapes():
     smt = build_suite("smt")
-    assert len(smt) == 4 * 2 * 4  # strategies x layouts x instances
+    assert len(smt) == 5 * 2 * 4  # strategies x layouts x instances
     assert all(inst.suite == "smt" for inst in smt)
     table1 = build_suite("table1", codes=["steane"])
     assert len(table1) == 3  # three layouts
@@ -83,7 +88,9 @@ def test_execute_smt_spec_records_search_trajectory():
     )
     payload = execute_spec(instance.spec)
     assert payload["strategy"] == "bisection"
-    assert payload["lower_bound"] == 2
+    # The +T transfer certificate lifts the chain's analytic bound to the
+    # optimum, so bisection certifies it without probing a single horizon.
+    assert payload["lower_bound"] == 3
     assert payload["upper_bound"] >= payload["num_stages"] == 3
     assert payload["num_horizons"] == len(payload["stages_tried"])
 
@@ -108,7 +115,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
-    assert document["version"] == 2
+    assert document["version"] == 3
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -162,3 +169,146 @@ def test_check_bisection_regression_on_the_smoke_instance():
 def test_check_bisection_regression_requires_the_instance():
     with pytest.raises(ValueError):
         check_bisection_regression([], [])
+
+
+# --------------------------------------------------------------------------- #
+# Racing primitive (the portfolio strategy's pool machinery)
+# --------------------------------------------------------------------------- #
+def _race_worker(task):
+    """Module-level so it pickles for the process pool."""
+    kind, value = task
+    if kind == "sleep":
+        time.sleep(value)
+        return ("slept", value)
+    if kind == "raise":
+        raise RuntimeError(f"boom {value}")
+    return ("value", value)
+
+
+def test_race_to_first_fast_task_wins_and_losers_are_cancelled():
+    tasks = [("sleep", 30.0), ("value", 42)]
+    start = time.monotonic()
+    outcome = race_to_first(_race_worker, tasks, jobs=2)
+    assert time.monotonic() - start < 20  # nowhere near the sleeper's 30s
+    assert outcome.winner_index == 1
+    assert outcome.winner == ("value", 42)
+    assert outcome.cancelled == [0]
+    assert 1 in outcome.finished
+
+
+def test_race_to_first_accept_predicate_filters_results():
+    tasks = [("value", 1), ("value", 2), ("sleep", 30.0)]
+    outcome = race_to_first(
+        _race_worker,
+        tasks,
+        jobs=3,
+        accept=lambda result: result[1] >= 2,
+    )
+    assert outcome.winner == ("value", 2)
+    assert 2 in outcome.cancelled
+
+
+def test_race_to_first_records_errors_and_keeps_racing():
+    tasks = [("raise", 7), ("value", 5)]
+    outcome = race_to_first(_race_worker, tasks, jobs=2)
+    assert outcome.winner == ("value", 5)
+    assert 0 not in outcome.finished
+    # Drive the no-winner path so the error recording itself is observable
+    # (the racing variant above may decide the race before task 0 fails).
+    outcome = race_to_first(
+        _race_worker, [("raise", 7)], jobs=1, accept=lambda result: False
+    )
+    assert outcome.winner_index is None
+    assert "boom 7" in outcome.errors[0]
+    assert outcome.finished == {}
+
+
+def test_race_to_first_without_winner_returns_everything():
+    tasks = [("value", 1), ("value", 2)]
+    outcome = race_to_first(
+        _race_worker, tasks, jobs=2, accept=lambda result: False
+    )
+    assert outcome.winner_index is None
+    assert outcome.winner is None
+    assert set(outcome.finished) == {0, 1}
+    assert outcome.cancelled == []
+
+
+# --------------------------------------------------------------------------- #
+# Portfolio payloads and schema version gating
+# --------------------------------------------------------------------------- #
+def test_execute_smt_portfolio_spec_records_winner():
+    [instance] = smt_suite(
+        strategies=("portfolio",), instances=["chain-2"], layout_kinds=("bottom",)
+    )
+    payload = execute_spec(instance.spec)
+    assert payload["strategy"] == "portfolio"
+    assert payload["found"] and payload["optimal"]
+    assert payload["num_stages"] == 3
+    winner = payload["winner"]
+    assert winner["strategy"] in {"bisection", "warmstart", "linear"}
+    assert winner["mode"] in {"inline", "raced"}
+    json.dumps(payload)  # payloads must stay JSON-serialisable
+
+
+def _fake_smt_result(strategy, winner=None, num_stages=3, optimal=True):
+    payload = {
+        "strategy": strategy,
+        "layout": "bottom",
+        "instance": "chain-2",
+        "found": True,
+        "optimal": optimal,
+        "num_stages": num_stages,
+    }
+    if winner is not None:
+        payload["winner"] = winner
+    return BenchResult(
+        name=f"smt/{strategy}/bottom/chain-2",
+        suite="smt",
+        status="ok",
+        seconds=0.1,
+        payload=payload,
+    )
+
+
+def test_save_results_version_gates_portfolio_fields(tmp_path):
+    results = [_fake_smt_result("portfolio", winner={"strategy": "bisection"})]
+    v3_path, v2_path = tmp_path / "v3.json", tmp_path / "v2.json"
+    save_results(results, v3_path)
+    save_results(results, v2_path, schema_version=2)
+    v3 = json.loads(v3_path.read_text())
+    v2 = json.loads(v2_path.read_text())
+    assert v3["version"] == 3
+    assert v3["results"][0]["payload"]["winner"] == {"strategy": "bisection"}
+    assert v2["version"] == 2
+    assert "winner" not in v2["results"][0]["payload"]
+    # Stripping happens on the serialised copy, not the live results.
+    assert "winner" in results[0].payload
+    with pytest.raises(ValueError):
+        save_results(results, tmp_path / "v9.json", schema_version=9)
+
+
+def test_check_portfolio_regression_accepts_matching_batches():
+    baseline = [_fake_smt_result("bisection")]
+    portfolio = [_fake_smt_result("portfolio", winner={"strategy": "warmstart"})]
+    assert check_portfolio_regression(baseline, portfolio) == [("bottom", "chain-2")]
+
+
+@pytest.mark.parametrize(
+    "portfolio_kwargs, message",
+    [
+        ({"num_stages": 4, "winner": {"strategy": "linear"}}, "stages"),
+        ({"optimal": False, "winner": {"strategy": "linear"}}, "certify"),
+        ({}, "winner"),
+    ],
+)
+def test_check_portfolio_regression_rejects_violations(portfolio_kwargs, message):
+    baseline = [_fake_smt_result("bisection")]
+    portfolio = [_fake_smt_result("portfolio", **portfolio_kwargs)]
+    with pytest.raises(ValueError, match=message):
+        check_portfolio_regression(baseline, portfolio)
+
+
+def test_check_portfolio_regression_requires_shared_cells():
+    with pytest.raises(ValueError):
+        check_portfolio_regression([], [])

@@ -1,5 +1,6 @@
 """Tests for the CDCL SAT solver, including randomised cross-checks against
-a brute-force model enumerator."""
+a brute-force model enumerator and against the preserved seed reference
+implementation."""
 
 import itertools
 import random
@@ -7,7 +8,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sat import CNF, CDCLSolver, SolveResult
+from repro.sat import CNF, CDCLSolver, ReferenceCDCLSolver, SolveResult
 
 
 def brute_force_satisfiable(cnf: CNF) -> bool:
@@ -229,6 +230,25 @@ def test_statistics_are_collected():
     assert "conflicts" in stats
 
 
+def test_statistics_include_timing_and_rates():
+    solver = CDCLSolver()
+    variables = [solver.new_var() for _ in range(8)]
+    for left, right in zip(variables, variables[1:]):
+        solver.add_clause([-left, right])
+    solver.add_clause([variables[0]])
+    solver.solve()
+    counters = solver.stats.as_dict()
+    assert counters["solve_seconds"] >= 0.0
+    assert "propagations_per_second" not in counters  # rates are opt-in
+    with_rates = solver.stats.as_dict(rates=True)
+    assert with_rates["propagations_per_second"] >= 0.0
+    assert with_rates["conflicts_per_second"] >= 0.0
+    # The rates are consistent with their defining counters.
+    if with_rates["solve_seconds"] > 0:
+        expected = with_rates["propagations"] / with_rates["solve_seconds"]
+        assert with_rates["propagations_per_second"] == pytest.approx(expected)
+
+
 def test_model_before_solve_raises():
     solver = CDCLSolver()
     solver.new_var()
@@ -295,3 +315,110 @@ def test_learned_state_survives_assumption_queries():
     assert solver.solve(assumptions=[-variables[-1]]) is SolveResult.SAT
     model = solver.model()
     assert not model[variables[0]]
+
+
+# --------------------------------------------------------------------------- #
+# Learned-clause database reduction under pressure
+# --------------------------------------------------------------------------- #
+def test_learned_database_reduction_keeps_answers_sound():
+    """A conflict-heavy instance must stay correct across DB reductions and
+    restarts (the LBD-aware reducer rebuilds the clause arena in place)."""
+    solver = CDCLSolver()
+    var = {}
+    pigeons, holes = 7, 6
+    for i in range(pigeons):
+        for j in range(holes):
+            var[i, j] = solver.new_var()
+    for i in range(pigeons):
+        solver.add_clause([var[i, j] for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                solver.add_clause([-var[i1, j], -var[i2, j]])
+    assert solver.solve() is SolveResult.UNSAT
+    assert solver.stats.learned_clauses > 0
+    assert solver.stats.conflicts > 0
+
+
+# --------------------------------------------------------------------------- #
+# DIMACS debug export (ground work for the external-backend adapter)
+# --------------------------------------------------------------------------- #
+def test_dump_dimacs_round_trips_to_equisatisfiable_formula():
+    solver = CDCLSolver()
+    a, b, c = (solver.new_var() for _ in range(3))
+    solver.add_clause([a, b, c])
+    solver.add_clause([-a, b])
+    solver.add_clause([-b, c])
+    solver.add_clause([c])  # becomes a level-0 unit, exported as such
+    text = solver.dump_dimacs()
+    reloaded = CNF.from_dimacs(text)
+    assert reloaded.num_vars == 3
+    fresh = CDCLSolver()
+    fresh.add_cnf(reloaded)
+    assert fresh.solve() is SolveResult.SAT
+    assert fresh.model()[c] is True
+    assert solver.solve() is SolveResult.SAT  # exporting must not disturb state
+
+
+@pytest.mark.parametrize("include_learned", [False, True])
+def test_dump_dimacs_preserves_satisfiability_after_solving(include_learned):
+    """Exports taken mid-life (learned clauses, level-0 facts) round-trip to
+    a formula with the same satisfiability, with and without the implied
+    learned clauses."""
+    rng = random.Random(11)
+    cnf = CNF(num_vars=9)
+    for _ in range(38):
+        size = rng.randint(1, 3)
+        chosen = rng.sample(range(1, 10), size)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    solver = CDCLSolver()
+    solver.add_cnf(cnf)
+    original = solver.solve()
+    reloaded = CNF.from_dimacs(solver.dump_dimacs(include_learned=include_learned))
+    fresh = CDCLSolver()
+    fresh.add_cnf(reloaded)
+    assert fresh.solve() is original
+
+
+def test_dump_dimacs_of_trivially_unsat_formula():
+    solver = CDCLSolver()
+    v = solver.new_var()
+    solver.add_clause([v])
+    solver.add_clause([-v])
+    reloaded = CNF.from_dimacs(solver.dump_dimacs())
+    fresh = CDCLSolver()
+    fresh.add_cnf(reloaded)
+    assert fresh.solve() is SolveResult.UNSAT
+
+
+# --------------------------------------------------------------------------- #
+# Differential testing: flat-array core vs the preserved seed reference
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(15))
+def test_flat_core_agrees_with_reference(seed):
+    rng = random.Random(1000 + seed)
+    n_vars = rng.randint(4, 10)
+    cnf = CNF(num_vars=n_vars)
+    for _ in range(rng.randint(3, int(4.4 * n_vars))):
+        size = rng.randint(1, 3)
+        chosen = rng.sample(range(1, n_vars + 1), size)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    flat, reference = CDCLSolver(), ReferenceCDCLSolver()
+    flat.add_cnf(cnf)
+    reference.add_cnf(cnf)
+    flat_result = flat.solve()
+    assert flat_result is reference.solve()
+    if flat_result is SolveResult.SAT:
+        assert cnf.evaluate(flat.model())
+        assert cnf.evaluate(reference.model())
+
+
+def test_flat_core_agrees_with_reference_under_assumptions():
+    clauses = [[1, 2], [-1, 3], [-3, -2, 4], [-4, 2]]
+    for assumptions in ([], [1], [-2], [1, -4], [-1, -2], [3, -4]):
+        flat, reference = CDCLSolver(), ReferenceCDCLSolver()
+        flat.add_cnf(CNF(clauses))
+        reference.add_cnf(CNF(clauses))
+        assert flat.solve(assumptions=assumptions) is reference.solve(
+            assumptions=assumptions
+        ), assumptions

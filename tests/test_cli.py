@@ -126,6 +126,42 @@ def test_bench_command_smt_single_strategy(capsys):
     assert "8/8 instances ok" in text
 
 
+def test_microbench_command_writes_comparison(tmp_path, capsys):
+    output = tmp_path / "microbench.json"
+    assert main(["microbench", "--output", str(output)]) == 0
+    text = capsys.readouterr().out
+    assert "flat core faster everywhere" in text
+    document = json.loads(output.read_text())
+    assert document["flat_faster_everywhere"] is True
+    assert {cell["flat"]["result"] for cell in document["cells"]} == {"sat", "unsat"}
+
+
+def test_bench_command_schema_version_2_strips_portfolio_fields(tmp_path, capsys):
+    output = tmp_path / "v2.json"
+    assert (
+        main(
+            [
+                "bench",
+                "--suite",
+                "smt",
+                "--strategy",
+                "portfolio",
+                "--timeout",
+                "300",
+                "--output",
+                str(output),
+                "--schema-version",
+                "2",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    document = json.loads(output.read_text())
+    assert document["version"] == 2
+    assert all("winner" not in entry["payload"] for entry in document["results"])
+
+
 def test_unknown_code_rejected():
     with pytest.raises(SystemExit):
         main(["circuit", "unknown-code"])
