@@ -14,7 +14,9 @@ Examples
     repro-nasp bench --suite smt --jobs 4 --output results.json
     repro-nasp bench --suite smt --strategy linear bisection --output out.json
     repro-nasp bench --suite smt --strategy portfolio --output race.json
+    repro-nasp bench --suite smt --sat-backend dimacs-subprocess --output ext.json
     repro-nasp microbench --output microbench.json
+    repro-nasp microbench --backend dimacs-subprocess flat
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.scheduler import SMTScheduler
 from repro.core.strategies import available_strategies
 from repro.core.structured import StructuredScheduler
+from repro.sat.backend import available_backends
 from repro.core.validator import validate_schedule
 from repro.evaluation import (
     build_suite,
@@ -90,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-horizon solver wall-clock budget for the SMT strategies",
     )
+    schedule.add_argument(
+        "--sat-backend",
+        choices=available_backends(),
+        default=None,
+        help="SAT backend deciding the SMT probes (default: the in-process "
+        "flat-array core; 'dimacs-subprocess' pipes DIMACS to an external "
+        "solver binary)",
+    )
     schedule.add_argument("--json", action="store_true", help="dump the schedule as JSON")
     schedule.add_argument(
         "--render", action="store_true", help="draw every stage as an ASCII site grid"
@@ -130,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         "'coldstart' is the non-incremental linear reference)",
     )
     bench.add_argument(
+        "--sat-backend",
+        choices=available_backends(),
+        default=None,
+        help="SAT backend for the smt suite's SMT probes (default: the "
+        "in-process flat-array core)",
+    )
+    bench.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -147,15 +165,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--schema-version",
         type=int,
-        choices=[2, 3],
-        default=3,
-        help="bench JSON schema (2 strips the v3-only portfolio fields)",
+        choices=[2, 3, 4],
+        default=4,
+        help="bench JSON schema (3 strips the v4-only backend field, "
+        "2 additionally strips the portfolio fields)",
     )
 
     microbench = sub.add_parser(
         "microbench",
-        help="race the flat-array CDCL core against the seed reference "
-        "solver on the smoke scheduling formulas",
+        help="race two registered SAT backends on the smoke scheduling "
+        "formulas (default: the flat-array core vs the seed reference)",
+    )
+    microbench.add_argument(
+        "--backend",
+        nargs=2,
+        choices=available_backends(),
+        default=None,
+        metavar=("CANDIDATE", "BASELINE"),
+        dest="backends",
+        help="registered backends to compare; the candidate must beat the "
+        "baseline for a zero exit code (default: flat reference)",
     )
     microbench.add_argument(
         "--output", default=None, help="persist the comparison as JSON to this path"
@@ -199,17 +228,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         report = None
         if args.strategy == "structured":
-            if args.timeout is not None:
+            if args.timeout is not None or args.sat_backend is not None:
                 print(
-                    "warning: --timeout only applies to the SMT strategies; "
-                    "the structured backend runs unbounded",
+                    "warning: --timeout/--sat-backend only apply to the SMT "
+                    "strategies; the structured backend runs unbounded",
                     file=sys.stderr,
                 )
             schedule = StructuredScheduler().schedule(problem)
         else:
-            scheduler = SMTScheduler(
-                strategy=args.strategy, time_limit_per_instance=args.timeout
-            )
+            try:
+                scheduler = SMTScheduler(
+                    strategy=args.strategy,
+                    time_limit_per_instance=args.timeout,
+                    sat_backend=args.sat_backend,
+                )
+            except ValueError as exc:
+                # E.g. the requested SAT backend has no solver binary.
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
             report = scheduler.schedule(problem)
             if not report.found:
                 print(
@@ -230,7 +266,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             if report is not None:
                 upper = "-" if report.upper_bound is None else report.upper_bound
                 print(
-                    f"search: strategy={report.strategy} optimal={report.optimal} "
+                    f"search: strategy={report.strategy} "
+                    f"backend={report.sat_backend} optimal={report.optimal} "
                     f"bounds=[{report.lower_bound},{upper}] "
                     f"horizons={report.stages_tried}"
                 )
@@ -263,6 +300,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             codes=args.codes,
             strategies=args.strategies,
             time_limit=args.timeout if args.timeout is not None else 120.0,
+            backends=[args.sat_backend] if args.sat_backend else None,
         )
         try:
             results = run_batch(
@@ -283,7 +321,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "microbench":
         from repro.sat.bench import format_microbench, run_microbench
 
-        document = run_microbench()
+        try:
+            document = run_microbench(
+                backends=tuple(args.backends) if args.backends else None
+            )
+        except (ValueError, RuntimeError) as exc:
+            # E.g. a backend compared with itself, or one whose solver
+            # binary is missing.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(format_microbench(document))
         if args.output:
             try:
@@ -294,9 +340,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
                 return 1
             print(f"comparison written to {args.output}")
-        # Non-zero exit = the flat core regressed below the seed reference;
-        # CI treats this as a propagation-throughput regression.
-        return 0 if document["flat_faster_everywhere"] else 1
+        # Non-zero exit = the candidate backend did not beat the baseline;
+        # under the default flat-vs-reference pairing CI treats this as a
+        # propagation-throughput regression.
+        return 0 if document["candidate_faster_everywhere"] else 1
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -200,16 +200,18 @@ def encode_instance(
     gates: Sequence[Gate],
     num_stages: int,
     shielding: bool | None = None,
+    backend: str | None = None,
 ) -> EncodedInstance:
     """Build the symbolic formulation for a fixed stage count.
 
     *shielding* defaults to "the architecture has a storage zone", matching
-    the paper's handling of Layout 1 (footnote 2).
+    the paper's handling of Layout 1 (footnote 2).  *backend* selects the
+    SAT backend by registry name (default: the in-process flat core).
     """
     normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
-    solver = Solver()
+    solver = Solver(backend=backend)
     variables = StatePrepVariables.create(
         solver, architecture, num_qubits, len(normalised), num_stages
     )
@@ -232,16 +234,18 @@ def encode_incremental_instance(
     num_stages: int,
     max_stages: int,
     shielding: bool | None = None,
+    backend: str | None = None,
 ) -> IncrementalInstance:
     """Build a growable instance starting at *num_stages* stages.
 
     The instance can later be extended up to *max_stages* stages without
-    re-encoding the stages that already exist.
+    re-encoding the stages that already exist.  *backend* selects the SAT
+    backend by registry name (default: the in-process flat core).
     """
     normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
-    solver = Solver(incremental=True)
+    solver = Solver(incremental=True, backend=backend)
     variables = StatePrepVariables.create(
         solver,
         architecture,
@@ -262,7 +266,7 @@ def encode_incremental_instance(
 
 
 def encode_problem(
-    problem: "SchedulingProblem", num_stages: int
+    problem: "SchedulingProblem", num_stages: int, backend: str | None = None
 ) -> EncodedInstance:
     """Cold-start encoding of a :class:`SchedulingProblem` at a fixed S."""
     return encode_instance(
@@ -271,11 +275,15 @@ def encode_problem(
         problem.gates,
         num_stages,
         shielding=problem.shielding,
+        backend=backend,
     )
 
 
 def encode_incremental_problem(
-    problem: "SchedulingProblem", num_stages: int, max_stages: int
+    problem: "SchedulingProblem",
+    num_stages: int,
+    max_stages: int,
+    backend: str | None = None,
 ) -> IncrementalInstance:
     """Growable encoding of a :class:`SchedulingProblem`."""
     return encode_incremental_instance(
@@ -285,6 +293,7 @@ def encode_incremental_problem(
         num_stages=num_stages,
         max_stages=max_stages,
         shielding=problem.shielding,
+        backend=backend,
     )
 
 

@@ -23,6 +23,11 @@ class SchedulerReport:
     schedule: Optional[Schedule]
     optimal: bool
     strategy: str = "linear"
+    #: Registry name of the SAT backend that decided the probes
+    #: (:mod:`repro.sat.backend`); set by the scheduler facade.  The
+    #: portfolio's ``winner`` may name a different backend when a raced
+    #: backend variant landed the certificate first.
+    sat_backend: str = "flat"
     lower_bound: int = 0
     upper_bound: Optional[int] = None
     stages_tried: list[int] = field(default_factory=list)

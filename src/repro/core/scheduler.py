@@ -45,6 +45,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.report import SchedulerReport, SchedulerResult
 from repro.core.strategies import SearchLimits, get_strategy
 from repro.core.validator import validate_schedule
+from repro.sat.backend import backend_info
 
 __all__ = ["SMTScheduler", "SchedulerReport", "SchedulerResult"]
 
@@ -66,6 +67,7 @@ class SMTScheduler:
         incremental: bool = True,
         strategy: str = "linear",
         phase_seed: Optional[int] = None,
+        sat_backend: Optional[str] = None,
     ) -> None:
         # Resolve eagerly so unknown names and incompatible configurations
         # fail at construction time, not mid-batch.
@@ -73,19 +75,32 @@ class SMTScheduler:
             raise ValueError(
                 f"the {strategy!r} strategy requires an incremental scheduler"
             )
+        info = backend_info(sat_backend)
+        if not info.is_available():
+            raise ValueError(
+                f"SAT backend {info.name!r} is unavailable: "
+                f"{info.description or 'runtime requirements not met'}"
+            )
         self._strategy = strategy
+        self._backend_name = info.name
         self._limits = SearchLimits(
             max_stages=max_stages,
             max_conflicts=max_conflicts_per_instance,
             time_limit=time_limit_per_instance,
             incremental=incremental,
             phase_seed=phase_seed,
+            sat_backend=sat_backend,
         )
 
     @property
     def strategy(self) -> str:
         """Name of the configured search strategy."""
         return self._strategy
+
+    @property
+    def sat_backend(self) -> str:
+        """Registry name of the SAT backend deciding every probe."""
+        return self._backend_name
 
     def schedule(
         self,
@@ -107,6 +122,7 @@ class SMTScheduler:
                 "cz_gates) or SchedulingProblem.from_circuit(...)"
             )
         report = get_strategy(self._strategy).run(problem, self._limits, metadata)
+        report.sat_backend = self._backend_name
         if validate and report.schedule is not None:
             validate_schedule(report.schedule, require_shielding=problem.shielding)
         return report

@@ -55,6 +55,12 @@ class SearchLimits:
     #: one.  Pure heuristic — never changes a SAT/UNSAT answer — which is
     #: what lets the portfolio race phase-seed variants soundly.
     phase_seed: Optional[int] = None
+    #: Registry name of the SAT backend deciding every probe
+    #: (:mod:`repro.sat.backend`).  ``None`` selects the default in-process
+    #: flat-array core.  Every registered backend is sound and complete, so
+    #: the knob trades speed, never answers — which is what lets the
+    #: portfolio race backends as variants alongside phase seeds.
+    sat_backend: Optional[str] = None
 
 
 class SearchContext:
@@ -128,7 +134,10 @@ class SearchContext:
         if capacity is None or capacity < horizon:
             capacity = min(self.limits.max_stages, horizon + self._headroom)
         instance = encode_incremental_problem(
-            self.problem, num_stages=horizon, max_stages=max(capacity, horizon)
+            self.problem,
+            num_stages=horizon,
+            max_stages=max(capacity, horizon),
+            backend=self.limits.sat_backend,
         )
         if self._hint_provider is not None:
             instance.set_phase_hints(self._hint_provider(instance))

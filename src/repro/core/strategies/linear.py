@@ -57,7 +57,7 @@ class LinearStrategy(SearchStrategy):
                 result = context.decide(num_stages)
                 report.statistics = context.statistics()
             else:
-                instance = encode_problem(problem, num_stages)
+                instance = encode_problem(problem, num_stages, backend=limits.sat_backend)
                 result = instance.check(
                     max_conflicts=limits.max_conflicts, time_limit=limits.time_limit
                 )

@@ -1,8 +1,10 @@
 """Process-level portfolio racing over the single search strategies.
 
 The portfolio fans a set of solver *configurations* — ``bisection``,
-``warmstart``, ``linear``, plus phase-seed variants that only differ in the
-CDCL core's initial branching polarities — across worker processes
+``warmstart``, ``linear``, phase-seed variants that only differ in the
+CDCL core's initial branching polarities, plus one bisection variant per
+additional usable SAT backend (:mod:`repro.sat.backend`) — across worker
+processes
 (reusing :func:`repro.evaluation.runner.race_to_first`, the racing
 counterpart of the bench runner's pool machinery), keeps the first
 configuration that certifies an optimum, and cancels/terminates the losers.
@@ -66,10 +68,13 @@ def run_portfolio_config(task: tuple) -> SchedulerReport:
     from repro.core.strategies import get_strategy
 
     problem, config, limits, metadata, witness = task
-    # A config without its own seed inherits the caller's (so a user-level
-    # SMTScheduler(phase_seed=...) behaves the same raced or inline).
+    # A config without its own seed/backend inherits the caller's (so a
+    # user-level SMTScheduler(phase_seed=..., sat_backend=...) behaves the
+    # same raced or inline).
     limits = replace(
-        limits, phase_seed=config.get("phase_seed", limits.phase_seed)
+        limits,
+        phase_seed=config.get("phase_seed", limits.phase_seed),
+        sat_backend=config.get("sat_backend", limits.sat_backend),
     )
     strategy = get_strategy(config["strategy"])
     if witness is not None and isinstance(strategy, BisectionStrategy):
@@ -106,11 +111,12 @@ class PortfolioStrategy(SearchStrategy):
         # The schedule must advertise the portfolio whichever configuration
         # produces it (the winning configuration is recorded separately).
         metadata = {**(metadata or {}), "strategy": self.name}
+        configs = self._configs + self._backend_variants(limits)
         jobs = self._jobs if self._jobs is not None else (os.cpu_count() or 1)
-        jobs = max(1, min(jobs, len(self._configs)))
+        jobs = max(1, min(jobs, len(configs)))
         witness = structured_upper_bound(problem)
         if jobs > 1 and self._should_race(problem, witness):
-            report = self._run_race(problem, limits, metadata, jobs, witness)
+            report = self._run_race(problem, limits, metadata, jobs, witness, configs)
         else:
             report = self._run_inline(problem, limits, metadata, witness)
         report.strategy = self.name
@@ -118,6 +124,29 @@ class PortfolioStrategy(SearchStrategy):
         return report
 
     # ------------------------------------------------------------------ #
+    def _backend_variants(self, limits: SearchLimits) -> tuple[dict, ...]:
+        """Extra configurations racing the other usable SAT backends.
+
+        Every registered backend certifies the same optima (the knob trades
+        speed, never answers), so whichever backend's bisection lands its
+        certificate first is a legitimate winner.  Variants only join when
+        the caller left the backend unpinned: an explicit
+        ``limits.sat_backend`` is a request to measure *that* backend (e.g.
+        the CI cross-backend agreement gate), which racing others would
+        silently undermine.  Backends flagged ``race_variant=False`` (the
+        deliberately slow seed reference) and the default backend already
+        raced by the base configurations are skipped.
+        """
+        from repro.sat.backend import DEFAULT_BACKEND, backend_info, usable_backends
+
+        if limits.sat_backend is not None:
+            return ()
+        return tuple(
+            {"strategy": "bisection", "sat_backend": name}
+            for name in usable_backends()
+            if name != DEFAULT_BACKEND and backend_info(name).race_variant
+        )
+
     def _should_race(self, problem: SchedulingProblem, witness) -> bool:
         """Whether the analytic interval is wide enough to pay for fan-out.
 
@@ -156,13 +185,14 @@ class PortfolioStrategy(SearchStrategy):
         limits: SearchLimits,
         metadata: dict,
         jobs: int,
-        witness=None,
+        witness,
+        configs: Sequence[dict],
     ) -> SchedulerReport:
         from repro.evaluation.runner import race_to_first
 
         tasks = [
             (problem, config, limits, dict(metadata), witness)
-            for config in self._configs
+            for config in configs
         ]
         outcome = race_to_first(
             run_portfolio_config,
@@ -179,7 +209,7 @@ class PortfolioStrategy(SearchStrategy):
             report = self._best_effort(problem, outcome.finished)
         if outcome.winner_index is not None:
             report.winner = {
-                **self._configs[outcome.winner_index],
+                **configs[outcome.winner_index],
                 "mode": "raced",
                 "raced_configs": len(tasks),
                 "finished": len(outcome.finished),

@@ -92,37 +92,45 @@ def smt_suite(
     instances: Sequence[str] | None = None,
     layout_kinds: Sequence[str] = SMT_LAYOUT_KINDS,
     time_limit: Optional[float] = 120.0,
+    backends: Sequence[Optional[str]] = (None,),
 ) -> list[BenchInstance]:
     """Exact-SMT scheduling of the reduced instances, one axis per strategy.
 
-    Every (strategy, layout, instance) triple becomes one spec, so a
+    Every (backend, strategy, layout, instance) tuple becomes one spec, so a
     persisted batch captures the full search trajectory — bounds and
-    horizons attempted — per strategy, side by side.
+    horizons attempted — per strategy, side by side.  *backends* fans the
+    suite across SAT backends (registry names; ``None`` is the default
+    in-process core, whose instance names keep the historical
+    ``smt/{strategy}/{layout}/{instance}`` format — explicit backends are
+    prefixed as ``smt/{backend}/...``).
     """
     names = list(instances) if instances is not None else list(SMT_INSTANCES)
     suite: list[BenchInstance] = []
-    for strategy in strategies:
-        if strategy not in SMT_STRATEGIES:
-            raise ValueError(f"unknown SMT scheduler strategy {strategy!r}")
-        for kind in layout_kinds:
-            for name in names:
-                num_qubits, gates = SMT_INSTANCES[name]
-                suite.append(
-                    BenchInstance(
-                        name=f"smt/{strategy}/{kind}/{name}",
-                        suite="smt",
-                        spec={
-                            "kind": "smt",
-                            "strategy": strategy,
-                            "layout_kind": kind,
-                            "layout_kwargs": dict(REDUCED_LAYOUT_KWARGS),
-                            "instance": name,
-                            "num_qubits": num_qubits,
-                            "gates": [list(g) for g in gates],
-                            "time_limit": time_limit,
-                        },
+    for backend in backends:
+        for strategy in strategies:
+            if strategy not in SMT_STRATEGIES:
+                raise ValueError(f"unknown SMT scheduler strategy {strategy!r}")
+            for kind in layout_kinds:
+                for name in names:
+                    num_qubits, gates = SMT_INSTANCES[name]
+                    prefix = "smt" if backend is None else f"smt/{backend}"
+                    suite.append(
+                        BenchInstance(
+                            name=f"{prefix}/{strategy}/{kind}/{name}",
+                            suite="smt",
+                            spec={
+                                "kind": "smt",
+                                "strategy": strategy,
+                                "sat_backend": backend,
+                                "layout_kind": kind,
+                                "layout_kwargs": dict(REDUCED_LAYOUT_KWARGS),
+                                "instance": name,
+                                "num_qubits": num_qubits,
+                                "gates": [list(g) for g in gates],
+                                "time_limit": time_limit,
+                            },
+                        )
                     )
-                )
     return suite
 
 
@@ -169,18 +177,26 @@ def build_suite(
     codes: Sequence[str] | None = None,
     strategies: Sequence[str] | None = None,
     time_limit: Optional[float] = 120.0,
+    backends: Sequence[Optional[str]] | None = None,
 ) -> list[BenchInstance]:
     """Construct the instance list for a named suite."""
     smt_strategies = tuple(strategies) if strategies else SMT_STRATEGIES
+    smt_backends = tuple(backends) if backends else (None,)
     if suite == "smt":
-        return smt_suite(strategies=smt_strategies, time_limit=time_limit)
+        return smt_suite(
+            strategies=smt_strategies, time_limit=time_limit, backends=smt_backends
+        )
     if suite == "table1":
         return table1_suite(codes=codes)
     if suite == "exploration":
         return exploration_suite(codes=codes)
     if suite == "all":
         return (
-            smt_suite(strategies=smt_strategies, time_limit=time_limit)
+            smt_suite(
+                strategies=smt_strategies,
+                time_limit=time_limit,
+                backends=smt_backends,
+            )
             + table1_suite(codes=codes)
             + exploration_suite(codes=codes)
         )
@@ -215,12 +231,15 @@ def _execute_smt(spec: dict) -> dict:
         strategy="linear" if strategy == "coldstart" else strategy,
         incremental=strategy != "coldstart",
         phase_seed=spec.get("phase_seed"),
+        sat_backend=spec.get("sat_backend"),
     )
     gates = [tuple(g) for g in spec["gates"]]
     problem = SchedulingProblem.from_gates(architecture, spec["num_qubits"], gates)
     report = scheduler.schedule(problem)
     payload = {
         "strategy": strategy,
+        # Schema v4 field: the resolved backend registry name.
+        "sat_backend": report.sat_backend,
         "layout": spec["layout_kind"],
         "instance": spec["instance"],
         "found": report.found,
@@ -294,7 +313,7 @@ def run_batch(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     output_path: str | os.PathLike | None = None,
-    schema_version: int = 3,
+    schema_version: int = 4,
 ) -> list[BenchResult]:
     """Execute *instances*, optionally in parallel, and collect results.
 
@@ -514,31 +533,37 @@ def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
 # --------------------------------------------------------------------------- #
 # Persistence and formatting
 # --------------------------------------------------------------------------- #
-#: Payload keys introduced by schema version 3 (portfolio provenance);
-#: stripped when a version-2 document is requested for compatibility.
+#: Payload keys introduced per schema version; stripped when an older
+#: document version is requested for compatibility.
 _V3_PAYLOAD_KEYS = ("winner",)
+_V4_PAYLOAD_KEYS = ("sat_backend",)
 
 
 def save_results(
     results: Sequence[BenchResult],
     path: str | os.PathLike,
-    schema_version: int = 3,
+    schema_version: int = 4,
 ) -> None:
     """Persist a batch run as a JSON document.
 
     Schema history: version 2 gave SMT payloads the search trajectory
     (strategy/lower_bound/upper_bound/stages_tried/num_horizons); version 3
-    (default) adds the portfolio's ``winner`` configuration.  Requesting
-    ``schema_version=2`` strips the v3-only fields so downstream consumers
-    pinned to v2 keep loading byte-compatible payloads.
+    added the portfolio's ``winner`` configuration; version 4 (default) adds
+    the SAT backend (``sat_backend``) that decided the probes.  Requesting
+    an older version strips the newer fields so downstream consumers pinned
+    to it keep loading byte-compatible payloads.
     """
-    if schema_version not in (2, 3):
+    if schema_version not in (2, 3, 4):
         raise ValueError(f"unknown bench schema version {schema_version}")
     serialised = [asdict(result) for result in results]
-    if schema_version == 2:
-        for entry in serialised:
-            for key in _V3_PAYLOAD_KEYS:
-                entry["payload"].pop(key, None)
+    stripped_keys: tuple[str, ...] = ()
+    if schema_version <= 3:
+        stripped_keys += _V4_PAYLOAD_KEYS
+    if schema_version <= 2:
+        stripped_keys += _V3_PAYLOAD_KEYS
+    for entry in serialised:
+        for key in stripped_keys:
+            entry["payload"].pop(key, None)
     document = {
         "version": schema_version,
         "created_unix": time.time(),
@@ -638,6 +663,81 @@ def check_portfolio_regression(
             )
         if not actual.get("winner"):
             raise ValueError(f"{cell}: portfolio did not record a winner")
+    return shared
+
+
+def check_backend_agreement(
+    first_results: Sequence[BenchResult],
+    second_results: Sequence[BenchResult],
+    expect_cells: Optional[int] = None,
+) -> list[tuple[str, str, str]]:
+    """Certify that two SMT batches agree on every shared optimum.
+
+    The batches are keyed by (strategy, layout, instance) — the same suite
+    run under two different SAT backends, one backend per batch.  Every
+    shared cell must be found+optimal in both batches with identical stage
+    counts, and each batch must record which backend produced it.  Returns
+    the compared cells; raises ``ValueError`` on the first disagreement,
+    when the batches share no cells, or when a batch mixes backends (a
+    multi-backend batch would silently shadow all but one backend's result
+    per cell — split it per backend before comparing).
+
+    Only ``ok`` results enter the comparison, so an instance that errored
+    or timed out under one backend simply drops out of the shared set —
+    pass *expect_cells* to turn that silent coverage loss into a failure
+    (the CI backend-matrix job pins it to the suite size).
+    """
+
+    def cells(results: Sequence[BenchResult]) -> dict[tuple[str, str, str], dict]:
+        mapping = {}
+        for result in results:
+            payload = result.payload
+            if result.suite != "smt" or not result.ok:
+                continue
+            key = (
+                payload.get("strategy"),
+                payload.get("layout"),
+                payload.get("instance"),
+            )
+            previous = mapping.get(key)
+            if previous is not None and previous.get("sat_backend") != payload.get(
+                "sat_backend"
+            ):
+                raise ValueError(
+                    f"{key}: batch mixes SAT backends "
+                    f"({previous.get('sat_backend')!r} vs "
+                    f"{payload.get('sat_backend')!r}); compare "
+                    "single-backend batches"
+                )
+            mapping[key] = payload
+        return mapping
+
+    first = cells(first_results)
+    second = cells(second_results)
+    shared = sorted(set(first) & set(second))
+    if not shared:
+        raise ValueError("batches share no (strategy, layout, instance) cells")
+    if expect_cells is not None and len(shared) != expect_cells:
+        raise ValueError(
+            f"expected {expect_cells} comparable cells but only {len(shared)} "
+            "are ok in both batches — instances errored or timed out"
+        )
+    for cell in shared:
+        a, b = first[cell], second[cell]
+        backends = (a.get("sat_backend"), b.get("sat_backend"))
+        if not all(backends):
+            raise ValueError(f"{cell}: a batch does not record its SAT backend")
+        for payload, backend in ((a, backends[0]), (b, backends[1])):
+            if not (payload.get("found") and payload.get("optimal")):
+                raise ValueError(
+                    f"{cell}: backend {backend!r} failed to certify an optimum"
+                )
+        if a.get("num_stages") != b.get("num_stages"):
+            raise ValueError(
+                f"{cell}: backend {backends[0]!r} certified "
+                f"{a.get('num_stages')} stages but backend {backends[1]!r} "
+                f"certified {b.get('num_stages')}"
+            )
     return shared
 
 

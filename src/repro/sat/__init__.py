@@ -17,12 +17,26 @@ corresponding variable.
   LBD-aware learned-clause database reduction.
 * :class:`repro.sat.reference.ReferenceCDCLSolver` — the seed's object-style
   implementation, kept as benchmark baseline and differential-testing oracle.
+* :mod:`repro.sat.backend` — the pluggable backend subsystem: the
+  :class:`~repro.sat.backend.SatBackend` protocol, the name-keyed registry
+  (``flat`` / ``reference`` / ``dimacs-subprocess``), and the external
+  DIMACS-subprocess adapter.
 * :class:`repro.sat.solver.SolveResult` — SAT / UNSAT / UNKNOWN.
 * :class:`repro.sat.solver.SolverStatistics` — per-solver counters
   (propagations, conflicts, restarts, solve seconds, derived throughput).
 * :mod:`repro.sat.tseitin` — Tseitin transformation of boolean circuits.
 """
 
+from repro.sat.backend import (
+    DEFAULT_BACKEND,
+    DimacsSubprocessBackend,
+    SatBackend,
+    available_backends,
+    backend_info,
+    create_backend,
+    register_backend,
+    usable_backends,
+)
 from repro.sat.cnf import CNF
 from repro.sat.reference import ReferenceCDCLSolver
 from repro.sat.solver import CDCLSolver, SolveResult, SolverStatistics
@@ -31,8 +45,16 @@ from repro.sat.tseitin import TseitinEncoder
 __all__ = [
     "CNF",
     "CDCLSolver",
+    "DEFAULT_BACKEND",
+    "DimacsSubprocessBackend",
     "ReferenceCDCLSolver",
+    "SatBackend",
     "SolveResult",
     "SolverStatistics",
     "TseitinEncoder",
+    "available_backends",
+    "backend_info",
+    "create_backend",
+    "register_backend",
+    "usable_backends",
 ]

@@ -42,6 +42,12 @@ class ReferenceCDCLSolver:
     docstring for why it is preserved.
     """
 
+    #: :class:`repro.sat.backend.SatBackend` surface (additive metadata only;
+    #: the algorithmic content below stays the seed implementation).
+    backend_name = "reference"
+    supports_assumptions = True
+    supports_phase_hints = True
+
     def __init__(self) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based); index 0 unused.
@@ -165,6 +171,11 @@ class ReferenceCDCLSolver:
                 raise ValueError(f"{var} is not a valid variable index")
             self._ensure_var(var)
             self._saved_phase[var] = bool(value)
+
+    def statistics(self) -> dict[str, float]:
+        """Counters as a plain dict — the :class:`~repro.sat.backend.SatBackend`
+        surface of :attr:`stats` (additive accessor, no seed behaviour)."""
+        return self.stats.as_dict()
 
     def add_cnf(self, cnf: CNF) -> bool:
         """Add every clause of a :class:`~repro.sat.cnf.CNF` formula."""

@@ -27,6 +27,12 @@ structures instead of per-clause objects or dictionaries:
   so the inner loop reads truth values with one index, no xor/shift.
 * ``_watches`` — per-literal flat lists alternating ``clause_offset,
   blocker``; a true blocker skips the clause without touching the arena.
+* ``_bin_watches`` — binary clauses are specialised out of the generic watch
+  scheme: per-literal flat lists alternating ``other_literal,
+  clause_offset``.  Propagating a binary clause reads the implied literal
+  straight from the watch list — no arena dereference, no watch migration
+  (both literals of a 2-clause are always watched).  The arena still holds
+  the clause so conflict analysis and reason tracking are unchanged.
 * ``_trail``/``_trail_lim`` — the assignment trail, inlined into the
   propagation loop (no queue objects, ``_qhead`` is a plain cursor).
 
@@ -134,6 +140,11 @@ class CDCLSolver:
         assert solver.model()[b] is True
     """
 
+    #: :class:`repro.sat.backend.SatBackend` surface.
+    backend_name = "flat"
+    supports_assumptions = True
+    supports_phase_hints = True
+
     def __init__(self) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based); index 0 unused.
@@ -149,6 +160,8 @@ class CDCLSolver:
         self._clause_refs: list[int] = []
         # Watch lists per encoded literal: flat [offset, blocker, ...] pairs.
         self._watches: list[list[int]] = [[], []]
+        # Binary-clause watch lists: flat [other_literal, offset, ...] pairs.
+        self._bin_watches: list[list[int]] = [[], []]
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -204,6 +217,8 @@ class CDCLSolver:
         self._values.append(_UNASSIGNED)
         self._watches.append([])
         self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
         self._heap_pos.append(-1)
         self._heap_insert(self._num_vars)
         return self._num_vars
@@ -267,6 +282,11 @@ class CDCLSolver:
             self._ensure_var(var)
             self._saved_phase[var] = bool(value)
 
+    def statistics(self) -> dict[str, float]:
+        """Counters as a plain dict — the :class:`~repro.sat.backend.SatBackend`
+        surface of :attr:`stats` (consumers diff successive snapshots)."""
+        return self.stats.as_dict()
+
     def add_cnf(self, cnf: CNF) -> bool:
         """Add every clause of a :class:`~repro.sat.cnf.CNF` formula."""
         self._ensure_var(cnf.num_vars)
@@ -284,8 +304,12 @@ class CDCLSolver:
         ca.append(0.0)
         ca.extend(clause)
         self._clause_refs.append(offset)
-        self._watches[clause[0]].extend((offset, clause[1]))
-        self._watches[clause[1]].extend((offset, clause[0]))
+        if len(clause) == 2:
+            self._bin_watches[clause[0]].extend((clause[1], offset))
+            self._bin_watches[clause[1]].extend((clause[0], offset))
+        else:
+            self._watches[clause[0]].extend((offset, clause[1]))
+            self._watches[clause[1]].extend((offset, clause[0]))
         return offset
 
     # ------------------------------------------------------------------ #
@@ -388,7 +412,9 @@ class CDCLSolver:
         ca = self._ca
         values = self._values
         watches = self._watches
+        bin_watches = self._bin_watches
         trail = self._trail
+        trail_lim = self._trail_lim
         level = self._level
         reason = self._reason
         qhead = self._qhead
@@ -399,6 +425,25 @@ class CDCLSolver:
             qhead += 1
             propagations += 1
             false_lit = enc ^ 1
+            # Binary clauses first: the implied literal sits right in the
+            # watch pair, so no arena record is ever dereferenced.
+            bwl = bin_watches[false_lit]
+            for k in range(0, len(bwl), 2):
+                other = bwl[k]
+                val = values[other]
+                if val == 1:
+                    continue
+                if val == 0:
+                    conflict = bwl[k + 1]
+                    break
+                values[other] = 1
+                values[other ^ 1] = 0
+                var = other >> 1
+                level[var] = len(trail_lim)
+                reason[var] = bwl[k + 1]
+                trail.append(other)
+            if conflict != -1:
+                break
             wl = watches[false_lit]
             i = 0
             j = 0
@@ -450,7 +495,7 @@ class CDCLSolver:
                     values[first] = 1
                     values[first ^ 1] = 0
                     var = first >> 1
-                    level[var] = len(self._trail_lim)
+                    level[var] = len(trail_lim)
                     reason[var] = offset
                     trail.append(first)
             del wl[j:]
@@ -505,9 +550,13 @@ class CDCLSolver:
             if ca[offset + 1]:  # learned clause: bump its activity
                 self._bump_clause(offset)
             base = offset + _HDR
-            start = base + 1 if p != -1 else base
-            for k in range(start, base + ca[offset]):
+            # Skip the literal being resolved on by value, not by position:
+            # binary clauses are propagated without normalising the arena
+            # record, so the implied literal is not guaranteed to sit first.
+            for k in range(base, base + ca[offset]):
                 enc = ca[k]
+                if enc == p:
+                    continue
                 var = enc >> 1
                 if not seen[var] and level[var] > 0:
                     seen[var] = True
@@ -638,12 +687,18 @@ class CDCLSolver:
             if reason != -1:
                 self._reason[var] = remap.get(reason, -1)
         self._watches = [[] for _ in range(2 * self._num_vars + 2)]
+        self._bin_watches = [[] for _ in range(2 * self._num_vars + 2)]
         watches = self._watches
+        bin_watches = self._bin_watches
         for offset in new_refs:
             base = offset + _HDR
             first, second = new_ca[base], new_ca[base + 1]
-            watches[first].extend((offset, second))
-            watches[second].extend((offset, first))
+            if new_ca[offset] == 2:
+                bin_watches[first].extend((second, offset))
+                bin_watches[second].extend((first, offset))
+            else:
+                watches[first].extend((offset, second))
+                watches[second].extend((offset, first))
 
     # ------------------------------------------------------------------ #
     # Main search

@@ -2,15 +2,23 @@
 
 :class:`Solver` collects constraints (boolean expressions over bounded
 integer and boolean variables), bit-blasts them with
-:class:`repro.smt.encoder.ExpressionEncoder` and decides them with the CDCL
-solver from :mod:`repro.sat`.  The interface mirrors the subset of the Z3
-Python API used by the paper's scheduling encoding: ``add``, ``check`` (with
-assumptions), ``model``, ``push``/``pop`` and per-call resource limits.
+:class:`repro.smt.encoder.ExpressionEncoder` and decides them with a SAT
+*backend* constructed through the :mod:`repro.sat.backend` registry
+(``Solver(backend="flat" | "reference" | "dimacs-subprocess" | ...)``; the
+default is the in-process flat-array CDCL core).  The interface mirrors the
+subset of the Z3 Python API used by the paper's scheduling encoding:
+``add``, ``check`` (with assumptions), ``model``, ``push``/``pop`` and
+per-call resource limits.
+
+Backends advertise capability flags, and the facade degrades gracefully
+along them: phase hints are silently dropped on a backend without
+``supports_phase_hints``, and the per-check statistics only report the
+counters (and derived throughput rates) the backend actually keeps.
 
 Two operating modes exist:
 
 * **cold-start** (default) — every :meth:`Solver.check` bit-blasts the whole
-  constraint set into a fresh :class:`~repro.sat.solver.CDCLSolver`.  This
+  constraint set into a freshly constructed backend instance.  This
   supports :meth:`Solver.push`/:meth:`Solver.pop` (constraints can be
   retracted) but throws all learned clauses away between checks.
 * **incremental** (``Solver(incremental=True)``) — one SAT solver and one
@@ -28,8 +36,9 @@ import enum
 import time
 from typing import Iterable, Optional
 
+from repro.sat.backend import SatBackend, backend_info, create_backend
 from repro.sat.cnf import CNF
-from repro.sat.solver import CDCLSolver, SolveResult
+from repro.sat.solver import SolveResult
 from repro.smt import terms as T
 from repro.smt.encoder import ExpressionEncoder
 
@@ -127,26 +136,35 @@ class Model:
 class Solver:
     """Finite-domain SMT solver with a Z3-like interface."""
 
-    def __init__(self, incremental: bool = False) -> None:
+    def __init__(
+        self, incremental: bool = False, backend: Optional[str] = None
+    ) -> None:
         self._constraints: list[T.BoolExpr] = []
         self._scopes: list[int] = []
         self._variables: list[T.Expr] = []
         self._model: Optional[Model] = None
         self._last_statistics: dict[str, float] = {}
         self._incremental = incremental
-        self._sat_solver: Optional[CDCLSolver] = None
+        # Resolve the name eagerly so typos fail at construction time.
+        self._backend_name = backend_info(backend).name
+        self._sat_solver: Optional[SatBackend] = None
         self._encoder: Optional[ExpressionEncoder] = None
         self._encoded_constraints = 0
         self._encoded_variables = 0
         self._pending_phase_hints: dict = {}
         if incremental:
-            self._sat_solver = CDCLSolver()
+            self._sat_solver = create_backend(self._backend_name)
             self._encoder = ExpressionEncoder(self._sat_solver)
 
     @property
     def incremental(self) -> bool:
         """True when the solver keeps its SAT state across checks."""
         return self._incremental
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the SAT backend deciding the formulas."""
+        return self._backend_name
 
     # ------------------------------------------------------------------ #
     # Variable creation helpers
@@ -224,10 +242,18 @@ class Solver:
                 raise TypeError(f"cannot hint a phase for {var!r}")
 
     def _apply_phase_hints(
-        self, sat_solver: CDCLSolver, encoder: ExpressionEncoder
+        self, sat_solver: SatBackend, encoder: ExpressionEncoder
     ) -> None:
-        """Translate and flush the pending hints into *sat_solver*."""
+        """Translate and flush the pending hints into *sat_solver*.
+
+        A backend that advertises ``supports_phase_hints = False`` silently
+        drops them: hints are pure heuristics, so "ignored" is a sound
+        degradation (answers never depend on them).
+        """
         if not self._pending_phase_hints:
+            return
+        if not getattr(sat_solver, "supports_phase_hints", True):
+            self._pending_phase_hints.clear()
             return
         phases: dict[int, bool] = {}
 
@@ -269,7 +295,7 @@ class Solver:
             new_variables = self._variables[self._encoded_variables :]
             new_constraints = self._constraints[self._encoded_constraints :]
         else:
-            sat_solver = CDCLSolver()
+            sat_solver = create_backend(self._backend_name)
             encoder = ExpressionEncoder(sat_solver)
             new_variables = self._variables
             new_constraints = self._constraints
@@ -287,20 +313,34 @@ class Solver:
             self._encoded_constraints = len(self._constraints)
         self._apply_phase_hints(sat_solver, encoder)
         assumption_literals = [encoder.encode_bool(a) for a in assumptions]
+        if assumption_literals and not getattr(
+            sat_solver, "supports_assumptions", True
+        ):
+            # Unlike phase hints, assumptions are semantics: a backend that
+            # ignored them would decide the unconstrained formula and
+            # silently certify wrong optima.  Fail loudly instead.
+            raise RuntimeError(
+                f"SAT backend {self._backend_name!r} does not support "
+                "assumptions; use an assumption-capable backend for "
+                "check(assumptions=...)"
+            )
         encode_time = time.monotonic() - start
-        stats_before = sat_solver.stats.as_dict()
+        stats_before = sat_solver.statistics()
         result = sat_solver.solve(
             assumptions=assumption_literals,
             max_conflicts=max_conflicts,
             time_limit=time_limit,
         )
         solve_time = time.monotonic() - start - encode_time
-        stats_after = sat_solver.stats.as_dict()
+        stats_after = sat_solver.statistics()
         # Monotone counters are reported as per-check deltas; gauges
         # (high-water marks) would be meaningless as differences and are
-        # reported as-is.
+        # reported as-is.  Only counters the backend actually keeps appear —
+        # a backend without a propagation counter simply reports no
+        # propagation delta and no derived rate (instead of zeros that look
+        # like a stalled solver).
         deltas = {
-            f"sat_{k}": v if k in _GAUGE_STATISTICS else v - stats_before[k]
+            f"sat_{k}": v if k in _GAUGE_STATISTICS else v - stats_before.get(k, 0)
             for k, v in stats_after.items()
         }
         self._last_statistics = {
@@ -309,15 +349,17 @@ class Solver:
             "sat_variables": sat_solver.num_vars,
             "sat_clauses": sat_solver.num_clauses,
             **deltas,
-            # Per-check throughput of the CDCL hot loop, derived from the
-            # deltas (the SolverStatistics rates are lifetime averages).
-            "sat_propagations_per_second": (
-                deltas["sat_propagations"] / solve_time if solve_time > 0 else 0.0
-            ),
-            "sat_conflicts_per_second": (
-                deltas["sat_conflicts"] / solve_time if solve_time > 0 else 0.0
-            ),
         }
+        # Per-check throughput of the CDCL hot loop, derived from the deltas
+        # (the SolverStatistics rates are lifetime averages).
+        for rate, counter in (
+            ("sat_propagations_per_second", "sat_propagations"),
+            ("sat_conflicts_per_second", "sat_conflicts"),
+        ):
+            if counter in deltas:
+                self._last_statistics[rate] = (
+                    deltas[counter] / solve_time if solve_time > 0 else 0.0
+                )
         if result is SolveResult.UNSAT:
             self._model = None
             return CheckResult.UNSAT
@@ -334,13 +376,16 @@ class Solver:
     def to_cnf(self) -> CNF:
         """Bit-blast the asserted constraints into a standalone CNF snapshot.
 
-        The snapshot uses a fresh encoder and SAT core, so it is independent
-        of any incremental state and safe to call at any time — useful for
-        exporting an instance to DIMACS (debugging, external-solver
-        experiments) and for the propagation-throughput microbench.
+        The snapshot uses a fresh encoder emitting straight into a
+        :class:`~repro.sat.cnf.CNF` container (the encoder is solver-agnostic
+        — any clause sink works), so it is independent of any incremental
+        state, of the configured backend, and safe to call at any time —
+        useful for exporting an instance to DIMACS (debugging,
+        external-solver experiments) and for the propagation-throughput
+        microbench.
         """
-        sat_solver = CDCLSolver()
-        encoder = ExpressionEncoder(sat_solver)
+        cnf = CNF()
+        encoder = ExpressionEncoder(cnf)
         for var in self._variables:
             if isinstance(var, T.BoolVar):
                 encoder.encode_bool(var)
@@ -348,7 +393,7 @@ class Solver:
                 encoder.encode_int(var)
         for constraint in self._constraints:
             encoder.assert_expr(constraint)
-        return sat_solver.to_cnf()
+        return cnf
 
     def model(self) -> Model:
         """Return the model found by the last satisfiable :meth:`check`."""
@@ -359,7 +404,7 @@ class Solver:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _extract_model(self, sat_solver: CDCLSolver, encoder: ExpressionEncoder) -> Model:
+    def _extract_model(self, sat_solver: SatBackend, encoder: ExpressionEncoder) -> Model:
         assignment = sat_solver.model()
 
         def literal_value(lit: int) -> bool:

@@ -10,6 +10,7 @@ from repro.evaluation.runner import (
     BenchResult,
     SMT_STRATEGIES,
     build_suite,
+    check_backend_agreement,
     check_bisection_regression,
     check_portfolio_regression,
     execute_spec,
@@ -55,6 +56,81 @@ def test_smt_suite_names_carry_the_strategy():
         "smt/bisection/none/triangle",
         "smt/bisection/bottom/triangle",
     ]
+
+
+def test_smt_suite_fans_the_backend_axis():
+    suite = smt_suite(
+        strategies=("linear",),
+        instances=["single-gate"],
+        layout_kinds=("none",),
+        backends=(None, "reference"),
+    )
+    # The default backend keeps the historical names; explicit backends are
+    # prefixed so both runs coexist in one batch without name collisions.
+    assert [inst.name for inst in suite] == [
+        "smt/linear/none/single-gate",
+        "smt/reference/linear/none/single-gate",
+    ]
+    assert suite[0].spec["sat_backend"] is None
+    assert suite[1].spec["sat_backend"] == "reference"
+
+
+def test_execute_smt_spec_records_the_backend():
+    [default_inst, reference_inst] = smt_suite(
+        strategies=("linear",),
+        instances=["single-gate"],
+        layout_kinds=("none",),
+        time_limit=300,
+        backends=(None, "reference"),
+    )
+    default_payload = execute_spec(default_inst.spec)
+    reference_payload = execute_spec(reference_inst.spec)
+    assert default_payload["sat_backend"] == "flat"
+    assert reference_payload["sat_backend"] == "reference"
+    assert default_payload["num_stages"] == reference_payload["num_stages"]
+    assert check_backend_agreement([
+        BenchResult("a", "smt", "ok", 0.1, default_payload)
+    ], [
+        BenchResult("b", "smt", "ok", 0.1, reference_payload)
+    ]) == [("linear", "none", "single-gate")]
+
+
+def test_check_backend_agreement_rejects_disagreements():
+    def result(sat_backend, num_stages=3, optimal=True):
+        return BenchResult(
+            name="smt/linear/bottom/chain-2",
+            suite="smt",
+            status="ok",
+            seconds=0.1,
+            payload={
+                "strategy": "linear",
+                "sat_backend": sat_backend,
+                "layout": "bottom",
+                "instance": "chain-2",
+                "found": True,
+                "optimal": optimal,
+                "num_stages": num_stages,
+            },
+        )
+
+    with pytest.raises(ValueError, match="share no"):
+        check_backend_agreement([result("flat")], [])
+    with pytest.raises(ValueError, match="certified 4"):
+        check_backend_agreement(
+            [result("flat")], [result("dimacs-subprocess", num_stages=4)]
+        )
+    with pytest.raises(ValueError, match="failed to certify"):
+        check_backend_agreement(
+            [result("flat")], [result("dimacs-subprocess", optimal=False)]
+        )
+    with pytest.raises(ValueError, match="does not record"):
+        check_backend_agreement([result("flat")], [result(None)])
+    # A batch that fans several backends shadows all but one result per
+    # cell; the check must refuse instead of comparing vacuously.
+    with pytest.raises(ValueError, match="mixes SAT backends"):
+        check_backend_agreement(
+            [result("flat"), result("reference")], [result("dimacs-subprocess")]
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -115,7 +191,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
-    assert document["version"] == 3
+    assert document["version"] == 4
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -251,9 +327,12 @@ def test_execute_smt_portfolio_spec_records_winner():
     json.dumps(payload)  # payloads must stay JSON-serialisable
 
 
-def _fake_smt_result(strategy, winner=None, num_stages=3, optimal=True):
+def _fake_smt_result(
+    strategy, winner=None, num_stages=3, optimal=True, sat_backend="flat"
+):
     payload = {
         "strategy": strategy,
+        "sat_backend": sat_backend,
         "layout": "bottom",
         "instance": "chain-2",
         "found": True,
@@ -273,17 +352,29 @@ def _fake_smt_result(strategy, winner=None, num_stages=3, optimal=True):
 
 def test_save_results_version_gates_portfolio_fields(tmp_path):
     results = [_fake_smt_result("portfolio", winner={"strategy": "bisection"})]
-    v3_path, v2_path = tmp_path / "v3.json", tmp_path / "v2.json"
-    save_results(results, v3_path)
+    v4_path, v3_path, v2_path = (
+        tmp_path / "v4.json",
+        tmp_path / "v3.json",
+        tmp_path / "v2.json",
+    )
+    save_results(results, v4_path)
+    save_results(results, v3_path, schema_version=3)
     save_results(results, v2_path, schema_version=2)
+    v4 = json.loads(v4_path.read_text())
     v3 = json.loads(v3_path.read_text())
     v2 = json.loads(v2_path.read_text())
+    assert v4["version"] == 4
+    assert v4["results"][0]["payload"]["winner"] == {"strategy": "bisection"}
+    assert v4["results"][0]["payload"]["sat_backend"] == "flat"
     assert v3["version"] == 3
     assert v3["results"][0]["payload"]["winner"] == {"strategy": "bisection"}
+    assert "sat_backend" not in v3["results"][0]["payload"]
     assert v2["version"] == 2
     assert "winner" not in v2["results"][0]["payload"]
+    assert "sat_backend" not in v2["results"][0]["payload"]
     # Stripping happens on the serialised copy, not the live results.
     assert "winner" in results[0].payload
+    assert "sat_backend" in results[0].payload
     with pytest.raises(ValueError):
         save_results(results, tmp_path / "v9.json", schema_version=9)
 

@@ -413,6 +413,42 @@ def test_flat_core_agrees_with_reference(seed):
         assert cnf.evaluate(reference.model())
 
 
+@pytest.mark.parametrize("seed", range(10))
+def test_binary_heavy_formulas_agree_with_brute_force(seed):
+    """Targeted coverage of the binary-clause watch specialisation: pure
+    2-SAT formulas exercise only the inline binary propagation path (plus
+    binary conflicts feeding first-UIP analysis with arena reasons)."""
+    rng = random.Random(4000 + seed)
+    n_vars = rng.randint(4, 9)
+    cnf = CNF(num_vars=n_vars)
+    for _ in range(rng.randint(4, 4 * n_vars)):
+        a, b = rng.sample(range(1, n_vars + 1), 2)
+        cnf.add_clause(
+            [a if rng.random() < 0.5 else -a, b if rng.random() < 0.5 else -b]
+        )
+    expected = brute_force_satisfiable(cnf)
+    result, model = solve_cnf(cnf)
+    assert (result is SolveResult.SAT) == expected
+    if result is SolveResult.SAT:
+        assert cnf.evaluate(model)
+
+
+def test_binary_clauses_as_assumption_conflict_reasons():
+    """A binary implication chain refuted under assumptions must leave the
+    solver in a clean state (binary clauses serve as trail reasons)."""
+    solver = CDCLSolver()
+    n = 12
+    variables = [solver.new_var() for _ in range(n)]
+    for left, right in zip(variables, variables[1:]):
+        solver.add_clause([-left, right])
+    assert (
+        solver.solve(assumptions=[variables[0], -variables[-1]])
+        is SolveResult.UNSAT
+    )
+    assert solver.solve(assumptions=[variables[0]]) is SolveResult.SAT
+    assert all(solver.model()[v] for v in variables)
+
+
 def test_flat_core_agrees_with_reference_under_assumptions():
     clauses = [[1, 2], [-1, 3], [-3, -2, 4], [-4, 2]]
     for assumptions in ([], [1], [-2], [1, -4], [-1, -2], [3, -4]):

@@ -130,9 +130,11 @@ def test_microbench_command_writes_comparison(tmp_path, capsys):
     output = tmp_path / "microbench.json"
     assert main(["microbench", "--output", str(output)]) == 0
     text = capsys.readouterr().out
-    assert "flat core faster everywhere" in text
+    assert "flat faster than reference everywhere" in text
     document = json.loads(output.read_text())
-    assert document["flat_faster_everywhere"] is True
+    assert document["backends"] == ["flat", "reference"]
+    assert document["candidate_faster_everywhere"] is True
+    assert document["flat_faster_everywhere"] is True  # legacy alias
     assert {cell["flat"]["result"] for cell in document["cells"]} == {"sat", "unsat"}
 
 
