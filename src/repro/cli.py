@@ -8,6 +8,8 @@ Examples
     repro-nasp circuit steane             # show the prep circuit for a code
     repro-nasp schedule steane --layout bottom
     repro-nasp schedule steane --strategy bisection --timeout 60
+    repro-nasp bounds steane --layout bottom      # certificates, no solving
+    repro-nasp bounds triangle --layout bottom    # smoke instances work too
     repro-nasp table1                     # regenerate Table I
     repro-nasp figure4                    # regenerate Figure 4
     repro-nasp explore surface            # architecture design-space sweep
@@ -49,7 +51,11 @@ from repro.evaluation import (
     run_table1,
 )
 from repro.evaluation.exploration import format_exploration
-from repro.evaluation.runner import SMT_STRATEGIES
+from repro.evaluation.runner import (
+    REDUCED_LAYOUT_KWARGS,
+    SMT_INSTANCES,
+    SMT_STRATEGIES,
+)
 from repro.metrics import approximate_success_probability
 from repro.qec import available_codes, get_code
 from repro.qec.state_prep import state_preparation_circuit
@@ -104,6 +110,29 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--json", action="store_true", help="dump the schedule as JSON")
     schedule.add_argument(
         "--render", action="store_true", help="draw every stage as an ASCII site grid"
+    )
+
+    bounds = sub.add_parser(
+        "bounds",
+        help="print the analytic bound certificates of an instance "
+        "without running any solver",
+    )
+    bounds.add_argument(
+        "instance",
+        choices=[*available_codes(), *SMT_INSTANCES],
+        help="a QEC code (scheduled on the evaluation layouts) or a smoke "
+        "instance name (scheduled on the reduced bench layouts)",
+    )
+    bounds.add_argument("--layout", choices=sorted(_LAYOUTS), default="bottom")
+    bounds.add_argument(
+        "--shielding",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="idle-qubit shielding policy (auto: shield iff the layout has "
+        "a storage zone)",
+    )
+    bounds.add_argument(
+        "--json", action="store_true", help="dump the certificate breakdown as JSON"
     )
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
@@ -165,10 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--schema-version",
         type=int,
-        choices=[2, 3, 4],
-        default=4,
-        help="bench JSON schema (3 strips the v4-only backend field, "
-        "2 additionally strips the portfolio fields)",
+        choices=[2, 3, 4, 5],
+        default=5,
+        help="bench JSON schema (4 strips the v5-only bound-source fields, "
+        "3 additionally strips the backend field, 2 additionally strips "
+        "the portfolio fields)",
     )
 
     microbench = sub.add_parser(
@@ -265,10 +295,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"schedule: {schedule.summary()}")
             if report is not None:
                 upper = "-" if report.upper_bound is None else report.upper_bound
+                upper_source = report.upper_bound_source or "-"
                 print(
                     f"search: strategy={report.strategy} "
                     f"backend={report.sat_backend} optimal={report.optimal} "
                     f"bounds=[{report.lower_bound},{upper}] "
+                    f"sources=[{report.lower_bound_source},{upper_source}] "
                     f"horizons={report.stages_tried}"
                 )
             print(f"execution time: {breakdown.timing.total_ms:.3f} ms")
@@ -277,6 +309,81 @@ def main(argv: Sequence[str] | None = None) -> int:
                 from repro.core.visualize import render_schedule
 
                 print(render_schedule(schedule))
+        return 0
+
+    if args.command == "bounds":
+        from repro.arch import reduced_layout
+        from repro.core.strategies.bisection import (
+            structured_upper_bound,
+            witness_source,
+        )
+
+        shielding = None if args.shielding == "auto" else args.shielding == "on"
+        if args.instance in SMT_INSTANCES:
+            num_qubits, gates = SMT_INSTANCES[args.instance]
+            architecture = reduced_layout(args.layout, **REDUCED_LAYOUT_KWARGS)
+            problem = SchedulingProblem.from_gates(
+                architecture,
+                num_qubits,
+                gates,
+                shielding=shielding,
+                metadata={"instance": args.instance},
+            )
+        else:
+            code = get_code(args.instance)
+            prep = state_preparation_circuit(code)
+            architecture = _LAYOUTS[args.layout]()
+            problem = SchedulingProblem.from_circuit(
+                architecture, prep, shielding=shielding, metadata={"code": code.name}
+            )
+        breakdown = problem.bound_breakdown()
+        witness = structured_upper_bound(problem)
+        if args.json:
+            document = {
+                "instance": args.instance,
+                "layout": args.layout,
+                "shielding": problem.shielding,
+                "lower_bound": breakdown.to_dict(),
+                "upper_bound": None
+                if witness is None
+                else {
+                    "stages": witness.num_stages,
+                    "rydberg_stages": witness.num_rydberg_stages,
+                    "transfer_stages": witness.num_transfer_stages,
+                    "source": witness_source(witness),
+                },
+            }
+            print(json.dumps(document, indent=2))
+            return 0
+        print(f"problem: {problem.describe()}")
+        print("lower-bound certificates (Rydberg stages):")
+        for name, value in breakdown.certificates:
+            suffix = ""
+            if name == "clique" and breakdown.clique:
+                suffix = f"   witness qubits {breakdown.clique}"
+            print(f"  {name:<14}{value}{suffix}")
+        print(
+            f"transfer certificate: +{breakdown.transfer}"
+            + ("" if breakdown.transfer else " (does not fire)")
+        )
+        print(
+            f"analytic lower bound: {breakdown.total}   "
+            f"(source: {breakdown.source})"
+        )
+        if witness is None:
+            print("structured upper bound: none (open search interval)")
+        else:
+            print(
+                f"structured upper bound: {witness.num_stages} stages   "
+                f"(source: {witness_source(witness)}, "
+                f"#R={witness.num_rydberg_stages} "
+                f"#T={witness.num_transfer_stages})"
+            )
+            print(
+                f"certified interval: [{breakdown.total}, "
+                f"{witness.num_stages}]   "
+                f"width {witness.num_stages - breakdown.total}"
+            )
         return 0
 
     if args.command == "table1":

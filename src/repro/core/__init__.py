@@ -27,7 +27,7 @@ Every schedule can be checked independently with
 """
 
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
-from repro.core.problem import SchedulingProblem, ZoneCapacities
+from repro.core.problem import BoundBreakdown, SchedulingProblem, ZoneCapacities
 from repro.core.report import SchedulerReport, SchedulerResult
 from repro.core.validator import ValidationError, validate_schedule
 from repro.core.structured import StructuredScheduler
@@ -36,6 +36,7 @@ from repro.core.strategies import available_strategies, get_strategy, register_s
 from repro.core.visualize import render_schedule, render_stage
 
 __all__ = [
+    "BoundBreakdown",
     "QubitPlacement",
     "SMTScheduler",
     "Schedule",

@@ -249,7 +249,12 @@ def no_unintended_interactions(
     arch = variables.architecture
     radius = arch.interaction_radius
     e_min, e_max = arch.entangling_rows
-    gate_lookup = {frozenset(gate): i for i, gate in enumerate(gates)}
+    # Duplicate gates matter: the pair is "intended" whenever ANY occurrence
+    # executes at the stage, so the lookup keeps every index (a single-index
+    # map would make any circuit with a repeated CZ gate unsatisfiable).
+    gate_lookup: dict[frozenset, list[int]] = {}
+    for i, gate in enumerate(gates):
+        gate_lookup.setdefault(frozenset(gate), []).append(i)
     for t in _stage_range(variables, stages):
         for q in range(variables.num_qubits):
             for p in range(q + 1, variables.num_qubits):
@@ -261,11 +266,10 @@ def no_unintended_interactions(
                     variables.y[q][t] >= e_min,
                     variables.y[q][t] <= e_max,
                 )
-                gate_index = gate_lookup.get(frozenset((q, p)))
-                if gate_index is None:
-                    allowed = False
-                else:
-                    allowed = variables.gate_stage[gate_index] == t
+                gate_indices = gate_lookup.get(frozenset((q, p)), [])
+                allowed = Or(
+                    *[variables.gate_stage[i] == t for i in gate_indices]
+                )
                 solver.add(Implies(And(variables.execution[t], near), allowed))
 
 

@@ -14,33 +14,51 @@ from it.
 Analytic lower bound
 --------------------
 
-:meth:`SchedulingProblem.lower_bound` combines three certificates, each a
+:meth:`SchedulingProblem.lower_bound` combines four certificates, each a
 sound lower bound on the number of *Rydberg* stages (and therefore on the
 total stage count):
 
-* **per-qubit gate load** — gates sharing a qubit execute in distinct
-  stages (Eq. 13), so a qubit touched by ``k`` gates forces ``k`` stages.
-  Counting gate multiplicity makes this at least the chromatic-index bound
-  (max degree of the simple interaction graph) used by the seed scheduler.
-* **site capacity** — a beam executes at most one gate per entangling-zone
-  interaction site (both operands sit at the same site, Eq. 12, and sites
-  are exclusive, Eq. 9).
-* **AOD capacity** — every executed gate holds at least one operand in an
-  AOD trap (two qubits at one site cannot both sit at the SLM centre,
-  Eqs. 9/10), and two AOD qubits can share neither their column nor their
-  row pair (Eq. 11 ties indices to geometric order), so a beam executes at
-  most ``(Cmax+1) * (Rmax+1)`` gates.
+* **per-qubit gate load** (``gate-load``) — gates sharing a qubit execute
+  in distinct stages (Eq. 13), so a qubit touched by ``k`` gates forces
+  ``k`` stages.  Counting gate multiplicity makes this at least the
+  chromatic-index bound (max degree of the simple interaction graph) used
+  by the seed scheduler.
+* **site capacity** (``beam-capacity``) — a beam executes at most one gate
+  per entangling-zone interaction site (both operands sit at the same
+  site, Eq. 12, and sites are exclusive, Eq. 9).
+* **AOD capacity** (also ``beam-capacity``) — every executed gate holds at
+  least one operand in an AOD trap (two qubits at one site cannot both sit
+  at the SLM centre, Eqs. 9/10), and two AOD qubits can share neither
+  their column nor their row pair (Eq. 11 ties indices to geometric
+  order), so a beam executes at most ``(Cmax+1) * (Rmax+1)`` gates.
+* **clique certificate** (``clique``) — the gates within a clique ``Q`` of
+  the interaction graph pairwise share vertices unless their endpoint
+  pairs are disjoint *inside Q*, so the gates of one beam restricted to
+  ``Q`` form a matching of at most ``⌊|Q|/2⌋`` gates (Eq. 13 again); with
+  ``m`` gate occurrences inside ``Q`` that forces
+  ``⌈m / ⌊|Q|/2⌋⌉`` beams.  On an odd clique with all edges present the
+  certificate evaluates to ``|Q|`` — one more than the per-qubit load —
+  because every beam must leave one clique member idle (this is the
+  chromatic-index of odd complete graphs).  Cliques are enumerated
+  exactly with pivoting Bron–Kerbosch; a greedy-colouring cutoff prunes
+  branches that cannot beat the best certificate found so far.
 
 On top of the Rydberg-stage certificates, shielded single-sided
 architectures can earn a **+T transfer-stage certificate** (one extra stage
 for the transfer the shielding choreography cannot avoid); see
 :meth:`SchedulingProblem.transfer_lower_bound` for the soundness argument.
+
+:meth:`SchedulingProblem.bound_breakdown` exposes every certificate with
+its value and the winning *source* name, which the schedulers surface as
+``SchedulerReport.lower_bound_source`` and the ``repro-nasp bounds`` CLI
+prints as a table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from itertools import combinations
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.arch.architecture import ZonedArchitecture
 
@@ -77,6 +95,42 @@ class ZoneCapacities:
             aod_columns=architecture.num_aod_columns,
             aod_rows=architecture.num_aod_rows,
         )
+
+
+@dataclass(frozen=True)
+class BoundBreakdown:
+    """Full provenance of the analytic stage lower bound.
+
+    ``certificates`` lists every Rydberg-stage certificate with its value in
+    a fixed order; ``rydberg_source`` names the first certificate attaining
+    the maximum, and ``source`` appends ``"+transfer"`` when the ``+T``
+    transfer certificate fires.  ``clique`` is the witness vertex set of the
+    clique certificate (empty when the graph has no edge).
+    """
+
+    certificates: tuple[tuple[str, int], ...]
+    rydberg: int
+    rydberg_source: str
+    transfer: int
+    total: int
+    source: str
+    clique: tuple[int, ...]
+
+    def certificate(self, name: str) -> int:
+        """Value of the certificate registered under *name*."""
+        return dict(self.certificates)[name]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (used by the ``bounds`` CLI)."""
+        return {
+            "certificates": dict(self.certificates),
+            "rydberg": self.rydberg,
+            "rydberg_source": self.rydberg_source,
+            "transfer": self.transfer,
+            "total": self.total,
+            "source": self.source,
+            "clique": list(self.clique),
+        }
 
 
 @dataclass(frozen=True)
@@ -195,17 +249,127 @@ class SchedulingProblem:
         """Sound analytic lower bound on the number of Rydberg stages.
 
         See the module docstring for why each certificate is sound against
-        the SMT formulation.
+        the SMT formulation; :meth:`bound_breakdown` exposes the individual
+        certificates with provenance.
         """
+        return max(value for _, value in self._rydberg_certificates())
+
+    def _rydberg_certificates(
+        self, clique_bound: int | None = None
+    ) -> tuple[tuple[str, int], ...]:
+        """Every Rydberg-stage certificate as ``(name, value)`` pairs.
+
+        The order doubles as the tie-break priority for the reported
+        *source*: the simplest certificate attaining the maximum wins.
+        *clique_bound* short-circuits the clique enumeration when the
+        caller already computed it (:meth:`bound_breakdown`).
+        """
+        if clique_bound is None:
+            clique_bound = self.clique_lower_bound()
         capacities = self.zone_capacities()
         gates_per_beam = min(capacities.entangling_sites, capacities.aod_traps)
-        bounds = [1, self.max_gate_load()]
+        beam_capacity = 0
         if self.num_gates and gates_per_beam:
-            bounds.append(-(-self.num_gates // gates_per_beam))
-        return max(bounds)
+            beam_capacity = -(-self.num_gates // gates_per_beam)
+        return (
+            ("gate-load", self.max_gate_load()),
+            ("beam-capacity", beam_capacity),
+            ("clique", clique_bound),
+            ("trivial", 1),
+        )
 
-    def transfer_lower_bound(self) -> int:
+    # ------------------------------------------------------------------ #
+    # Clique certificate
+    # ------------------------------------------------------------------ #
+    def interaction_cliques(self) -> list[tuple[int, ...]]:
+        """All maximal cliques of the interaction graph (sorted tuples).
+
+        Enumerated with pivoting Bron–Kerbosch; the graphs are tiny (one
+        vertex per interacting qubit), so exact enumeration is cheap.
+        Isolated qubits are not reported.
+        """
+        adjacency = {
+            q: neighbours
+            for q, neighbours in self.interaction_graph().items()
+            if neighbours
+        }
+        return sorted(tuple(sorted(c)) for c in _bron_kerbosch(adjacency))
+
+    def clique_lower_bound(self) -> int:
+        """Best clique-certificate bound on the number of Rydberg stages."""
+        return self._clique_certificate()[0]
+
+    def _clique_certificate(self) -> tuple[int, tuple[int, ...]]:
+        """``(bound, witness)`` of the strongest clique certificate.
+
+        For a clique ``Q`` with ``m`` gate occurrences inside it, the gates
+        of one beam restricted to ``Q`` are vertex-disjoint (Eq. 13) and
+        therefore a matching of at most ``⌊|Q|/2⌋`` gates, so at least
+        ``⌈m / ⌊|Q|/2⌋⌉`` beams are needed.  Sub-cliques can beat their
+        maximal superset (dropping a lightly-loaded vertex shrinks the
+        matching capacity faster than the gate count), so every maximal
+        clique is scored over its subsets.  A greedy-colouring cutoff
+        prunes Bron–Kerbosch branches whose optimistic score — maximum
+        edge multiplicity times the colouring bound on the reachable
+        clique size — cannot beat the best certificate found so far.
+        """
+        multiplicity: dict[tuple[int, int], int] = {}
+        for gate in self.gates:
+            multiplicity[gate] = multiplicity.get(gate, 0) + 1
+        if not multiplicity:
+            return (0, ())
+        adjacency = {
+            q: neighbours
+            for q, neighbours in self.interaction_graph().items()
+            if neighbours
+        }
+        max_multiplicity = max(multiplicity.values())
+        best_bound = 0
+        best_witness: tuple[int, ...] = ()
+        for clique in _bron_kerbosch(
+            adjacency,
+            cutoff=lambda reached, candidates: max_multiplicity
+            * (reached + _greedy_colouring_count(candidates, adjacency))
+            <= best_bound,
+        ):
+            bound, witness = _best_subclique(tuple(sorted(clique)), multiplicity)
+            if bound > best_bound or (bound == best_bound and witness < best_witness):
+                best_bound, best_witness = bound, witness
+        return (best_bound, best_witness)
+
+    # ------------------------------------------------------------------ #
+    # Bound provenance
+    # ------------------------------------------------------------------ #
+    def bound_breakdown(self) -> BoundBreakdown:
+        """Every analytic certificate with its value and the winning source.
+
+        The total equals :meth:`lower_bound`; strategies surface the
+        ``source`` string as ``SchedulerReport.lower_bound_source`` and the
+        ``repro-nasp bounds`` CLI prints the full table.
+        """
+        clique_bound, clique_witness = self._clique_certificate()
+        certificates = self._rydberg_certificates(clique_bound)
+        rydberg = max(value for _, value in certificates)
+        rydberg_source = next(
+            name for name, value in certificates if value == rydberg
+        )
+        transfer = self.transfer_lower_bound(rydberg)
+        source = rydberg_source + ("+transfer" if transfer else "")
+        return BoundBreakdown(
+            certificates=certificates,
+            rydberg=rydberg,
+            rydberg_source=rydberg_source,
+            transfer=transfer,
+            total=rydberg + transfer,
+            source=source,
+            clique=clique_witness,
+        )
+
+    def transfer_lower_bound(self, rydberg_bound: int | None = None) -> int:
         """Sound lower bound on the number of *transfer* stages (0 or 1).
+
+        *rydberg_bound* short-circuits recomputing
+        :meth:`rydberg_lower_bound` when the caller already holds it.
 
         The ``+T`` certificate: on a shielded architecture whose rows
         outside the entangling band all lie on **one side** of it, some pair
@@ -244,7 +408,9 @@ class SchedulingProblem:
             # No outside region at all, or outside on both sides: a
             # transfer-free schedule cannot be refuted by the order argument.
             return 0
-        rydberg = self.rydberg_lower_bound()
+        rydberg = (
+            self.rydberg_lower_bound() if rydberg_bound is None else rydberg_bound
+        )
         load = self.gate_load()
         partial = [q for q in range(self.num_qubits) if 0 < load[q] < rydberg]
         gates_of = {q: [i for i, g in enumerate(self.gates) if q in g] for q in partial}
@@ -301,7 +467,8 @@ class SchedulingProblem:
         bound disjoint stage kinds of the same schedule, so their sum is a
         sound bound on the total stage count.
         """
-        return self.rydberg_lower_bound() + self.transfer_lower_bound()
+        rydberg = self.rydberg_lower_bound()
+        return rydberg + self.transfer_lower_bound(rydberg)
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -311,3 +478,97 @@ class SchedulingProblem:
             f"({'shielded' if self.shielding else 'unshielded'} idling), "
             f"stage lower bound {self.lower_bound()}"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Clique enumeration (module-level: pure graph algorithms, no problem state)
+# --------------------------------------------------------------------------- #
+def _bron_kerbosch(
+    adjacency: Mapping[int, set[int]],
+    cutoff=None,
+) -> Iterator[tuple[int, ...]]:
+    """Enumerate maximal cliques with pivoting Bron–Kerbosch.
+
+    *cutoff* is an optional pruning predicate ``(reached, candidates) ->
+    bool`` receiving the current clique size and the open candidate set;
+    a True return abandons the branch (used by the clique certificate to
+    skip branches that cannot beat the best bound found so far).
+    """
+
+    def expand(
+        clique: list[int], candidates: set[int], excluded: set[int]
+    ) -> Iterator[tuple[int, ...]]:
+        if cutoff is not None and cutoff(len(clique), candidates):
+            return
+        if not candidates and not excluded:
+            if clique:
+                yield tuple(clique)
+            return
+        pivot = max(
+            candidates | excluded, key=lambda v: len(adjacency[v] & candidates)
+        )
+        for vertex in sorted(candidates - adjacency[pivot]):
+            yield from expand(
+                clique + [vertex],
+                candidates & adjacency[vertex],
+                excluded & adjacency[vertex],
+            )
+            candidates = candidates - {vertex}
+            excluded = excluded | {vertex}
+
+    yield from expand([], set(adjacency), set())
+
+
+def _greedy_colouring_count(
+    vertices: set[int], adjacency: Mapping[int, set[int]]
+) -> int:
+    """Number of colours a greedy colouring uses on the induced subgraph.
+
+    Any proper colouring bounds the clique number of the subgraph, so
+    ``reached + colours(candidates)`` bounds the size of every clique still
+    reachable from a Bron–Kerbosch branch.
+    """
+    colours: dict[int, int] = {}
+    count = 0
+    for vertex in sorted(vertices):
+        used = {
+            colours[u] for u in adjacency[vertex] & vertices if u in colours
+        }
+        colour = next(c for c in range(len(colours) + 1) if c not in used)
+        colours[vertex] = colour
+        count = max(count, colour + 1)
+    return count
+
+
+def _best_subclique(
+    clique: tuple[int, ...], multiplicity: Mapping[tuple[int, int], int]
+) -> tuple[int, tuple[int, ...]]:
+    """Strongest matching bound over the sub-cliques of a maximal clique.
+
+    A sub-clique can beat its maximal superset: dropping a vertex from an
+    even clique shrinks the per-beam matching capacity ``⌊|Q|/2⌋`` while
+    most gate occurrences remain (the odd-clique effect).  Sub-cliques are
+    enumerated exhaustively for the tiny cliques of real instances; beyond
+    12 vertices only the full clique and its even-to-odd trim are scored.
+    """
+    if len(clique) > 12:  # pragma: no cover - instances never get this big
+        candidates = [clique]
+        if len(clique) % 2 == 0:
+            candidates.append(clique[:-1])
+    else:
+        candidates = [
+            subset
+            for size in range(2, len(clique) + 1)
+            for subset in combinations(clique, size)
+        ]
+    best: tuple[int, tuple[int, ...]] = (0, ())
+    for subset in candidates:
+        gate_count = sum(
+            multiplicity.get(pair, 0) for pair in combinations(subset, 2)
+        )
+        if not gate_count:
+            continue
+        bound = -(-gate_count // (len(subset) // 2))
+        if bound > best[0]:
+            best = (bound, tuple(subset))
+    return best

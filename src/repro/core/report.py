@@ -30,6 +30,15 @@ class SchedulerReport:
     sat_backend: str = "flat"
     lower_bound: int = 0
     upper_bound: Optional[int] = None
+    #: Provenance of the analytic lower bound: the winning certificate name
+    #: from :meth:`repro.core.problem.SchedulingProblem.bound_breakdown`
+    #: (e.g. ``"clique+transfer"``).  ``None`` only for reports built
+    #: outside the strategy layer.
+    lower_bound_source: Optional[str] = None
+    #: Provenance of the constructive upper bound: which structured
+    #: choreography produced the witness (``"structured-homes"`` or
+    #: ``"structured-airborne"``); ``None`` when no witness exists.
+    upper_bound_source: Optional[str] = None
     stages_tried: list[int] = field(default_factory=list)
     solver_seconds: float = 0.0
     statistics: dict[str, float] = field(default_factory=dict)

@@ -30,8 +30,12 @@ strategies that do not install their own (a pure heuristic: answers never
 change); the portfolio uses it to diversify its raced configurations.
 
 All strategies return a :class:`SchedulerReport` recording the analytic
-bounds, every horizon probed (in probe order), and the strategy name, and
-all certify the same minimum stage count; per-instance resource limits
+bounds *with their certificate provenance* (``lower_bound_source`` names
+the winning certificate of
+:meth:`~repro.core.problem.SchedulingProblem.bound_breakdown`;
+``upper_bound_source`` the structured choreography behind the witness),
+every horizon probed (in probe order), and the strategy name, and all
+certify the same minimum stage count; per-instance resource limits
 (conflicts / wall-clock) turn the solver into an anytime procedure that
 reports when optimality could not be certified, mirroring the timeout
 handling of the paper's evaluation.

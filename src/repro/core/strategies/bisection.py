@@ -62,12 +62,14 @@ class BisectionStrategy(SearchStrategy):
             raise ValueError(
                 f"the {self.name!r} strategy requires an incremental scheduler"
             )
-        lower_bound = problem.lower_bound()
+        breakdown = problem.bound_breakdown()
+        lower_bound = breakdown.total
         report = SchedulerReport(
             schedule=None,
             optimal=False,
             strategy=self.name,
             lower_bound=lower_bound,
+            lower_bound_source=breakdown.source,
         )
         if lower_bound > limits.max_stages:
             report.solver_seconds = time.monotonic() - start
@@ -76,6 +78,7 @@ class BisectionStrategy(SearchStrategy):
         witness = self._upper_bound_schedule(problem)
         if witness is not None:
             report.upper_bound = witness.num_stages
+            report.upper_bound_source = witness_source(witness)
             if witness.num_stages > limits.max_stages:
                 # The constructive schedule overshoots the stage budget; it
                 # still bounds the optimum but cannot serve as a fallback.
@@ -153,19 +156,52 @@ class BisectionStrategy(SearchStrategy):
 
 
 def structured_upper_bound(problem: SchedulingProblem) -> Optional[Schedule]:
-    """A validated constructive schedule of *problem*, or ``None``.
+    """The tightest validated constructive schedule of *problem*, or ``None``.
 
     Shared by the bound-driven strategies (bisection, warmstart, portfolio):
-    the structured schedule is feasible by construction and validated before
-    use, so its stage count is a certified upper bound on the optimum.
+    a structured schedule is feasible by construction and validated before
+    use, so its stage count is a certified upper bound on the optimum.  Two
+    choreographies compete:
+
+    * the classic home-based choreography (idle qubits parked in SLM traps,
+      one or two transfer stages per round boundary), and
+    * the transfer-free *airborne* choreography (every qubit permanently in
+      an AOD trap, beams staged by edge colouring) — the only structured
+      witness for ``shielding=True`` on storage-less architectures, and
+      frequently the tighter one elsewhere because it pays no transfer
+      stages.
+
+    The schedule with the fewer stages wins (ties prefer the classic
+    choreography); ``None`` means neither choreography applies, leaving the
+    search interval open.  The winning choreography is recorded in the
+    schedule metadata and surfaced as ``SchedulerReport.upper_bound_source``
+    (see :func:`witness_source`).
     """
-    if problem.shielding and not problem.architecture.has_storage:
-        # The structured choreography cannot shield idle qubits without
-        # a storage zone, so its schedule would not bound this problem.
-        return None
+    scheduler = StructuredScheduler()
+    candidates: list[Schedule] = []
     try:
-        schedule = StructuredScheduler().schedule(problem)
+        # Dispatches to the airborne choreography by itself for
+        # ``shielding=True`` on storage-less architectures.
+        schedule = scheduler.schedule(problem)
         validate_schedule(schedule, require_shielding=problem.shielding)
+        candidates.append(schedule)
     except (ValueError, ValidationError):
+        pass
+    if not (problem.shielding and not problem.architecture.has_storage):
+        # The classic path ran above; offer the transfer-free witness as a
+        # tightening candidate (no idle exposure, so it satisfies any
+        # shielding requirement).
+        try:
+            airborne = scheduler.schedule_airborne(problem)
+            validate_schedule(airborne, require_shielding=problem.shielding)
+            candidates.append(airborne)
+        except (ValueError, ValidationError):
+            pass
+    if not candidates:
         return None
-    return schedule
+    return min(candidates, key=lambda schedule: schedule.num_stages)
+
+
+def witness_source(schedule: Schedule) -> str:
+    """Provenance label of a structured witness (for ``upper_bound_source``)."""
+    return f"structured-{schedule.metadata.get('choreography', 'homes')}"

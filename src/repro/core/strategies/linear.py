@@ -38,12 +38,14 @@ class LinearStrategy(SearchStrategy):
         metadata: dict | None = None,
     ) -> SchedulerReport:
         start = time.monotonic()
-        lower_bound = problem.lower_bound()
+        breakdown = problem.bound_breakdown()
+        lower_bound = breakdown.total
         report = SchedulerReport(
             schedule=None,
             optimal=False,
             strategy=self.name,
             lower_bound=lower_bound,
+            lower_bound_source=breakdown.source,
             upper_bound=None,
         )
         if lower_bound > limits.max_stages:

@@ -234,9 +234,11 @@ class PortfolioStrategy(SearchStrategy):
                 return finished[index]
         if finished:
             return finished[min(finished)]
+        breakdown = problem.bound_breakdown()
         return SchedulerReport(
             schedule=None,
             optimal=False,
             strategy=self.name,
-            lower_bound=problem.lower_bound(),
+            lower_bound=breakdown.total,
+            lower_bound_source=breakdown.source,
         )

@@ -8,6 +8,12 @@ in the constructive schedule, and every execution flag to the corresponding
 stage kind.  The hints bias the first descent of the search towards a known
 feasible assignment; they are polarity suggestions only and can never change
 a SAT/UNSAT answer (see :meth:`repro.sat.solver.CDCLSolver.set_phase_hints`).
+
+The witness may come from either structured choreography (see
+:func:`~repro.core.strategies.bisection.structured_upper_bound`): hints from
+an *airborne* witness map every gate to its edge-colouring round and every
+stage to an execution stage — particularly strong seeds, since such a
+witness is stage-minimal whenever it exists.
 """
 
 from __future__ import annotations

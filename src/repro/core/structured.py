@@ -34,6 +34,39 @@ The resulting schedules use one transfer stage per round boundary
 transfer stages; the optimality claims of the paper are reproduced with the
 SMT backend on small instances, while this backend scales to all Table I
 codes within seconds.
+
+The airborne (storage-less) choreography
+----------------------------------------
+
+:meth:`StructuredScheduler.schedule_airborne` builds *transfer-free*
+schedules: every qubit lives in an AOD trap for the whole schedule, so no
+storage zone — and no transfer stage — is ever used.  Because execution
+transitions freeze trap types and AOD indices (Eqs. 15-17), an all-Rydberg
+schedule pins each qubit to one (column, row) AOD line pair forever; the
+choreography therefore stages the gate graph by *edge colouring* and
+realises each colour class as a folding of a rigid AOD grid:
+
+* a **vertical fold** brings two adjacent AOD rows to the same interaction
+  site row, executing the gate between the two qubits of every folded
+  column;
+* a **horizontal fold** does the same for two adjacent AOD columns.
+
+On an architecture whose entangling zone covers every row (the paper's
+no-shielding layout), shielding idle qubits is impossible — so a shielded
+schedule exists only when *no qubit is ever idle*: every beam is a perfect
+matching over all qubits and every qubit carries the same gate load ``k``.
+The grid-fold realisation supports exactly the gate multigraphs whose
+components are single edges (``k = 1``), parallel edge bundles (the same
+pair beamed ``k`` times), and 4-cycles (``k = 2``); anything else raises
+``ValueError`` and the caller falls back to the storage choreography or
+reports no upper bound.  When it applies, the schedule has exactly ``k``
+stages — which meets the per-qubit-load lower bound, so the witness is
+*optimal* and bound-driven search certifies it without any SMT probe.
+
+The airborne witness is also valid (and often much tighter) on storage
+architectures: a schedule with no idle-qubit exposure trivially satisfies
+Eq. 14, so :func:`repro.core.strategies.bisection.structured_upper_bound`
+offers it as an upper-bound candidate everywhere.
 """
 
 from __future__ import annotations
@@ -84,6 +117,12 @@ class StructuredScheduler:
                 "build one with SchedulingProblem.from_gates(architecture, "
                 "num_qubits, cz_gates) or SchedulingProblem.from_circuit(...)"
             )
+        if problem.shielding and not problem.architecture.has_storage:
+            # The home-based choreography parks idle qubits in SLM traps
+            # inside the entangling zone, which Eq. 14 forbids here; the
+            # transfer-free airborne choreography is the only structured
+            # schedule that can shield on a storage-less architecture.
+            return self.schedule_airborne(problem, metadata)
         self._arch = problem.architecture
         self._beam_row = self._choose_beam_row()
         num_qubits = problem.num_qubits
@@ -96,7 +135,68 @@ class StructuredScheduler:
             num_qubits=num_qubits,
             stages=stages,
             target_gates=list(gates),
-            metadata={"backend": "structured", **problem.metadata, **(metadata or {})},
+            metadata={
+                "backend": "structured",
+                "choreography": "homes",
+                **problem.metadata,
+                **(metadata or {}),
+            },
+        )
+
+    def schedule_airborne(
+        self,
+        problem: SchedulingProblem,
+        metadata: dict | None = None,
+    ) -> Schedule:
+        """Build a transfer-free all-airborne schedule (see module docstring).
+
+        Raises ``ValueError`` when the gate multigraph is outside the
+        supported class (non-regular load, odd qubit count, or a component
+        that is not a single edge, a parallel-edge bundle, or a 4-cycle) or
+        when the architecture cannot host the AOD grid.
+        """
+        if not isinstance(problem, SchedulingProblem):
+            raise TypeError(
+                "StructuredScheduler.schedule_airborne() takes a "
+                "SchedulingProblem; build one with SchedulingProblem."
+                "from_gates(...) or SchedulingProblem.from_circuit(...)"
+            )
+        arch = problem.architecture
+        self._arch = arch
+        num_qubits = problem.num_qubits
+        gates = list(problem.gates)
+        if not gates:
+            raise ValueError("the airborne choreography needs at least one gate")
+        if num_qubits % 2:
+            raise ValueError(
+                "odd qubit count: some qubit would idle in every beam"
+            )
+        load = problem.gate_load()
+        rounds = load[0]
+        if rounds == 0 or any(l != rounds for l in load):
+            raise ValueError(
+                "gate multigraph is not load-regular: some qubit would idle "
+                "during a beam"
+            )
+        if arch.interaction_radius < 2:
+            raise ValueError("airborne gate pairing needs interaction radius >= 2")
+        if arch.h_max < 1 or arch.v_max < 1:
+            raise ValueError("airborne gate pairing needs offsets |h|,|v| >= 1")
+        pair_units, cycle_units = self._airborne_units(problem, rounds)
+        stages = self._build_airborne_stages(
+            num_qubits, rounds, pair_units, cycle_units
+        )
+        return Schedule(
+            architecture=arch,
+            num_qubits=num_qubits,
+            stages=stages,
+            target_gates=gates,
+            metadata={
+                "backend": "structured",
+                "choreography": "airborne",
+                **problem.metadata,
+                **(metadata or {}),
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -373,6 +473,183 @@ class StructuredScheduler:
                         loaded_qubits=regular_next,
                     )
                 )
+        return stages
+
+    # ------------------------------------------------------------------ #
+    # Airborne (storage-less) choreography
+    # ------------------------------------------------------------------ #
+    def _airborne_units(
+        self, problem: SchedulingProblem, rounds: int
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int, int, int]]]:
+        """Decompose the gate multigraph into grid-realisable units.
+
+        Returns ``(pair_units, cycle_units)``: a pair unit is two qubits
+        joined by ``rounds`` parallel gate copies (one AOD column, beamed
+        vertically in every round); a cycle unit is a simple 4-cycle
+        (two adjacent AOD columns whose proper 2-edge-colouring alternates
+        a vertical and a horizontal fold).  Any other component shape
+        cannot keep every qubit busy in every beam on a rigid AOD grid and
+        raises ``ValueError``.
+        """
+        # Per-edge multiplicity never enters the classification: the caller's
+        # load-regularity check already pins a 2-vertex component to exactly
+        # ``rounds`` parallel copies and a 4-vertex degree-2 component to
+        # four simple edges.
+        adjacency = problem.interaction_graph()
+        pair_units: list[tuple[int, int]] = []
+        cycle_units: list[tuple[int, int, int, int]] = []
+        seen: set[int] = set()
+        for root in range(problem.num_qubits):
+            if root in seen:
+                continue
+            component = {root}
+            frontier = [root]
+            while frontier:
+                vertex = frontier.pop()
+                for neighbour in adjacency[vertex]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            seen |= component
+            if len(component) == 2:
+                pair_units.append(tuple(sorted(component)))
+            elif len(component) == 4 and rounds == 2:
+                cycle_units.append(self._airborne_cycle(component, adjacency))
+            else:
+                raise ValueError(
+                    f"interaction component {sorted(component)} is neither a "
+                    "gate pair nor a 4-cycle; no rigid AOD grid keeps every "
+                    "qubit busy in every beam"
+                )
+        return pair_units, cycle_units
+
+    def _airborne_cycle(
+        self, component: set[int], adjacency: dict[int, set[int]]
+    ) -> tuple[int, int, int, int]:
+        """Order a 4-vertex component as a simple cycle ``v0-v1-v2-v3-v0``."""
+        if any(len(adjacency[v] & component) != 2 for v in component):
+            raise ValueError(
+                f"interaction component {sorted(component)} is not a simple "
+                "4-cycle"
+            )
+        v0 = min(component)
+        v1 = min(adjacency[v0] & component)
+        (v2,) = (adjacency[v1] & component) - {v0}
+        (v3,) = component - {v0, v1, v2}
+        if v3 not in adjacency[v2] or v0 not in adjacency[v3]:
+            raise ValueError(
+                f"interaction component {sorted(component)} is not a simple "
+                "4-cycle"
+            )
+        return (v0, v1, v2, v3)
+
+    def _build_airborne_stages(
+        self,
+        num_qubits: int,
+        rounds: int,
+        pair_units: list[tuple[int, int]],
+        cycle_units: list[tuple[int, int, int, int]],
+    ) -> list[Stage]:
+        """All-Rydberg stages of the airborne choreography.
+
+        Every qubit keeps one (column, row) AOD index pair for the whole
+        schedule (execution transitions freeze them); only the *positions*
+        of the AOD lines move between beams.  Cycle units occupy AOD rows
+        0/1, pair units rows 2/3 when both kinds coexist (their folds
+        differ per round, so they cannot share row lines).
+        """
+        arch = self._arch
+        num_columns = 2 * len(cycle_units) + len(pair_units)
+        if num_columns > arch.num_aod_columns:
+            raise ValueError(
+                f"airborne grid needs {num_columns} AOD columns but the "
+                f"architecture offers {arch.num_aod_columns}"
+            )
+        pair_rows = (2, 3) if (cycle_units and pair_units) else (0, 1)
+        num_rows = 4 if (cycle_units and pair_units) else 2
+        if num_rows > arch.num_aod_rows:
+            raise ValueError(
+                f"airborne grid needs {num_rows} AOD rows but the "
+                f"architecture offers {arch.num_aod_rows}"
+            )
+        e_min, e_max = arch.entangling_rows
+        stages: list[Stage] = []
+        for round_index in range(rounds):
+            vertical_cycle_fold = round_index == 0
+            # Vertical positions of the AOD rows, bottom-up; each entry is a
+            # (site row, v offset) pair.
+            row_position: dict[int, tuple[int, int]] = {}
+            next_y = e_min
+            if cycle_units:
+                if vertical_cycle_fold:
+                    row_position[0] = (next_y, 0)
+                    row_position[1] = (next_y, 1)
+                    next_y += 1
+                else:
+                    row_position[0] = (next_y, 0)
+                    row_position[1] = (next_y + 1, 0)
+                    next_y += 2
+            if pair_units:
+                row_position[pair_rows[0]] = (next_y, 0)
+                row_position[pair_rows[1]] = (next_y, 1)
+                next_y += 1
+            if next_y - 1 > e_max:
+                raise ValueError(
+                    "entangling zone too narrow for the airborne row layout"
+                )
+            placements: dict[int, QubitPlacement] = {}
+            stage_gates: list[tuple[int, int]] = []
+            next_x = 0
+            for index, (v0, v1, v2, v3) in enumerate(cycle_units):
+                left, right = 2 * index, 2 * index + 1
+                if vertical_cycle_fold:
+                    # Columns at separate sites; rows folded: beams (v0,v1)
+                    # and (v2,v3).
+                    grid = {
+                        v0: (next_x, 0, left, 0),
+                        v1: (next_x, 0, left, 1),
+                        v3: (next_x + 1, 0, right, 0),
+                        v2: (next_x + 1, 0, right, 1),
+                    }
+                    stage_gates += [(v0, v1), (v2, v3)]
+                    next_x += 2
+                else:
+                    # Columns folded onto one site column; rows at separate
+                    # sites: beams (v3,v0) and (v1,v2).
+                    grid = {
+                        v0: (next_x, 0, left, 0),
+                        v3: (next_x, 1, right, 0),
+                        v1: (next_x, 0, left, 1),
+                        v2: (next_x, 1, right, 1),
+                    }
+                    stage_gates += [(v3, v0), (v1, v2)]
+                    next_x += 1
+                for qubit, (x, h, column, row) in grid.items():
+                    y, v = row_position[row]
+                    placements[qubit] = QubitPlacement(
+                        x=x, y=y, h=h, v=v, in_aod=True, column=column, row=row
+                    )
+            for index, (a, b) in enumerate(pair_units):
+                column = 2 * len(cycle_units) + index
+                for qubit, row in ((a, pair_rows[0]), (b, pair_rows[1])):
+                    y, v = row_position[row]
+                    placements[qubit] = QubitPlacement(
+                        x=next_x, y=y, h=0, v=v, in_aod=True, column=column, row=row
+                    )
+                stage_gates.append((a, b))
+                next_x += 1
+            if next_x - 1 > arch.x_max:
+                raise ValueError(
+                    f"airborne grid needs {next_x} site columns but the "
+                    f"architecture offers {arch.x_max + 1}"
+                )
+            stages.append(
+                Stage(
+                    kind=StageKind.RYDBERG,
+                    placements=placements,
+                    gates=stage_gates,
+                )
+            )
         return stages
 
     def _park_placement(self) -> QubitPlacement:

@@ -46,9 +46,20 @@ SMT_INSTANCES: dict[str, tuple[int, list[tuple[int, int]]]] = {
     "chain-2": (3, [(0, 1), (1, 2)]),
     "disjoint-pairs": (4, [(0, 1), (2, 3)]),
     "triangle": (3, [(0, 1), (1, 2), (0, 2)]),
+    "ring-4": (4, [(0, 1), (1, 2), (2, 3), (0, 3)]),
 }
 
-SMT_LAYOUT_KINDS = ("none", "bottom")
+#: Layout axes of the SMT suite.  ``"none-shielded"`` is the storage-less
+#: layout with ``shielding=True`` forced: idle qubits cannot leave the
+#: all-covering entangling zone there, so only instances whose beams keep
+#: every qubit busy are feasible — the suite pairs the axis with
+#: :data:`AIRBORNE_SMOKE_INSTANCES` only.
+SMT_LAYOUT_KINDS = ("none", "bottom", "none-shielded")
+
+#: Instances in the airborne choreography's feasible class (load-regular
+#: perfect-matching rounds); the only ones schedulable with shielding on a
+#: storage-less layout.
+AIRBORNE_SMOKE_INSTANCES = ("single-gate", "disjoint-pairs", "ring-4")
 
 #: Search strategies fanned out by the SMT suite.  ``coldstart`` is the
 #: linear strategy with ``incremental=False`` (the seed's reference path);
@@ -111,7 +122,15 @@ def smt_suite(
             if strategy not in SMT_STRATEGIES:
                 raise ValueError(f"unknown SMT scheduler strategy {strategy!r}")
             for kind in layout_kinds:
+                # Pseudo-kinds force a shielding override on a base layout;
+                # "none-shielded" pairs only with the instances that stay
+                # feasible when no idle qubit may enter the entangling zone.
+                layout_kind, shielding = (
+                    ("none", True) if kind == "none-shielded" else (kind, None)
+                )
                 for name in names:
+                    if shielding and name not in AIRBORNE_SMOKE_INSTANCES:
+                        continue
                     num_qubits, gates = SMT_INSTANCES[name]
                     prefix = "smt" if backend is None else f"smt/{backend}"
                     suite.append(
@@ -122,8 +141,10 @@ def smt_suite(
                                 "kind": "smt",
                                 "strategy": strategy,
                                 "sat_backend": backend,
-                                "layout_kind": kind,
+                                "layout_kind": layout_kind,
+                                "layout_label": kind,
                                 "layout_kwargs": dict(REDUCED_LAYOUT_KWARGS),
+                                "shielding": shielding,
                                 "instance": name,
                                 "num_qubits": num_qubits,
                                 "gates": [list(g) for g in gates],
@@ -234,18 +255,26 @@ def _execute_smt(spec: dict) -> dict:
         sat_backend=spec.get("sat_backend"),
     )
     gates = [tuple(g) for g in spec["gates"]]
-    problem = SchedulingProblem.from_gates(architecture, spec["num_qubits"], gates)
+    problem = SchedulingProblem.from_gates(
+        architecture,
+        spec["num_qubits"],
+        gates,
+        shielding=spec.get("shielding"),
+    )
     report = scheduler.schedule(problem)
     payload = {
         "strategy": strategy,
         # Schema v4 field: the resolved backend registry name.
         "sat_backend": report.sat_backend,
-        "layout": spec["layout_kind"],
+        "layout": spec.get("layout_label", spec["layout_kind"]),
         "instance": spec["instance"],
         "found": report.found,
         "optimal": report.optimal,
         "lower_bound": report.lower_bound,
         "upper_bound": report.upper_bound,
+        # Schema v5 fields: certificate provenance of both bounds.
+        "lower_bound_source": report.lower_bound_source,
+        "upper_bound_source": report.upper_bound_source,
         "stages_tried": report.stages_tried,
         "num_horizons": report.num_horizons,
         "solver_seconds": report.solver_seconds,
@@ -313,7 +342,7 @@ def run_batch(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     output_path: str | os.PathLike | None = None,
-    schema_version: int = 4,
+    schema_version: int = 5,
 ) -> list[BenchResult]:
     """Execute *instances*, optionally in parallel, and collect results.
 
@@ -537,26 +566,31 @@ def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
 #: document version is requested for compatibility.
 _V3_PAYLOAD_KEYS = ("winner",)
 _V4_PAYLOAD_KEYS = ("sat_backend",)
+_V5_PAYLOAD_KEYS = ("lower_bound_source", "upper_bound_source")
 
 
 def save_results(
     results: Sequence[BenchResult],
     path: str | os.PathLike,
-    schema_version: int = 4,
+    schema_version: int = 5,
 ) -> None:
     """Persist a batch run as a JSON document.
 
     Schema history: version 2 gave SMT payloads the search trajectory
     (strategy/lower_bound/upper_bound/stages_tried/num_horizons); version 3
-    added the portfolio's ``winner`` configuration; version 4 (default) adds
-    the SAT backend (``sat_backend``) that decided the probes.  Requesting
-    an older version strips the newer fields so downstream consumers pinned
-    to it keep loading byte-compatible payloads.
+    added the portfolio's ``winner`` configuration; version 4 added the SAT
+    backend (``sat_backend``) that decided the probes; version 5 (default)
+    adds the bound-certificate provenance (``lower_bound_source`` /
+    ``upper_bound_source``).  Requesting an older version strips the newer
+    fields so downstream consumers pinned to it keep loading
+    byte-compatible payloads.
     """
-    if schema_version not in (2, 3, 4):
+    if schema_version not in (2, 3, 4, 5):
         raise ValueError(f"unknown bench schema version {schema_version}")
     serialised = [asdict(result) for result in results]
     stripped_keys: tuple[str, ...] = ()
+    if schema_version <= 4:
+        stripped_keys += _V5_PAYLOAD_KEYS
     if schema_version <= 3:
         stripped_keys += _V4_PAYLOAD_KEYS
     if schema_version <= 2:
@@ -618,6 +652,64 @@ def check_bisection_regression(
             f"batches do not both cover the smoke instance {layout}/{instance}"
         )
     return linear, bisection
+
+
+def check_bounds_soundness(
+    results: Sequence[BenchResult],
+    expect_clique: Optional[dict[str, int]] = None,
+) -> int:
+    """Certify the analytic bounds of every SMT payload in a batch.
+
+    Every ``ok`` SMT result that certified an optimum must satisfy
+    ``lower_bound <= num_stages <= upper_bound`` (the upper-bound half only
+    when a structured witness existed), and both bounds must carry their
+    certificate provenance (schema v5 ``lower_bound_source`` /
+    ``upper_bound_source``).  *expect_clique* maps instance names to the
+    minimum lower bound their clique certificate guarantees (the CI gate
+    pins the triangle to 3); the check fails when a matching payload
+    reports less.  Returns the number of certified cells checked; raises
+    ``ValueError`` on the first violation or when no cell qualifies.
+    """
+    checked = 0
+    for result in results:
+        payload = result.payload
+        if result.suite != "smt" or not result.ok:
+            continue
+        if not (payload.get("found") and payload.get("optimal")):
+            continue
+        name = result.name
+        stages = payload.get("num_stages")
+        lower = payload.get("lower_bound")
+        upper = payload.get("upper_bound")
+        if lower is None or stages is None:
+            raise ValueError(f"{name}: payload lacks lower_bound/num_stages")
+        if lower > stages:
+            raise ValueError(
+                f"{name}: analytic lower bound {lower} exceeds the certified "
+                f"optimum {stages} — a certificate is unsound"
+            )
+        if not payload.get("lower_bound_source"):
+            raise ValueError(f"{name}: lower bound lacks its certificate source")
+        if upper is not None:
+            if stages > upper:
+                raise ValueError(
+                    f"{name}: certified optimum {stages} exceeds the "
+                    f"structured upper bound {upper} — the witness is unsound"
+                )
+            if not payload.get("upper_bound_source"):
+                raise ValueError(
+                    f"{name}: upper bound lacks its witness source"
+                )
+        expected = (expect_clique or {}).get(payload.get("instance"))
+        if expected is not None and lower < expected:
+            raise ValueError(
+                f"{name}: lower bound {lower} below the clique certificate "
+                f"value {expected}"
+            )
+        checked += 1
+    if not checked:
+        raise ValueError("batch contains no certified SMT cells to check")
+    return checked
 
 
 def check_portfolio_regression(

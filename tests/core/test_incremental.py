@@ -72,19 +72,32 @@ def test_incremental_scheduler_respects_max_stages():
 
 
 def test_incremental_capacity_rebuild_still_optimal(monkeypatch):
-    """Outgrowing the initial gate-stage capacity rebuilds transparently."""
+    """Outgrowing the initial gate-stage capacity rebuilds transparently.
+
+    The v2 analytic bounds start the triangle walk at 4, so a scheduler run
+    no longer outgrows even a minimal headroom; the rebuild mechanics are
+    driven through the shared ``SearchContext`` directly instead.
+    """
     import repro.core.strategies.base as strategies_base
+    from repro.core.strategies import SearchLimits
+    from repro.core.strategies.base import SearchContext
 
     monkeypatch.setattr(strategies_base, "_CAPACITY_HEADROOM", 1)
-    scheduler = SMTScheduler(time_limit_per_instance=300)
-    report = scheduler.schedule(
-        SchedulingProblem.from_gates(
-            tiny_layout("bottom"), 3, [(0, 1), (1, 2), (0, 2)]
-        )
+    problem = SchedulingProblem.from_gates(
+        tiny_layout("bottom"), 3, [(0, 1), (1, 2), (0, 2)]
     )
-    assert report.found and report.optimal
-    assert report.schedule.num_stages == 5
-    assert report.stages_tried == [2, 3, 4, 5]
+    context = SearchContext(problem, SearchLimits(time_limit=300))
+    assert context.decide(4) is CheckResult.UNSAT
+    first_instance = context.instance
+    assert first_instance.max_stages < 7  # headroom of 1 above the horizon
+    # Deciding beyond the capacity must rebuild a fresh, larger instance and
+    # still answer correctly on both sides of the optimum (5 stages).
+    assert context.decide(7) is CheckResult.SAT
+    assert context.instance is not first_instance
+    assert context.decide(5) is CheckResult.SAT
+    schedule = context.extract(5)
+    assert schedule.num_stages == 5
+    validate_schedule(schedule, require_shielding=True)
 
 
 # --------------------------------------------------------------------------- #

@@ -162,10 +162,24 @@ def test_transfer_bound_skips_nestable_busy_sets():
 
 def test_transfer_bound_requires_partial_qubits():
     """When every qubit is loaded up to the Rydberg bound, a transfer-free
-    schedule cannot be refuted by the busy-set argument (triangle: every
-    qubit is busy in 2 of >= 2 beams)."""
+    schedule cannot be refuted by the busy-set argument (K4: the clique
+    certificate matches the load, so every qubit is busy in all >= 3
+    beams)."""
+    k4 = SchedulingProblem.from_gates(
+        tiny_layout(), 4, [(a, b) for a in range(4) for b in range(a + 1, 4)]
+    )
+    assert k4.rydberg_lower_bound() == 3
+    assert k4.transfer_lower_bound() == 0
+
+
+def test_transfer_bound_composes_with_the_clique_certificate():
+    """The clique certificate lifts the triangle's Rydberg bound to 3, which
+    turns every qubit into a partial one (load 2 < 3 beams) — the busy-set
+    argument then fires on top (the certified optimum is 5)."""
     triangle = SchedulingProblem.from_gates(tiny_layout(), 3, [(0, 1), (1, 2), (0, 2)])
-    assert triangle.transfer_lower_bound() == 0
+    assert triangle.rydberg_lower_bound() == 3
+    assert triangle.transfer_lower_bound() == 1
+    assert triangle.lower_bound() == 4
 
 
 @pytest.mark.parametrize(
@@ -206,6 +220,119 @@ def test_lower_bound_never_exceeds_structured_upper_bound(code_name, layout_name
     problem = SchedulingProblem.from_circuit(architecture, prep)
     schedule = StructuredScheduler().schedule(problem)
     assert problem.lower_bound() <= schedule.num_stages
+
+
+# --------------------------------------------------------------------------- #
+# The clique certificate and bound provenance
+# --------------------------------------------------------------------------- #
+def complete_graph(n):
+    return [(a, b) for a in range(n) for b in range(a + 1, n)]
+
+
+def test_clique_certificate_fires_on_the_triangle():
+    """An odd clique needs one more beam than its per-qubit load: every
+    triangle beam leaves one member idle, so 3 gates need 3 beams."""
+    triangle = SchedulingProblem.from_gates(
+        tiny_layout("none"), 3, [(0, 1), (1, 2), (0, 2)]
+    )
+    assert triangle.max_gate_load() == 2
+    assert triangle.clique_lower_bound() == 3
+    assert triangle.rydberg_lower_bound() == 3
+    breakdown = triangle.bound_breakdown()
+    assert breakdown.source == "clique"
+    assert breakdown.clique == (0, 1, 2)
+    assert breakdown.certificate("gate-load") == 2
+
+
+def test_clique_certificate_is_exact_on_complete_graphs():
+    """K_n needs n beams when n is odd (chromatic index of K_n) and n-1
+    when n is even — the sub-clique scoring finds the odd trim."""
+    layout = reduced_layout("none", x_max=3, c_max=3, r_max=3)
+    k5 = SchedulingProblem.from_gates(layout, 5, complete_graph(5))
+    assert k5.clique_lower_bound() == 5
+    assert k5.bound_breakdown().clique == (0, 1, 2, 3, 4)
+    k4 = SchedulingProblem.from_gates(layout, 4, complete_graph(4))
+    assert k4.clique_lower_bound() == 3
+    k6 = SchedulingProblem.from_gates(layout, 6, complete_graph(6))
+    assert k6.clique_lower_bound() == 5
+
+
+def test_clique_certificate_counts_gate_multiplicity():
+    """Duplicate gates inside the clique tighten the matching bound."""
+    doubled = SchedulingProblem.from_gates(
+        tiny_layout("none"), 3, [(0, 1), (0, 1), (1, 2), (0, 2)]
+    )
+    # 4 gate occurrences inside the triangle, one gate per beam: 4 beams.
+    assert doubled.clique_lower_bound() == 4
+    assert doubled.max_gate_load() == 3
+
+
+def test_clique_certificate_never_regresses_the_existing_certificates():
+    """Chain, star, and bottom instances keep their PR 2/PR 3 bounds."""
+    chain = SchedulingProblem.from_gates(tiny_layout(), 3, [(0, 1), (1, 2)])
+    star = SchedulingProblem.from_gates(tiny_layout(), 4, [(0, 1), (0, 2), (0, 3)])
+    pair = SchedulingProblem.from_gates(tiny_layout(), 2, [(0, 1)])
+    assert chain.lower_bound() == 3  # gate-load 2 + transfer 1
+    assert star.lower_bound() == 4  # gate-load 3 + transfer 1
+    assert pair.lower_bound() == 1
+    for problem in (chain, star, pair):
+        assert problem.bound_breakdown().rydberg_source == "gate-load"
+
+
+def test_interaction_cliques_enumerates_maximal_cliques():
+    """Pivoting Bron–Kerbosch: a triangle glued to an edge has exactly two
+    maximal cliques; isolated qubits are not reported."""
+    problem = SchedulingProblem.from_gates(
+        reduced_layout("none", x_max=3, c_max=3, r_max=3),
+        6,
+        [(0, 1), (1, 2), (0, 2), (2, 3)],
+    )
+    assert problem.interaction_cliques() == [(0, 1, 2), (2, 3)]
+
+
+@pytest.mark.parametrize(
+    "gates, expected_source",
+    [
+        ([], "trivial"),
+        ([(0, 1)], "gate-load"),
+        ([(0, 1), (1, 2), (0, 2)], "clique"),
+    ],
+)
+def test_lower_bound_source_names_the_winning_certificate(gates, expected_source):
+    problem = SchedulingProblem.from_gates(tiny_layout("none"), 3, gates)
+    assert problem.bound_breakdown().source == expected_source
+
+
+def test_lower_bound_source_reports_the_beam_capacity_certificate():
+    cramped = reduced_layout("none", x_max=0, h_max=1, v_max=1, c_max=1, r_max=1)
+    problem = SchedulingProblem.from_gates(
+        cramped, 14, [(2 * i, 2 * i + 1) for i in range(7)]
+    )
+    breakdown = problem.bound_breakdown()
+    assert breakdown.source == "beam-capacity"
+    assert breakdown.certificate("beam-capacity") == 3
+
+
+def test_lower_bound_source_appends_the_transfer_certificate():
+    triangle = SchedulingProblem.from_gates(
+        tiny_layout("bottom"), 3, [(0, 1), (1, 2), (0, 2)]
+    )
+    breakdown = triangle.bound_breakdown()
+    assert breakdown.source == "clique+transfer"
+    assert breakdown.total == breakdown.rydberg + breakdown.transfer == 4
+    assert breakdown.total == triangle.lower_bound()
+
+
+def test_bound_breakdown_serialises():
+    import json
+
+    breakdown = SchedulingProblem.from_gates(
+        tiny_layout(), 3, [(0, 1), (1, 2), (0, 2)]
+    ).bound_breakdown()
+    document = json.loads(json.dumps(breakdown.to_dict()))
+    assert document["source"] == "clique+transfer"
+    assert document["certificates"]["clique"] == 3
+    assert document["clique"] == [0, 1, 2]
 
 
 def test_describe_mentions_the_essentials():

@@ -156,7 +156,10 @@ def test_bisection_certifies_degenerate_interval_without_probes():
     assert report.schedule.metadata["backend"] == "structured"
 
 
-def test_bisection_probes_fewer_horizons_on_multi_horizon_instance():
+def test_bisection_never_probes_more_than_linear_on_the_triangle():
+    """The clique+transfer certificates start the triangle walk at 4, so
+    both strategies now reach the optimum (5) within two probes; bisection
+    must not fall behind linear on the tightened interval."""
     problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
     linear = SMTScheduler(time_limit_per_instance=300, strategy="linear").schedule(
         problem
@@ -165,8 +168,25 @@ def test_bisection_probes_fewer_horizons_on_multi_horizon_instance():
         time_limit_per_instance=300, strategy="bisection"
     ).schedule(problem)
     assert linear.schedule.num_stages == bisection.schedule.num_stages == 5
-    assert linear.num_horizons >= 3
-    assert bisection.num_horizons < linear.num_horizons
+    assert linear.lower_bound == bisection.lower_bound == 4
+    assert linear.stages_tried == [4, 5]
+    assert bisection.num_horizons <= linear.num_horizons
+
+
+def test_bisection_certifies_ring_without_probes_where_linear_needs_one():
+    """The airborne witness closes the ring's interval analytically: the
+    transfer-free schedule meets the gate-load bound exactly."""
+    problem = tiny_problem("bottom", 4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    linear = SMTScheduler(time_limit_per_instance=300, strategy="linear").schedule(
+        problem
+    )
+    bisection = SMTScheduler(strategy="bisection").schedule(problem)
+    assert linear.schedule.num_stages == bisection.schedule.num_stages == 2
+    assert linear.num_horizons == 1
+    assert bisection.stages_tried == []
+    assert bisection.upper_bound == 2
+    assert bisection.upper_bound_source == "structured-airborne"
+    assert bisection.schedule.num_transfer_stages == 0
 
 
 def test_bisection_probes_stay_within_the_bounds():
@@ -205,6 +225,40 @@ def test_schedule_metadata_provenance_is_path_independent():
     assert linear.schedule.metadata["strategy"] == "linear"
     for report in (probed, degenerate, linear):
         assert report.schedule.metadata["optimal"] is True
+
+
+def test_reports_carry_bound_provenance():
+    """Every strategy stamps the lower-bound certificate source; the
+    bound-driven ones also stamp the witness choreography."""
+    problem = tiny_problem("bottom", 3, [(0, 1), (1, 2), (0, 2)])
+    linear = SMTScheduler(time_limit_per_instance=300, strategy="linear").schedule(
+        problem
+    )
+    assert linear.lower_bound_source == "clique+transfer"
+    assert linear.upper_bound_source is None
+    bisection = SMTScheduler(
+        time_limit_per_instance=300, strategy="bisection"
+    ).schedule(problem)
+    assert bisection.lower_bound_source == "clique+transfer"
+    assert bisection.upper_bound_source == "structured-homes"
+
+
+def test_bisection_certifies_shielded_storage_less_instances():
+    """shielding=True on the storage-less layout: the airborne witness turns
+    the previously open interval into a zero-probe certificate."""
+    for gates, optimum in [
+        ([(0, 1), (2, 3)], 1),
+        ([(0, 1), (1, 2), (2, 3), (0, 3)], 2),
+    ]:
+        problem = SchedulingProblem.from_gates(
+            tiny_layout("none"), 4, gates, shielding=True
+        )
+        report = SMTScheduler(strategy="bisection").schedule(problem)
+        assert report.found and report.optimal
+        assert report.stages_tried == []
+        assert report.upper_bound == report.lower_bound == optimum
+        assert report.upper_bound_source == "structured-airborne"
+        validate_schedule(report.schedule, require_shielding=True)
 
 
 def test_bisection_falls_back_to_witness_under_harsh_limits():

@@ -160,6 +160,110 @@ def test_one_scheduler_serves_many_problems():
     validate_schedule(flat, require_shielding=False)
 
 
+# --------------------------------------------------------------------------- #
+# The airborne (storage-less) choreography
+# --------------------------------------------------------------------------- #
+def reduced_none(**overrides):
+    from repro.arch import reduced_layout
+
+    kwargs = {"x_max": 2, "h_max": 1, "v_max": 1, "c_max": 2, "r_max": 2}
+    kwargs.update(overrides)
+    return reduced_layout("none", **kwargs)
+
+
+#: Instances in the airborne feasible class: (num_qubits, gates, rounds).
+AIRBORNE_CASES = [
+    (2, [(0, 1)], 1),
+    (4, [(0, 1), (2, 3)], 1),
+    (2, [(0, 1), (0, 1)], 2),
+    (4, [(0, 1), (1, 2), (2, 3), (0, 3)], 2),
+    (2, [(0, 1)] * 3, 3),
+]
+
+
+@pytest.mark.parametrize(
+    "architecture",
+    [reduced_none(), reduced_none(x_max=3, c_max=3, r_max=3), no_shielding_layout()],
+    ids=["reduced-tiny", "reduced-wide", "evaluation"],
+)
+@pytest.mark.parametrize("num_qubits, gates, rounds", AIRBORNE_CASES)
+def test_airborne_round_trips_on_every_storage_less_layout(
+    architecture, num_qubits, gates, rounds
+):
+    """Shielded storage-less witnesses: validator-clean with
+    require_shielding=True, transfer-free, and exactly one stage per round
+    of the edge colouring (= the per-qubit load, so they are optimal)."""
+    problem = problem_for(architecture, num_qubits, gates, shielding=True)
+    schedule = StructuredScheduler().schedule(problem)
+    validate_schedule(schedule, require_shielding=True)
+    assert schedule.num_stages == rounds
+    assert schedule.num_transfer_stages == 0
+    assert all(stage.is_execution for stage in schedule.stages)
+    assert schedule.metadata["choreography"] == "airborne"
+    assert sorted(schedule.executed_gates) == sorted(problem.gates)
+    # Every qubit stays airborne with frozen AOD indices.
+    lines = {
+        qubit: (placement.column, placement.row)
+        for qubit, placement in schedule.stages[0].placements.items()
+    }
+    for stage in schedule.stages:
+        for qubit, placement in stage.placements.items():
+            assert placement.in_aod
+            assert (placement.column, placement.row) == lines[qubit]
+
+
+def test_airborne_mixed_cycle_and_pair_units():
+    """A 4-cycle and a parallel pair coexist on separate AOD row pairs."""
+    architecture = reduced_none(x_max=3, c_max=3, r_max=3)
+    gates = [(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (4, 5)]
+    problem = problem_for(architecture, 6, gates, shielding=True)
+    schedule = StructuredScheduler().schedule(problem)
+    validate_schedule(schedule, require_shielding=True)
+    assert schedule.num_stages == 2
+    assert schedule.num_transfer_stages == 0
+
+
+@pytest.mark.parametrize(
+    "num_qubits, gates",
+    [
+        (3, [(0, 1), (1, 2), (0, 2)]),  # odd register
+        (3, [(0, 1), (1, 2)]),  # non-regular load
+        (4, [(0, 1), (1, 2)]),  # idle qubit
+        (4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3)]),  # K4 component
+        (6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]),  # 6-cycle
+    ],
+)
+def test_airborne_rejects_unsupported_gate_graphs(num_qubits, gates):
+    problem = problem_for(reduced_none(x_max=3, c_max=3, r_max=3),
+                          num_qubits, gates, shielding=True)
+    with pytest.raises(ValueError):
+        StructuredScheduler().schedule(problem)
+
+
+def test_airborne_rejects_architectures_without_grid_capacity():
+    # Three disjoint pairs need three AOD columns; c_max=1 offers two.
+    cramped = reduced_none(x_max=2, c_max=1, r_max=2)
+    problem = problem_for(cramped, 6, [(0, 1), (2, 3), (4, 5)], shielding=True)
+    with pytest.raises(ValueError):
+        StructuredScheduler().schedule(problem)
+
+
+def test_airborne_witness_also_serves_storage_layouts():
+    """On a storage layout the transfer-free witness is a legitimate (and
+    tighter) upper bound: no idle exposure trivially satisfies Eq. 14."""
+    problem = problem_for(
+        bottom_storage_layout(), 4, [(0, 1), (1, 2), (2, 3), (0, 3)]
+    )
+    schedule = StructuredScheduler().schedule_airborne(problem)
+    validate_schedule(schedule, require_shielding=True)
+    assert schedule.num_stages == 2
+    assert schedule.metadata["choreography"] == "airborne"
+    # The default dispatch still runs the home-based choreography there.
+    assert (
+        StructuredScheduler().schedule(problem).metadata["choreography"] == "homes"
+    )
+
+
 @settings(max_examples=30, deadline=None)
 @given(st.data())
 def test_property_random_interaction_graphs_are_scheduled_validly(data):

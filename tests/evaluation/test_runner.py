@@ -12,6 +12,7 @@ from repro.evaluation.runner import (
     build_suite,
     check_backend_agreement,
     check_bisection_regression,
+    check_bounds_soundness,
     check_portfolio_regression,
     execute_spec,
     format_batch,
@@ -29,15 +30,48 @@ from repro.evaluation.runner import (
 # Suite construction
 # --------------------------------------------------------------------------- #
 def test_build_suite_shapes():
+    # 5 instances on the none/bottom layouts plus the 3 airborne-feasible
+    # instances on the shielded storage-less pseudo-layout = 13 cells per
+    # strategy.
     smt = build_suite("smt")
-    assert len(smt) == 5 * 2 * 4  # strategies x layouts x instances
+    assert len(smt) == 5 * (2 * 5 + 3)
     assert all(inst.suite == "smt" for inst in smt)
     table1 = build_suite("table1", codes=["steane"])
     assert len(table1) == 3  # three layouts
     exploration = build_suite("exploration", codes=["steane", "surface"])
     assert len(exploration) == 2
     everything = build_suite("all", codes=["steane"], strategies=["linear"])
-    assert len(everything) == 8 + 3 + 1
+    assert len(everything) == 13 + 3 + 1
+
+
+def test_smt_suite_shielded_axis_only_pairs_feasible_instances():
+    """The none-shielded pseudo-layout keeps only instances whose beams can
+    keep every qubit busy; the spec forces the shielding override."""
+    suite = smt_suite(strategies=("bisection",), layout_kinds=("none-shielded",))
+    assert [inst.name for inst in suite] == [
+        "smt/bisection/none-shielded/single-gate",
+        "smt/bisection/none-shielded/disjoint-pairs",
+        "smt/bisection/none-shielded/ring-4",
+    ]
+    for inst in suite:
+        assert inst.spec["layout_kind"] == "none"
+        assert inst.spec["layout_label"] == "none-shielded"
+        assert inst.spec["shielding"] is True
+
+
+def test_execute_smt_spec_shielded_storage_less_certifies_without_probes():
+    [instance] = smt_suite(
+        strategies=("bisection",),
+        instances=["ring-4"],
+        layout_kinds=("none-shielded",),
+        time_limit=300,
+    )
+    payload = execute_spec(instance.spec)
+    assert payload["layout"] == "none-shielded"
+    assert payload["found"] and payload["optimal"] and payload["validated"]
+    assert payload["stages_tried"] == []
+    assert payload["upper_bound"] == payload["num_stages"] == 2
+    assert payload["upper_bound_source"] == "structured-airborne"
 
 
 def test_build_suite_unknown_name():
@@ -191,7 +225,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
-    assert document["version"] == 4
+    assert document["version"] == 5
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -224,22 +258,32 @@ def test_format_batch_mentions_instances():
 # --------------------------------------------------------------------------- #
 # Bench regression helpers (used by the CI bench-regression job)
 # --------------------------------------------------------------------------- #
-def test_check_bisection_regression_on_the_smoke_instance():
+def test_check_bisection_regression_on_the_smoke_instances():
+    """The CI gate's two cells: on the triangle both strategies ride the
+    tightened certificates (bisection must not fall behind); on the ring
+    the airborne witness closes the interval and bisection certifies with
+    zero probes, strictly beating linear."""
+    instances = ["triangle", "ring-4"]
     linear = run_batch(
         smt_suite(
-            strategies=("linear",), instances=["triangle"], layout_kinds=("bottom",)
+            strategies=("linear",), instances=instances, layout_kinds=("bottom",)
         ),
         jobs=1,
     )
     bisection = run_batch(
         smt_suite(
-            strategies=("bisection",), instances=["triangle"], layout_kinds=("bottom",)
+            strategies=("bisection",), instances=instances, layout_kinds=("bottom",)
         ),
         jobs=1,
     )
     linear_horizons, bisection_horizons = check_bisection_regression(linear, bisection)
-    assert bisection_horizons < linear_horizons
-    assert strategy_horizons(linear, "linear") == {("bottom", "triangle"): linear_horizons}
+    assert bisection_horizons <= linear_horizons
+    assert strategy_horizons(linear, "linear")[("bottom", "triangle")] == linear_horizons
+    ring_linear, ring_bisection = check_bisection_regression(
+        linear, bisection, instance="ring-4"
+    )
+    assert ring_bisection == 0
+    assert ring_bisection < ring_linear
 
 
 def test_check_bisection_regression_requires_the_instance():
@@ -350,33 +394,47 @@ def _fake_smt_result(
     )
 
 
-def test_save_results_version_gates_portfolio_fields(tmp_path):
+#: Which schema-versioned payload keys survive each document version.  The
+#: strip behaviour was previously asymmetric-by-accident (``winner`` and
+#: ``sat_backend`` were gated by separate ad-hoc clauses); this table locks
+#: the cumulative contract: a version keeps exactly the keys introduced at
+#: or below it.
+_SCHEMA_STRIP_TABLE = {
+    2: {"winner": False, "sat_backend": False,
+        "lower_bound_source": False, "upper_bound_source": False},
+    3: {"winner": True, "sat_backend": False,
+        "lower_bound_source": False, "upper_bound_source": False},
+    4: {"winner": True, "sat_backend": True,
+        "lower_bound_source": False, "upper_bound_source": False},
+    5: {"winner": True, "sat_backend": True,
+        "lower_bound_source": True, "upper_bound_source": True},
+}
+
+
+@pytest.mark.parametrize("version", sorted(_SCHEMA_STRIP_TABLE))
+def test_save_results_version_gates_are_symmetric(version, tmp_path):
+    """Table-driven lock of the schema down-conversion: every versioned key
+    is stripped below its introduction version and kept from it onward."""
     results = [_fake_smt_result("portfolio", winner={"strategy": "bisection"})]
-    v4_path, v3_path, v2_path = (
-        tmp_path / "v4.json",
-        tmp_path / "v3.json",
-        tmp_path / "v2.json",
-    )
-    save_results(results, v4_path)
-    save_results(results, v3_path, schema_version=3)
-    save_results(results, v2_path, schema_version=2)
-    v4 = json.loads(v4_path.read_text())
-    v3 = json.loads(v3_path.read_text())
-    v2 = json.loads(v2_path.read_text())
-    assert v4["version"] == 4
-    assert v4["results"][0]["payload"]["winner"] == {"strategy": "bisection"}
-    assert v4["results"][0]["payload"]["sat_backend"] == "flat"
-    assert v3["version"] == 3
-    assert v3["results"][0]["payload"]["winner"] == {"strategy": "bisection"}
-    assert "sat_backend" not in v3["results"][0]["payload"]
-    assert v2["version"] == 2
-    assert "winner" not in v2["results"][0]["payload"]
-    assert "sat_backend" not in v2["results"][0]["payload"]
+    results[0].payload["lower_bound_source"] = "clique+transfer"
+    results[0].payload["upper_bound_source"] = "structured-airborne"
+    path = tmp_path / f"v{version}.json"
+    save_results(results, path, schema_version=version)
+    document = json.loads(path.read_text())
+    assert document["version"] == version
+    payload = document["results"][0]["payload"]
+    for key, kept in _SCHEMA_STRIP_TABLE[version].items():
+        assert (key in payload) is kept, (version, key)
     # Stripping happens on the serialised copy, not the live results.
-    assert "winner" in results[0].payload
-    assert "sat_backend" in results[0].payload
+    for key in _SCHEMA_STRIP_TABLE[version]:
+        assert key in results[0].payload
+
+
+def test_save_results_rejects_unknown_versions(tmp_path):
     with pytest.raises(ValueError):
-        save_results(results, tmp_path / "v9.json", schema_version=9)
+        save_results(
+            [_fake_smt_result("portfolio")], tmp_path / "v9.json", schema_version=9
+        )
 
 
 def test_check_portfolio_regression_accepts_matching_batches():
@@ -403,3 +461,63 @@ def test_check_portfolio_regression_rejects_violations(portfolio_kwargs, message
 def test_check_portfolio_regression_requires_shared_cells():
     with pytest.raises(ValueError):
         check_portfolio_regression([], [])
+
+
+# --------------------------------------------------------------------------- #
+# Bounds-soundness gate (used by the CI bench-regression job)
+# --------------------------------------------------------------------------- #
+def _bounds_payload(**overrides):
+    payload = {
+        "strategy": "bisection",
+        "layout": "bottom",
+        "instance": "triangle",
+        "found": True,
+        "optimal": True,
+        "num_stages": 5,
+        "lower_bound": 4,
+        "upper_bound": 7,
+        "lower_bound_source": "clique+transfer",
+        "upper_bound_source": "structured-homes",
+    }
+    payload.update(overrides)
+    return BenchResult(
+        name="smt/bisection/bottom/triangle",
+        suite="smt",
+        status="ok",
+        seconds=0.1,
+        payload=payload,
+    )
+
+
+def test_check_bounds_soundness_accepts_a_real_smoke_batch():
+    results = run_batch(
+        smt_suite(
+            strategies=("bisection",),
+            instances=["triangle", "ring-4"],
+            layout_kinds=("bottom", "none-shielded"),
+        ),
+        jobs=1,
+    )
+    assert check_bounds_soundness(results, expect_clique={"triangle": 3}) == 3
+
+
+@pytest.mark.parametrize(
+    "overrides, message",
+    [
+        ({"lower_bound": 6}, "unsound"),
+        ({"upper_bound": 4}, "unsound"),
+        ({"lower_bound_source": None}, "certificate source"),
+        ({"upper_bound_source": None}, "witness source"),
+        ({"lower_bound": 2}, "clique"),
+    ],
+)
+def test_check_bounds_soundness_rejects_violations(overrides, message):
+    with pytest.raises(ValueError, match=message):
+        check_bounds_soundness(
+            [_bounds_payload(**overrides)], expect_clique={"triangle": 3}
+        )
+
+
+def test_check_bounds_soundness_requires_certified_cells():
+    with pytest.raises(ValueError, match="no certified"):
+        check_bounds_soundness([_bounds_payload(optimal=False)])

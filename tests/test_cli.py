@@ -122,8 +122,9 @@ def test_bench_command_smt_single_strategy(capsys):
     )
     text = capsys.readouterr().out
     assert "smt/linear/bottom/chain-2" in text
-    assert "32/32" not in text  # only one strategy was requested
-    assert "8/8 instances ok" in text
+    assert "smt/linear/none-shielded/ring-4" in text
+    assert "65/65" not in text  # only one strategy was requested
+    assert "13/13 instances ok" in text
 
 
 def test_microbench_command_writes_comparison(tmp_path, capsys):
@@ -162,6 +163,40 @@ def test_bench_command_schema_version_2_strips_portfolio_fields(tmp_path, capsys
     document = json.loads(output.read_text())
     assert document["version"] == 2
     assert all("winner" not in entry["payload"] for entry in document["results"])
+
+
+def test_bounds_command_prints_the_certificate_table(capsys):
+    assert main(["bounds", "triangle", "--layout", "bottom"]) == 0
+    text = capsys.readouterr().out
+    assert "gate-load" in text
+    assert "clique" in text
+    assert "witness qubits (0, 1, 2)" in text
+    assert "analytic lower bound: 4   (source: clique+transfer)" in text
+    assert "certified interval: [4, 7]" in text
+
+
+def test_bounds_command_shielded_storage_less_reports_the_airborne_witness(capsys):
+    assert main(["bounds", "ring-4", "--layout", "none", "--shielding", "on"]) == 0
+    text = capsys.readouterr().out
+    assert "structured upper bound: 2 stages   (source: structured-airborne" in text
+    assert "width 0" in text
+
+
+def test_bounds_command_reports_open_intervals(capsys):
+    assert main(["bounds", "triangle", "--layout", "none", "--shielding", "on"]) == 0
+    text = capsys.readouterr().out
+    assert "structured upper bound: none (open search interval)" in text
+
+
+def test_bounds_command_json_covers_codes(capsys):
+    assert main(["bounds", "steane", "--layout", "bottom", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["instance"] == "steane"
+    assert document["shielding"] is True
+    assert document["lower_bound"]["certificates"]["gate-load"] >= 1
+    assert document["lower_bound"]["total"] >= 1
+    assert document["upper_bound"]["source"].startswith("structured-")
+    assert document["upper_bound"]["stages"] >= document["lower_bound"]["total"]
 
 
 def test_unknown_code_rejected():
