@@ -17,6 +17,11 @@ Examples
     repro-nasp bench --suite smt --strategy linear bisection --output out.json
     repro-nasp bench --suite smt --strategy portfolio --output race.json
     repro-nasp bench --suite smt --sat-backend dimacs-subprocess --output ext.json
+    repro-nasp bench --suite smt --journal run.jsonl --output run.json
+    repro-nasp bench --suite smt --resume run.jsonl --output run.json
+    repro-nasp bench --suite smt --shard 0/2 --output shard0.json
+    repro-nasp bench-merge shard0.json shard1.json --output merged.json
+    repro-nasp bench-trend baseline.json merged.json --json BENCH_TREND.json
     repro-nasp microbench --output microbench.json
     repro-nasp microbench --backend dimacs-subprocess flat
 """
@@ -194,11 +199,103 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--schema-version",
         type=int,
-        choices=[2, 3, 4, 5],
-        default=5,
-        help="bench JSON schema (4 strips the v5-only bound-source fields, "
-        "3 additionally strips the backend field, 2 additionally strips "
-        "the portfolio fields)",
+        choices=[2, 3, 4, 5, 6],
+        default=6,
+        help="bench JSON schema (5 strips the v6-only fleet fields "
+        "shard/attempts/journal_digest/throughput, 4 additionally strips "
+        "the bound-source fields, 3 the backend field, 2 the portfolio "
+        "fields)",
+    )
+    bench.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only the I-th of N deterministic shards of the suite "
+        "(stable hash of the cell name; the N shard outputs are disjoint, "
+        "exhaustive, and mergeable via bench-merge)",
+    )
+    bench.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append a per-cell completion journal (JSONL) to PATH so a "
+        "killed run can be resumed with --resume",
+    )
+    bench.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from the journal at PATH: completed cells are carried "
+        "over, crashed/timed-out cells re-queued (requires the same bench "
+        "arguments as the original run; implies journalling to PATH)",
+    )
+    bench.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries after a worker crash before a cell is recorded as "
+        "status 'failed' (default: 2; counts attempts from a resumed "
+        "journal)",
+    )
+
+    bench_merge = sub.add_parser(
+        "bench-merge",
+        help="union the JSON outputs of a sharded bench run, validating "
+        "that the shards are disjoint and exhaustive",
+    )
+    bench_merge.add_argument(
+        "shards", nargs="+", help="the per-shard bench JSON files (schema v6+)"
+    )
+    bench_merge.add_argument(
+        "--output", required=True, help="write the merged document to this path"
+    )
+
+    bench_trend = sub.add_parser(
+        "bench-trend",
+        help="compare two bench JSON documents cell-by-cell and fail on "
+        "wall-clock/probe-count regressions",
+    )
+    bench_trend.add_argument("old", help="baseline bench JSON (schema v5+)")
+    bench_trend.add_argument("new", help="candidate bench JSON (schema v5+)")
+    bench_trend.add_argument(
+        "--wall-clock-threshold",
+        type=float,
+        default=0.25,
+        help="relative wall-clock growth that trips the gate on a certified "
+        "cell (default: 0.25 = +25%%)",
+    )
+    bench_trend.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="ignore wall-clock growth on cells faster than this in both "
+        "runs (timing noise floor, default: 0.05s)",
+    )
+    bench_trend.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="do not fail when cells from the old run are absent from the "
+        "new one",
+    )
+    bench_trend.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_output",
+        help="write the machine-readable trend report (BENCH_TREND.json)",
+    )
+    bench_trend.add_argument(
+        "--markdown",
+        default=None,
+        metavar="PATH",
+        help="write a GitHub-flavoured Markdown summary (job summaries)",
+    )
+    bench_trend.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="truncate the per-cell table to this many clean cells "
+        "(regressed cells always print)",
     )
 
     microbench = sub.add_parser(
@@ -402,6 +499,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "bench":
+        from repro.evaluation.runner import shard_info, shard_suite
+
         instances = build_suite(
             args.suite,
             codes=args.codes,
@@ -409,6 +508,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             time_limit=args.timeout if args.timeout is not None else 120.0,
             backends=[args.sat_backend] if args.sat_backend else None,
         )
+        full_names = [instance.name for instance in instances]
+        shard = None
+        if args.shard is not None:
+            try:
+                index_text, _, count_text = args.shard.partition("/")
+                index, count = int(index_text), int(count_text)
+                shard = shard_info(full_names, index, count)
+            except ValueError as exc:
+                print(
+                    f"error: --shard must be I/N with 0 <= I < N, got "
+                    f"{args.shard!r} ({exc})",
+                    file=sys.stderr,
+                )
+                return 2
+            instances = shard_suite(instances, index, count)
+        if args.resume is not None and args.journal is not None:
+            if args.resume != args.journal:
+                print(
+                    "error: --resume already names the journal; do not pass "
+                    "a different --journal",
+                    file=sys.stderr,
+                )
+                return 2
+        journal_path = args.resume if args.resume is not None else args.journal
         try:
             results = run_batch(
                 instances,
@@ -416,14 +539,86 @@ def main(argv: Sequence[str] | None = None) -> int:
                 timeout=args.timeout,
                 output_path=args.output,
                 schema_version=args.schema_version,
+                journal_path=journal_path,
+                resume=args.resume is not None,
+                max_retries=args.max_retries,
+                shard=shard,
             )
         except OSError as exc:
-            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            print(f"error: {exc}", file=sys.stderr)
             return 1
+        except ValueError as exc:
+            # E.g. resuming a journal that belongs to a different suite.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(format_batch(results))
         if args.output:
             print(f"results written to {args.output}")
-        return 0 if all(result.status != "error" for result in results) else 1
+        return (
+            0
+            if all(result.status not in ("error", "failed") for result in results)
+            else 1
+        )
+
+    if args.command == "bench-merge":
+        from repro.evaluation.runner import (
+            load_document,
+            merge_documents,
+            save_document,
+        )
+
+        try:
+            documents = [load_document(path) for path in args.shards]
+            merged = merge_documents(documents)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            save_document(merged, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        shard = merged["shard"]
+        print(
+            f"merged {shard['merged_from']} shard(s): "
+            f"{merged['num_instances']} cells ({merged['num_ok']} ok), "
+            f"suite digest {shard['suite_digest'][:12]}…"
+        )
+        print(f"merged document written to {args.output}")
+        return 0
+
+    if args.command == "bench-trend":
+        from repro.evaluation.trend import (
+            compare_paths,
+            format_trend,
+            format_trend_markdown,
+            save_trend,
+        )
+
+        try:
+            report = compare_paths(
+                args.old,
+                args.new,
+                wall_clock_threshold=args.wall_clock_threshold,
+                min_seconds=args.min_seconds,
+                allow_missing=args.allow_missing,
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_trend(report, max_cells=args.max_cells))
+        try:
+            if args.json_output:
+                save_trend(report, args.json_output)
+                print(f"trend report written to {args.json_output}")
+            if args.markdown:
+                with open(args.markdown, "w", encoding="utf-8") as handle:
+                    handle.write(format_trend_markdown(report))
+                print(f"markdown summary written to {args.markdown}")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0 if report.ok else 1
 
     if args.command == "microbench":
         from repro.sat.bench import format_microbench, run_microbench

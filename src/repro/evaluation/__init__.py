@@ -9,32 +9,68 @@ from repro.evaluation.table1 import (
 )
 from repro.evaluation.figure4 import Figure4Bar, figure4_from_rows, format_figure4
 from repro.evaluation.exploration import ExplorationResult, run_architecture_exploration
+from repro.evaluation.journal import (
+    BenchJournal,
+    load_journal,
+    plan_resume,
+    suite_digest,
+)
 from repro.evaluation.runner import (
     BenchInstance,
     BenchResult,
     build_suite,
+    cell_shard,
     format_batch,
+    load_document,
     load_results,
+    merge_documents,
     run_batch,
+    save_document,
     save_results,
+    shard_info,
+    shard_suite,
+)
+from repro.evaluation.trend import (
+    TrendReport,
+    compare_documents,
+    compare_paths,
+    format_trend,
+    format_trend_markdown,
+    save_trend,
 )
 
 __all__ = [
     "BenchInstance",
+    "BenchJournal",
     "BenchResult",
     "ExplorationResult",
     "Figure4Bar",
     "LayoutResult",
     "Table1Row",
+    "TrendReport",
     "build_suite",
+    "cell_shard",
+    "compare_documents",
+    "compare_paths",
     "figure4_from_rows",
     "format_batch",
     "format_figure4",
     "format_table1",
+    "format_trend",
+    "format_trend_markdown",
+    "load_document",
+    "load_journal",
     "load_results",
+    "merge_documents",
+    "plan_resume",
     "run_architecture_exploration",
     "run_batch",
     "run_table1",
     "run_table1_row",
+    "save_document",
     "save_results",
+    "save_trend",
+    "shard_info",
+    "shard_suite",
+    "suite_digest",
 ]

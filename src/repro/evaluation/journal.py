@@ -1,0 +1,254 @@
+"""Per-cell completion journal for resumable benchmark suites.
+
+A bench run that dies halfway — machine preempted, worker OOM-killed,
+operator ^C — used to restart the whole suite from scratch: the output
+JSON is written once at the end, so a crash loses every completed cell.
+The journal fixes that with an **append-only JSONL file next to the
+output JSON** that records the life cycle of every cell as it happens:
+
+``{"event": "suite", ...}``
+    Header line written when a (new) journal is opened: the full expanded
+    cell list, its order-independent digest, and the shard assignment of
+    this run.  Resuming validates the header against the rebuilt suite so
+    a journal can never silently resume a *different* suite.
+
+``{"event": "start", "cell": ..., "attempt": k}``
+    Appended immediately before a cell's k-th execution attempt begins.
+    A ``start`` with no matching ``done`` means the attempt never finished
+    — the worker (or the whole harness) was killed mid-cell.
+
+``{"event": "done", "cell": ..., "result": {...}}``
+    Appended when an attempt produces a terminal
+    :class:`~repro.evaluation.runner.BenchResult` (``ok`` / ``error`` /
+    ``timeout`` / ``failed``), carrying the full serialised result.
+
+Because every line is flushed and fsync-free appends are atomic at these
+sizes, the journal survives ``SIGKILL`` at any point with at most the
+in-flight cells unaccounted for — exactly the cells a resumed run must
+re-queue.  :func:`plan_resume` turns a loaded journal plus the rebuilt
+suite into (results to carry forward, cells still to run, next attempt
+numbers), applying the retry policy:
+
+* ``ok`` / ``error`` / ``failed`` results are **carried** — they are
+  terminal outcomes (an ``error`` is a deterministic exception, rerunning
+  it buys nothing).
+* ``timeout`` results and crashed attempts (``start`` without ``done``)
+  are **re-queued**, unless the cell already burned ``1 + max_retries``
+  attempts, in which case it is carried as ``status: "failed"`` so the
+  suite completes instead of wedging on a poisoned cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import IO, Optional, Sequence
+
+#: Journal format version, bumped on incompatible line-shape changes.
+JOURNAL_VERSION = 1
+
+
+def suite_digest(cell_names: Sequence[str]) -> str:
+    """Order-independent SHA-256 digest of a suite's expanded cell list.
+
+    The digest identifies the *cell set*, not the execution order, so the
+    n shard journals of one suite and its unsharded journal all validate
+    against the same value and ``bench-merge`` can prove exhaustiveness.
+    """
+    hasher = hashlib.sha256()
+    for name in sorted(cell_names):
+        hasher.update(name.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def file_digest(path: str | os.PathLike) -> str:
+    """SHA-256 of a file's bytes (the ``journal_digest`` payload field)."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+class BenchJournal:
+    """Append-only writer for one run's journal file.
+
+    The writer is line-buffered and flushes after every event so the
+    journal is crash-consistent: a ``SIGKILL`` loses at most the line
+    being written, and :func:`load_journal` tolerates a torn final line.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+
+    def write_header(
+        self,
+        cell_names: Sequence[str],
+        shard: Optional[dict] = None,
+    ) -> None:
+        """Record the suite identity (skipped when resuming an old journal)."""
+        self._append(
+            {
+                "event": "suite",
+                "journal_version": JOURNAL_VERSION,
+                "cells": list(cell_names),
+                "suite_digest": suite_digest(cell_names),
+                "shard": shard,
+                "created_unix": time.time(),
+            }
+        )
+
+    def record_start(self, cell: str, attempt: int) -> None:
+        self._append({"event": "start", "cell": cell, "attempt": attempt})
+
+    def record_done(self, cell: str, attempt: int, result_entry: dict) -> None:
+        """Record a terminal attempt; *result_entry* is ``asdict(BenchResult)``."""
+        self._append(
+            {"event": "done", "cell": cell, "attempt": attempt, "result": result_entry}
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "BenchJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:  # pragma: no cover - misuse guard
+            raise ValueError("journal is closed")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+
+@dataclass
+class JournalState:
+    """Parsed view of a journal file."""
+
+    path: str
+    #: Cell list from the header (None when the journal has no header —
+    #: e.g. it was truncated to nothing).
+    cells: Optional[list[str]] = None
+    suite_digest: Optional[str] = None
+    shard: Optional[dict] = None
+    #: Highest attempt number *started* per cell.
+    attempts: dict[str, int] = field(default_factory=dict)
+    #: Last terminal result entry per cell (``asdict(BenchResult)`` shape).
+    completed: dict[str, dict] = field(default_factory=dict)
+
+    def crashed_cells(self) -> list[str]:
+        """Cells with a started attempt but no terminal result."""
+        return [cell for cell in self.attempts if cell not in self.completed]
+
+
+def load_journal(path: str | os.PathLike) -> JournalState:
+    """Parse a journal file, tolerating a torn (half-written) final line."""
+    state = JournalState(path=os.fspath(path))
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A kill mid-append can tear the last line; everything
+                # before it is still valid, so keep what parsed.
+                continue
+            event = record.get("event")
+            if event == "suite":
+                state.cells = list(record.get("cells") or [])
+                state.suite_digest = record.get("suite_digest")
+                state.shard = record.get("shard")
+            elif event == "start":
+                cell = record["cell"]
+                attempt = int(record.get("attempt", 1))
+                state.attempts[cell] = max(state.attempts.get(cell, 0), attempt)
+            elif event == "done":
+                cell = record["cell"]
+                attempt = int(record.get("attempt", 1))
+                state.attempts[cell] = max(state.attempts.get(cell, 0), attempt)
+                state.completed[cell] = record["result"]
+    return state
+
+
+@dataclass
+class ResumePlan:
+    """Outcome of :func:`plan_resume`: what to carry, what to rerun."""
+
+    #: Carried-forward results keyed by suite index (``asdict`` shape);
+    #: includes cells force-failed because their retry budget is spent.
+    carried: dict[int, dict] = field(default_factory=dict)
+    #: ``(suite_index, next_attempt)`` for every cell still to run.
+    pending: list[tuple[int, int]] = field(default_factory=list)
+    #: Cells re-queued because a previous attempt crashed or timed out.
+    requeued: list[str] = field(default_factory=list)
+    #: Cells force-failed because ``1 + max_retries`` attempts were spent.
+    exhausted: list[str] = field(default_factory=list)
+
+
+#: Result statuses that are terminal for resume purposes; ``timeout`` is
+#: deliberately absent — a timed-out cell is re-queued on resume.
+_TERMINAL_STATUSES = frozenset({"ok", "error", "failed"})
+
+
+def plan_resume(
+    cell_names: Sequence[str],
+    state: JournalState,
+    max_retries: int = 2,
+) -> ResumePlan:
+    """Partition *cell_names* into carried results and cells still to run.
+
+    Raises ``ValueError`` when the journal belongs to a different suite
+    (digest mismatch) — resuming someone else's journal would silently
+    drop or duplicate cells.
+    """
+    names = list(cell_names)
+    if state.suite_digest is not None:
+        expected = suite_digest(names)
+        if state.suite_digest != expected:
+            raise ValueError(
+                f"journal {state.path} records suite digest "
+                f"{state.suite_digest[:12]}… but the rebuilt suite has "
+                f"{expected[:12]}… — it belongs to a different suite "
+                "(same bench arguments are required to resume)"
+            )
+    max_attempts = 1 + max(0, max_retries)
+    plan = ResumePlan()
+    for index, name in enumerate(names):
+        attempts = state.attempts.get(name, 0)
+        done = state.completed.get(name)
+        if done is not None and done.get("status") in _TERMINAL_STATUSES:
+            plan.carried[index] = done
+            continue
+        if attempts >= max_attempts:
+            # Crash/timeout with the retry budget spent: record the cell as
+            # failed so the merged payload is complete and the suite does
+            # not wedge re-running a poisoned cell forever.
+            reason = (
+                "timed out" if done is not None else "crashed (no terminal result)"
+            )
+            plan.carried[index] = {
+                "name": name,
+                "suite": name.split("/", 1)[0],
+                "status": "failed",
+                "seconds": (done or {}).get("seconds", 0.0),
+                "payload": {},
+                "error": f"{reason} after {attempts} attempts",
+                "attempts": attempts,
+            }
+            plan.exhausted.append(name)
+            continue
+        if attempts:
+            plan.requeued.append(name)
+        plan.pending.append((index, attempts + 1))
+    return plan

@@ -13,30 +13,58 @@ Entry points
 
 * :func:`build_suite` — construct the instance list for a named suite
   (``smt``, ``table1``, ``exploration`` or ``all``).
+* :func:`shard_suite` — deterministically partition a suite into one of
+  ``n`` disjoint, exhaustive shards (``bench --shard i/n``) by a stable
+  hash of the cell name, so CI matrix legs and fleets of machines can
+  split one suite without coordination.
 * :func:`run_batch` — execute instances serially (``jobs <= 1``) or on a
-  process pool, with an optional per-instance timeout, and optionally
-  persist the results as JSON.
-* ``repro-nasp bench`` — the CLI wrapper around both (see
+  fault-tolerant worker pool, with an optional per-instance timeout, an
+  optional per-cell completion journal (crash/resume support, see
+  :mod:`repro.evaluation.journal`), and optional JSON persistence.
+* :func:`merge_documents` — union the JSON documents of a sharded run
+  back into one, proving the shards were disjoint and exhaustive
+  (``repro-nasp bench-merge``).
+* ``repro-nasp bench`` — the CLI wrapper around all of it (see
   :mod:`repro.cli`).
+
+Fault tolerance: each parallel cell runs in its own
+:class:`multiprocessing.Process`.  A worker that *crashes* (killed,
+OOM-ed, ``os._exit``) is detected via its exit code and the cell is
+retried up to ``1 + max_retries`` attempts before being recorded as
+``status: "failed"`` — a poisoned cell can no longer wedge the suite or
+take the whole pool down with a ``BrokenProcessPool``.  Teardown
+(normal, timeout, ``KeyboardInterrupt``) terminates **and joins** every
+live worker in a ``finally`` block so no child outlives the batch.
 
 The timeout is enforced on two levels: SMT specs forward it to the solver's
 anytime time limit (the worker stops by itself, in serial and parallel mode
-alike), and in parallel mode the harness additionally abandons any instance
-whose *execution* exceeds the budget — its result is recorded as
-``timeout`` and the straggler worker processes are terminated when the
-batch finishes.  Caveat: specs without a cooperative solver limit (table1,
+alike), and in parallel mode the harness additionally terminates any worker
+whose *execution* exceeds the budget — the cell is recorded as
+``timeout``.  Caveat: specs without a cooperative solver limit (table1,
 exploration) cannot be interrupted in serial mode; run those with
 ``jobs >= 2`` if a hard budget matters.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
+from multiprocessing.connection import wait as connection_wait
 from typing import Optional, Sequence
+
+from repro.evaluation.journal import (
+    BenchJournal,
+    file_digest,
+    load_journal,
+    plan_resume,
+    suite_digest,
+)
 
 #: The reduced-architecture instances exercised by the SMT suite; small
 #: enough for the pure-Python SAT core, structurally identical to the paper's
@@ -81,14 +109,23 @@ class BenchInstance:
 
 @dataclass
 class BenchResult:
-    """Outcome of one :class:`BenchInstance`."""
+    """Outcome of one :class:`BenchInstance`.
+
+    ``status`` is one of ``"ok"`` (payload valid), ``"error"`` (the spec
+    raised — deterministic, not retried), ``"timeout"`` (harness budget
+    exceeded; re-queued by ``--resume``), or ``"failed"`` (the worker
+    process crashed on every one of its ``1 + max_retries`` attempts).
+    ``attempts`` counts the execution attempts this outcome consumed
+    (schema v6; > 1 only when crash retries or a resume were involved).
+    """
 
     name: str
     suite: str
-    status: str  # "ok" | "timeout" | "error"
+    status: str  # "ok" | "timeout" | "error" | "failed"
     seconds: float
     payload: dict = field(default_factory=dict)
     error: Optional[str] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -225,6 +262,56 @@ def build_suite(
 
 
 # --------------------------------------------------------------------------- #
+# Deterministic sharding
+# --------------------------------------------------------------------------- #
+def cell_shard(name: str, count: int) -> int:
+    """Stable shard index of a cell, derived from a SHA-256 of its name.
+
+    Independent of Python's randomised ``hash()``, the process, and the
+    machine, so every leg of a fleet computes the same partition without
+    coordination and a re-run lands each cell on the same shard.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def shard_suite(
+    instances: Sequence[BenchInstance], index: int, count: int
+) -> list[BenchInstance]:
+    """The *index*-th of *count* disjoint shards of a fully-expanded suite.
+
+    The n shards of one suite are pairwise disjoint and their union is the
+    whole suite (every cell hashes to exactly one index), so n machines
+    running ``bench --shard i/n`` produce documents that
+    :func:`merge_documents` can union back into the unsharded result set.
+    """
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} outside 0..{count - 1}")
+    return [inst for inst in instances if cell_shard(inst.name, count) == index]
+
+
+def shard_info(
+    cell_names: Sequence[str], index: int = 0, count: int = 1
+) -> dict:
+    """Schema-v6 ``shard`` document field describing one run's slice.
+
+    *cell_names* is the **full pre-shard** cell list: the digest and total
+    identify the suite every shard belongs to, which is what lets
+    :func:`merge_documents` prove a merged run is exhaustive.
+    """
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} outside 0..{count - 1}")
+    return {
+        "index": index,
+        "count": count,
+        "suite_cells": len(cell_names),
+        "suite_digest": suite_digest(cell_names),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Workers (module-level so they pickle for ProcessPoolExecutor)
 # --------------------------------------------------------------------------- #
 def execute_spec(spec: dict) -> dict:
@@ -236,7 +323,48 @@ def execute_spec(spec: dict) -> dict:
         return _execute_table1(spec)
     if kind == "exploration":
         return _execute_exploration(spec)
+    if kind == "selftest":
+        return _execute_selftest(spec)
     raise ValueError(f"unknown spec kind {kind!r}")
+
+
+def _execute_selftest(spec: dict) -> dict:
+    """Fault-injection specs for exercising the fleet machinery itself.
+
+    Not part of any named suite: the fleet tests build these instances
+    directly to prove crash retry, timeout preemption, journal resume, and
+    worker teardown against *real* worker processes instead of mocks.
+
+    Ops: ``ok`` returns immediately; ``error`` raises; ``sleep`` blocks
+    for ``seconds`` (optionally writing its PID to ``pid_file`` first, so
+    a test can verify the worker was really killed); ``crash`` dies via
+    ``os._exit`` without a result — indistinguishable from an OOM kill;
+    ``crash-once`` crashes only while the ``marker`` file does not exist
+    (it creates it first), so exactly the first attempt dies and a retry
+    succeeds.
+    """
+    op = spec.get("op")
+    if op == "ok":
+        return {"op": "ok", "value": spec.get("value")}
+    if op == "error":
+        raise RuntimeError(spec.get("message", "injected error"))
+    if op == "sleep":
+        pid_file = spec.get("pid_file")
+        if pid_file:
+            with open(pid_file, "w", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+        time.sleep(float(spec["seconds"]))
+        return {"op": "sleep", "value": spec.get("value")}
+    if op == "crash":
+        os._exit(int(spec.get("exit_code", 66)))
+    if op == "crash-once":
+        marker = spec["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8"):
+                pass
+            os._exit(int(spec.get("exit_code", 66)))
+        return {"op": "crash-once", "survived": True}
+    raise ValueError(f"unknown selftest op {op!r}")
 
 
 def _execute_smt(spec: dict) -> dict:
@@ -279,6 +407,12 @@ def _execute_smt(spec: dict) -> dict:
         "num_horizons": report.num_horizons,
         "solver_seconds": report.solver_seconds,
     }
+    # Schema v6 fields: hot-loop throughput of the deciding SAT backend
+    # (per-check rates of the last probe), when the backend keeps the
+    # counters — the trend tool tracks these across commits.
+    for rate in ("sat_propagations_per_second", "sat_conflicts_per_second"):
+        if rate in report.statistics:
+            payload[rate] = report.statistics[rate]
     if report.winner is not None:
         # Schema v3 field (portfolio runs only); stripped for v2 documents.
         payload["winner"] = report.winner
@@ -327,13 +461,6 @@ def _execute_exploration(spec: dict) -> dict:
     }
 
 
-def _timed_execute(spec: dict) -> dict:
-    start = time.monotonic()
-    payload = execute_spec(spec)
-    payload["seconds"] = time.monotonic() - start
-    return payload
-
-
 # --------------------------------------------------------------------------- #
 # Batch execution
 # --------------------------------------------------------------------------- #
@@ -342,131 +469,293 @@ def run_batch(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     output_path: str | os.PathLike | None = None,
-    schema_version: int = 5,
+    schema_version: int = 6,
+    journal_path: str | os.PathLike | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    shard: Optional[dict] = None,
 ) -> list[BenchResult]:
     """Execute *instances*, optionally in parallel, and collect results.
 
     ``jobs=None`` or ``jobs <= 1`` runs serially in this process (no pickling
     round-trips, easiest to debug); larger values fan out across that many
-    worker processes.  *timeout* bounds each instance's execution time: SMT
-    instances enforce it cooperatively through the solver's anytime limit,
-    and in parallel mode the harness additionally abandons any instance that
-    overruns (status ``"timeout"``), terminating straggler workers at the
-    end of the batch.  Non-SMT instances cannot be preempted in serial mode.
-    When *output_path* is given the results are additionally persisted as
-    JSON.
+    worker processes, one :class:`multiprocessing.Process` per in-flight
+    cell.  *timeout* bounds each instance's execution time: SMT instances
+    enforce it cooperatively through the solver's anytime limit, and in
+    parallel mode the harness additionally terminates any worker that
+    overruns (status ``"timeout"``).  Non-SMT instances cannot be preempted
+    in serial mode.  When *output_path* is given the results are
+    additionally persisted as JSON.
+
+    *journal_path* appends a per-cell completion journal
+    (:mod:`repro.evaluation.journal`); with ``resume=True`` the journal is
+    loaded first and cells it proves complete are carried over instead of
+    re-run, while crashed and timed-out cells are re-queued.  A cell whose
+    worker crashes is retried up to ``1 + max_retries`` total attempts
+    (counting attempts recorded in a resumed journal) and then recorded as
+    ``status: "failed"``.  *shard* is the schema-v6 shard descriptor from
+    :func:`shard_info`; when omitted the run is recorded as the single
+    shard of its own cell set.
     """
-    if jobs is None or jobs <= 1:
-        results = _run_serial(instances, timeout)
-    else:
-        results = _run_parallel(instances, jobs, timeout)
+    names = [instance.name for instance in instances]
+    if shard is None:
+        shard = shard_info(names)
+    max_attempts = 1 + max(0, max_retries)
+    carried: dict[int, BenchResult] = {}
+    pending: list[tuple[int, BenchInstance, int]] = [
+        (index, instance, 1) for index, instance in enumerate(instances)
+    ]
+    journal: Optional[BenchJournal] = None
+    if resume:
+        if journal_path is None:
+            raise ValueError("resume=True requires a journal_path")
+        plan = plan_resume(names, load_journal(journal_path), max_retries=max_retries)
+        carried = {
+            index: _result_from_entry(entry) for index, entry in plan.carried.items()
+        }
+        pending = [
+            (index, instances[index], attempt) for index, attempt in plan.pending
+        ]
+        journal = BenchJournal(journal_path)
+    elif journal_path is not None:
+        journal = BenchJournal(journal_path)
+        journal.write_header(names, shard=shard)
+    try:
+        if jobs is None or jobs <= 1:
+            executed = _run_serial(pending, timeout, journal)
+        else:
+            executed = _run_parallel(pending, jobs, timeout, journal, max_attempts)
+    finally:
+        if journal is not None:
+            journal.close()
+    merged = {**carried, **executed}
+    results = [merged[index] for index in sorted(merged)]
     if output_path is not None:
-        save_results(results, output_path, schema_version=schema_version)
+        save_results(
+            results,
+            output_path,
+            schema_version=schema_version,
+            shard=shard,
+            journal_path=journal_path,
+        )
     return results
 
 
+def _result_from_entry(entry: dict) -> BenchResult:
+    """Rehydrate a :class:`BenchResult` from a journal/JSON entry."""
+    known = {f for f in BenchResult.__dataclass_fields__}
+    return BenchResult(**{k: v for k, v in entry.items() if k in known})
+
+
+def _journal_done(
+    journal: Optional[BenchJournal], attempt: int, result: BenchResult
+) -> None:
+    if journal is not None:
+        journal.record_done(result.name, attempt, asdict(result))
+
+
 def _run_serial(
-    instances: Sequence[BenchInstance], timeout: Optional[float]
-) -> list[BenchResult]:
-    results: list[BenchResult] = []
-    for instance in instances:
+    pending: Sequence[tuple[int, BenchInstance, int]],
+    timeout: Optional[float],
+    journal: Optional[BenchJournal],
+) -> dict[int, BenchResult]:
+    results: dict[int, BenchResult] = {}
+    for index, instance, attempt in pending:
+        if journal is not None:
+            journal.record_start(instance.name, attempt)
         spec = _with_timeout(instance.spec, timeout)
         start = time.monotonic()
         try:
             payload = execute_spec(spec)
         except Exception as exc:  # noqa: BLE001 - reported per instance
-            results.append(
-                BenchResult(
-                    name=instance.name,
-                    suite=instance.suite,
-                    status="error",
-                    seconds=time.monotonic() - start,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
+            result = BenchResult(
+                name=instance.name,
+                suite=instance.suite,
+                status="error",
+                seconds=time.monotonic() - start,
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=attempt,
             )
-            continue
-        results.append(
-            BenchResult(
+        else:
+            result = BenchResult(
                 name=instance.name,
                 suite=instance.suite,
                 status="ok",
                 seconds=time.monotonic() - start,
                 payload=payload,
+                attempts=attempt,
             )
-        )
+        results[index] = result
+        _journal_done(journal, attempt, result)
     return results
 
 
-def _run_parallel(
-    instances: Sequence[BenchInstance], jobs: int, timeout: Optional[float]
-) -> list[BenchResult]:
-    results: dict[int, BenchResult] = {}
-    abandoned_running = False
-    pool = ProcessPoolExecutor(max_workers=jobs)
+def _pool_worker(spec: dict, conn) -> None:
+    """Entry point of one cell's worker process.
+
+    Reports ``("ok", payload, seconds)`` or ``("error", message, seconds)``
+    through the pipe; a worker that dies without reporting is a crash and
+    the parent decides retry-or-fail from its exit code.
+    """
+    start = time.monotonic()
     try:
-        futures = {}
-        for index, instance in enumerate(instances):
-            future = pool.submit(_timed_execute, _with_timeout(instance.spec, timeout))
-            futures[future] = (index, instance)
-        pending = set(futures)
-        # Execution start per future, observed by polling: the timeout is a
-        # budget on a worker actually running the instance, so time spent
-        # waiting in the pool queue must not count against it.
-        execution_started: dict[object, float] = {}
-        while pending:
-            done, pending = wait(pending, timeout=0.5, return_when=FIRST_COMPLETED)
+        payload = execute_spec(spec)
+    except BaseException as exc:  # noqa: BLE001 - reported per instance
+        message = ("error", f"{type(exc).__name__}: {exc}", time.monotonic() - start)
+    else:
+        message = ("ok", payload, time.monotonic() - start)
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Inflight:
+    """One live worker process and the cell it is executing."""
+
+    index: int
+    instance: BenchInstance
+    attempt: int
+    process: multiprocessing.Process
+    conn: object
+    started: float
+
+
+def _run_parallel(
+    pending: Sequence[tuple[int, BenchInstance, int]],
+    jobs: int,
+    timeout: Optional[float],
+    journal: Optional[BenchJournal],
+    max_attempts: int,
+) -> dict[int, BenchResult]:
+    """Fault-tolerant pool: one process per in-flight cell.
+
+    Unlike a shared :class:`~concurrent.futures.ProcessPoolExecutor`, a
+    worker crash here is an isolated, attributable event: the dead
+    process's cell is re-queued (up to *max_attempts* total attempts, then
+    ``status: "failed"``) while every other cell keeps running — no
+    ``BrokenProcessPool`` cascade.  Teardown terminates and joins every
+    live worker in ``finally``, so a ``KeyboardInterrupt`` cannot leak
+    children past the batch.
+    """
+    ctx = multiprocessing.get_context()
+    queue: deque[tuple[int, BenchInstance, int]] = deque(pending)
+    live: list[_Inflight] = []
+    results: dict[int, BenchResult] = {}
+    try:
+        while queue or live:
+            while queue and len(live) < jobs:
+                index, instance, attempt = queue.popleft()
+                if journal is not None:
+                    journal.record_start(instance.name, attempt)
+                recv_conn, send_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_pool_worker,
+                    args=(_with_timeout(instance.spec, timeout), send_conn),
+                    daemon=True,
+                )
+                process.start()
+                send_conn.close()
+                live.append(
+                    _Inflight(index, instance, attempt, process, recv_conn,
+                              time.monotonic())
+                )
+            if live:
+                # Block until a worker reports, dies, or the poll interval
+                # elapses (the interval also paces timeout enforcement).
+                handles = [inflight.conn for inflight in live]
+                handles += [inflight.process.sentinel for inflight in live]
+                connection_wait(handles, timeout=0.2)
             now = time.monotonic()
-            for future in pending:
-                if future not in execution_started and future.running():
-                    execution_started[future] = now
-            for future in done:
-                index, instance = futures[future]
-                elapsed = now - execution_started.get(future, now)
-                try:
-                    payload = future.result()
-                except Exception as exc:  # noqa: BLE001 - reported per instance
-                    results[index] = BenchResult(
+            still_running: list[_Inflight] = []
+            for inflight in live:
+                instance, attempt = inflight.instance, inflight.attempt
+                message = None
+                if inflight.conn.poll():
+                    try:
+                        message = inflight.conn.recv()
+                    except (EOFError, OSError):
+                        message = None  # died mid-send: treat as a crash
+                if message is not None:
+                    status, body, seconds = message
+                    _reap_worker(inflight.process)
+                    result = BenchResult(
                         name=instance.name,
                         suite=instance.suite,
-                        status="error",
-                        seconds=elapsed,
-                        error=f"{type(exc).__name__}: {exc}",
+                        status=status,
+                        seconds=seconds,
+                        payload=body if status == "ok" else {},
+                        error=None if status == "ok" else body,
+                        attempts=attempt,
                     )
-                else:
-                    results[index] = BenchResult(
+                elif not inflight.process.is_alive():
+                    exitcode = inflight.process.exitcode
+                    _reap_worker(inflight.process)
+                    if attempt < max_attempts:
+                        # Crash: re-queue the cell for a fresh attempt.  No
+                        # result is recorded yet — the journal will see a new
+                        # `start` event when the retry launches.
+                        queue.append((inflight.index, instance, attempt + 1))
+                        inflight.conn.close()
+                        continue
+                    result = BenchResult(
                         name=instance.name,
                         suite=instance.suite,
-                        status="ok",
-                        seconds=payload.pop("seconds", elapsed),
-                        payload=payload,
+                        status="failed",
+                        seconds=now - inflight.started,
+                        error=(
+                            f"worker crashed (exit code {exitcode}) on "
+                            f"attempt {attempt}/{max_attempts}"
+                        ),
+                        attempts=attempt,
                     )
-            if timeout is not None:
-                overdue = {
-                    future
-                    for future in pending
-                    if future in execution_started
-                    and now - execution_started[future] > timeout
-                }
-                for future in overdue:
-                    index, instance = futures[future]
-                    results[index] = BenchResult(
+                elif timeout is not None and now - inflight.started > timeout:
+                    _terminate_worker(inflight.process)
+                    result = BenchResult(
                         name=instance.name,
                         suite=instance.suite,
                         status="timeout",
-                        seconds=now - execution_started[future],
+                        seconds=now - inflight.started,
                         error=f"exceeded {timeout:.0f}s harness timeout",
+                        attempts=attempt,
                     )
-                    abandoned_running = True
-                pending -= overdue
+                else:
+                    still_running.append(inflight)
+                    continue
+                inflight.conn.close()
+                results[inflight.index] = result
+                _journal_done(journal, attempt, result)
+            live = still_running
     finally:
-        # Don't block on abandoned workers: release the queue, then
-        # terminate any process still grinding on a timed-out instance.
-        workers = dict(getattr(pool, "_processes", None) or {})
-        pool.shutdown(wait=not abandoned_running, cancel_futures=True)
-        if abandoned_running:
-            for process in workers.values():
-                process.terminate()
-    return [results[index] for index in sorted(results)]
+        # Nothing may outlive the batch: terminate AND join every live
+        # worker (KeyboardInterrupt and errors included).
+        for inflight in live:
+            try:
+                _terminate_worker(inflight.process)
+            finally:
+                inflight.conn.close()
+    return results
+
+
+def _reap_worker(process: multiprocessing.Process) -> None:
+    """Join a finished worker (it exited or is exiting after reporting)."""
+    process.join(timeout=10.0)
+    if process.is_alive():  # pragma: no cover - defensive
+        process.kill()
+        process.join(timeout=10.0)
+
+
+def _terminate_worker(process: multiprocessing.Process) -> None:
+    """Terminate a live worker and wait until it is really gone."""
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+    else:
+        process.join(timeout=5.0)
 
 
 @dataclass
@@ -516,7 +805,6 @@ def race_to_first(
     outcome = RaceOutcome(winner_index=None, winner=None)
     deadline = start + timeout if timeout is not None else None
     pool = ProcessPoolExecutor(max_workers=jobs)
-    abandoned_running = False
     try:
         futures = {pool.submit(fn, task): index for index, task in enumerate(tasks)}
         pending = set(futures)
@@ -536,15 +824,21 @@ def race_to_first(
             if deadline is not None and time.monotonic() > deadline:
                 break
         outcome.cancelled = sorted(futures[future] for future in pending)
-        abandoned_running = bool(pending)
     finally:
-        # Losers must not keep burning CPU: release the queue, then
-        # terminate any worker still grinding on a cancelled task.
+        # Losers must not keep burning CPU, and no worker may outlive the
+        # race (KeyboardInterrupt included): release the queue without
+        # blocking, then terminate AND join every pool process.  Idle
+        # workers die instantly; ones still grinding on a loser are killed.
         workers = dict(getattr(pool, "_processes", None) or {})
-        pool.shutdown(wait=not abandoned_running, cancel_futures=True)
-        if abandoned_running:
-            for process in workers.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in workers.values():
+            if process.is_alive():
                 process.terminate()
+        for process in workers.values():
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5.0)
     outcome.seconds = time.monotonic() - start
     return outcome
 
@@ -567,28 +861,42 @@ def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
 _V3_PAYLOAD_KEYS = ("winner",)
 _V4_PAYLOAD_KEYS = ("sat_backend",)
 _V5_PAYLOAD_KEYS = ("lower_bound_source", "upper_bound_source")
+_V6_PAYLOAD_KEYS = ("sat_propagations_per_second", "sat_conflicts_per_second")
+
+#: Every version :func:`save_results` can emit.
+BENCH_SCHEMA_VERSIONS = (2, 3, 4, 5, 6)
 
 
 def save_results(
     results: Sequence[BenchResult],
     path: str | os.PathLike,
-    schema_version: int = 5,
+    schema_version: int = 6,
+    shard: Optional[dict] = None,
+    journal_path: str | os.PathLike | None = None,
 ) -> None:
     """Persist a batch run as a JSON document.
 
     Schema history: version 2 gave SMT payloads the search trajectory
     (strategy/lower_bound/upper_bound/stages_tried/num_horizons); version 3
     added the portfolio's ``winner`` configuration; version 4 added the SAT
-    backend (``sat_backend``) that decided the probes; version 5 (default)
-    adds the bound-certificate provenance (``lower_bound_source`` /
-    ``upper_bound_source``).  Requesting an older version strips the newer
-    fields so downstream consumers pinned to it keep loading
-    byte-compatible payloads.
+    backend (``sat_backend``) that decided the probes; version 5 added the
+    bound-certificate provenance (``lower_bound_source`` /
+    ``upper_bound_source``); version 6 (default) is the bench-fleet schema:
+    per-result ``attempts`` and the ``"failed"`` status, per-payload SAT
+    throughput rates, and the document-level ``shard`` descriptor plus
+    ``journal_digest`` (SHA-256 of the completion journal that produced the
+    run, ``None`` when it ran unjournalled).  Requesting an older version
+    strips the newer fields so downstream consumers pinned to it keep
+    loading byte-compatible payloads.
     """
-    if schema_version not in (2, 3, 4, 5):
+    if schema_version not in BENCH_SCHEMA_VERSIONS:
         raise ValueError(f"unknown bench schema version {schema_version}")
     serialised = [asdict(result) for result in results]
     stripped_keys: tuple[str, ...] = ()
+    if schema_version <= 5:
+        stripped_keys += _V6_PAYLOAD_KEYS
+        for entry in serialised:
+            entry.pop("attempts", None)
     if schema_version <= 4:
         stripped_keys += _V5_PAYLOAD_KEYS
     if schema_version <= 3:
@@ -605,16 +913,118 @@ def save_results(
         "num_ok": sum(1 for r in results if r.ok),
         "results": serialised,
     }
+    if schema_version >= 6:
+        document["shard"] = (
+            shard
+            if shard is not None
+            else shard_info([result.name for result in results])
+        )
+        document["journal_digest"] = (
+            file_digest(journal_path)
+            if journal_path is not None and os.path.exists(journal_path)
+            else None
+        )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
+def load_document(path: str | os.PathLike) -> dict:
+    """Load the raw JSON document persisted by :func:`save_results`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def load_results(path: str | os.PathLike) -> list[BenchResult]:
     """Load a batch run persisted by :func:`save_results`."""
-    with open(path, encoding="utf-8") as handle:
-        document = json.load(handle)
-    return [BenchResult(**entry) for entry in document["results"]]
+    return [
+        _result_from_entry(entry) for entry in load_document(path)["results"]
+    ]
+
+
+def merge_documents(documents: Sequence[dict]) -> dict:
+    """Union the shard documents of one suite into a single document.
+
+    Validates the merge end-to-end: every document must be a schema-v6+
+    shard of the **same** suite (identical shard ``count``,
+    ``suite_digest`` and ``suite_cells``), the shard indices must cover
+    ``0..count-1`` exactly once, every cell must live on the shard its
+    name hashes to, no cell may appear twice, and the union must
+    reproduce the suite digest — i.e. be exhaustive, not merely large
+    enough.  Raises ``ValueError`` with a precise message otherwise.
+    """
+    if not documents:
+        raise ValueError("no documents to merge")
+    for document in documents:
+        version = document.get("version", 0)
+        if version < 6 or document.get("shard") is None:
+            raise ValueError(
+                "bench-merge requires schema v6+ shard documents "
+                f"(got version {version})"
+            )
+    shards = [document["shard"] for document in documents]
+    for key in ("count", "suite_digest", "suite_cells"):
+        values = {shard[key] for shard in shards}
+        if len(values) > 1:
+            raise ValueError(
+                f"documents disagree on shard {key}: {sorted(values)} — "
+                "they do not belong to the same suite run"
+            )
+    count = shards[0]["count"]
+    indices = sorted(shard["index"] for shard in shards)
+    if indices != list(range(count)):
+        raise ValueError(
+            f"shard indices {indices} do not cover 0..{count - 1} exactly "
+            "once — a shard leg is missing or duplicated"
+        )
+    entries: dict[str, dict] = {}
+    for document, shard in zip(documents, shards):
+        for entry in document["results"]:
+            name = entry["name"]
+            if name in entries:
+                raise ValueError(f"cell {name!r} appears in more than one shard")
+            owner = cell_shard(name, count)
+            if owner != shard["index"]:
+                raise ValueError(
+                    f"cell {name!r} found on shard {shard['index']} but "
+                    f"hashes to shard {owner} — the partition is corrupt"
+                )
+            entries[name] = entry
+    expected_cells = shards[0]["suite_cells"]
+    if len(entries) != expected_cells:
+        raise ValueError(
+            f"merged run covers {len(entries)} cells but the suite has "
+            f"{expected_cells} — cells are missing"
+        )
+    merged_digest = suite_digest(list(entries))
+    if merged_digest != shards[0]["suite_digest"]:
+        raise ValueError(
+            "merged cell set does not reproduce the suite digest — the "
+            "shards cover the right number of cells but not the right ones"
+        )
+    merged_results = [entries[name] for name in sorted(entries)]
+    return {
+        "version": 6,
+        "created_unix": max(doc.get("created_unix", 0.0) for doc in documents),
+        "num_instances": len(merged_results),
+        "num_ok": sum(1 for entry in merged_results if entry["status"] == "ok"),
+        "shard": {
+            "index": 0,
+            "count": 1,
+            "suite_cells": expected_cells,
+            "suite_digest": merged_digest,
+            "merged_from": count,
+        },
+        "journal_digest": None,
+        "results": merged_results,
+    }
+
+
+def save_document(document: dict, path: str | os.PathLike) -> None:
+    """Persist a raw document (e.g. a :func:`merge_documents` union)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def strategy_horizons(

@@ -225,7 +225,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
-    assert document["version"] == 5
+    assert document["version"] == 6
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -401,13 +401,20 @@ def _fake_smt_result(
 #: or below it.
 _SCHEMA_STRIP_TABLE = {
     2: {"winner": False, "sat_backend": False,
-        "lower_bound_source": False, "upper_bound_source": False},
+        "lower_bound_source": False, "upper_bound_source": False,
+        "sat_propagations_per_second": False},
     3: {"winner": True, "sat_backend": False,
-        "lower_bound_source": False, "upper_bound_source": False},
+        "lower_bound_source": False, "upper_bound_source": False,
+        "sat_propagations_per_second": False},
     4: {"winner": True, "sat_backend": True,
-        "lower_bound_source": False, "upper_bound_source": False},
+        "lower_bound_source": False, "upper_bound_source": False,
+        "sat_propagations_per_second": False},
     5: {"winner": True, "sat_backend": True,
-        "lower_bound_source": True, "upper_bound_source": True},
+        "lower_bound_source": True, "upper_bound_source": True,
+        "sat_propagations_per_second": False},
+    6: {"winner": True, "sat_backend": True,
+        "lower_bound_source": True, "upper_bound_source": True,
+        "sat_propagations_per_second": True},
 }
 
 
@@ -418,6 +425,7 @@ def test_save_results_version_gates_are_symmetric(version, tmp_path):
     results = [_fake_smt_result("portfolio", winner={"strategy": "bisection"})]
     results[0].payload["lower_bound_source"] = "clique+transfer"
     results[0].payload["upper_bound_source"] = "structured-airborne"
+    results[0].payload["sat_propagations_per_second"] = 1.5e6
     path = tmp_path / f"v{version}.json"
     save_results(results, path, schema_version=version)
     document = json.loads(path.read_text())
@@ -425,6 +433,12 @@ def test_save_results_version_gates_are_symmetric(version, tmp_path):
     payload = document["results"][0]["payload"]
     for key, kept in _SCHEMA_STRIP_TABLE[version].items():
         assert (key in payload) is kept, (version, key)
+    # The v6 fleet fields follow the same contract at the entry and
+    # document levels: attempts/shard/journal_digest exist from v6 only.
+    entry = document["results"][0]
+    assert ("attempts" in entry) is (version >= 6)
+    assert ("shard" in document) is (version >= 6)
+    assert ("journal_digest" in document) is (version >= 6)
     # Stripping happens on the serialised copy, not the live results.
     for key in _SCHEMA_STRIP_TABLE[version]:
         assert key in results[0].payload
