@@ -24,6 +24,8 @@ Examples
     repro-nasp bench-trend baseline.json merged.json --json BENCH_TREND.json
     repro-nasp microbench --output microbench.json
     repro-nasp microbench --backend dimacs-subprocess flat
+    repro-nasp microbench --chrono --output chrono.json
+    repro-nasp schedule steane --strategy bisection --sat-chrono off
 """
 
 from __future__ import annotations
@@ -111,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="SAT backend deciding the SMT probes (default: the in-process "
         "flat-array core; 'dimacs-subprocess' pipes DIMACS to an external "
         "solver binary)",
+    )
+    schedule.add_argument(
+        "--sat-chrono",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="chronological backtracking in the flat SAT core (auto: the "
+        "backend default, currently on); a pure search heuristic — answers "
+        "never change",
+    )
+    schedule.add_argument(
+        "--sat-inprocessing",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="inprocessing (clause vivification + subsumption) in the flat "
+        "SAT core (auto: the backend default, currently on)",
     )
     schedule.add_argument("--json", action="store_true", help="dump the schedule as JSON")
     schedule.add_argument(
@@ -314,9 +331,22 @@ def build_parser() -> argparse.ArgumentParser:
         "baseline for a zero exit code (default: flat reference)",
     )
     microbench.add_argument(
+        "--chrono",
+        action="store_true",
+        help="run the chronological-backtracking gate instead: the flat "
+        "core with chrono + inprocessing (its defaults) vs the same core "
+        "with both off, UNSAT cells gating on improvement and SAT cells on "
+        "no-regression (--backend is ignored)",
+    )
+    microbench.add_argument(
         "--output", default=None, help="persist the comparison as JSON to this path"
     )
     return parser
+
+
+def _tristate(value: str) -> bool | None:
+    """Map an ``auto``/``on``/``off`` CLI choice to ``None``/``True``/``False``."""
+    return None if value == "auto" else value == "on"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -368,6 +398,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     strategy=args.strategy,
                     time_limit_per_instance=args.timeout,
                     sat_backend=args.sat_backend,
+                    sat_chrono=_tristate(args.sat_chrono),
+                    sat_inprocessing=_tristate(args.sat_inprocessing),
                 )
             except ValueError as exc:
                 # E.g. the requested SAT backend has no solver binary.
@@ -621,18 +653,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0 if report.ok else 1
 
     if args.command == "microbench":
-        from repro.sat.bench import format_microbench, run_microbench
+        from repro.sat.bench import (
+            format_chrono_microbench,
+            format_microbench,
+            run_chrono_microbench,
+            run_microbench,
+        )
 
         try:
-            document = run_microbench(
-                backends=tuple(args.backends) if args.backends else None
-            )
+            if args.chrono:
+                document = run_chrono_microbench()
+            else:
+                document = run_microbench(
+                    backends=tuple(args.backends) if args.backends else None
+                )
         except (ValueError, RuntimeError) as exc:
             # E.g. a backend compared with itself, or one whose solver
             # binary is missing.
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        print(format_microbench(document))
+        print(
+            format_chrono_microbench(document)
+            if args.chrono
+            else format_microbench(document)
+        )
         if args.output:
             try:
                 with open(args.output, "w", encoding="utf-8") as handle:
@@ -642,9 +686,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
                 return 1
             print(f"comparison written to {args.output}")
-        # Non-zero exit = the candidate backend did not beat the baseline;
-        # under the default flat-vs-reference pairing CI treats this as a
-        # propagation-throughput regression.
+        # Non-zero exit = the candidate did not beat the baseline (default
+        # pairing: a propagation-throughput regression of the flat core;
+        # --chrono: the chronological-backtracking gate failed).
+        if args.chrono:
+            return 0 if document["chrono_gate_passed"] else 1
         return 0 if document["candidate_faster_everywhere"] else 1
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

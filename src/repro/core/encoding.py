@@ -201,17 +201,19 @@ def encode_instance(
     num_stages: int,
     shielding: bool | None = None,
     backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> EncodedInstance:
     """Build the symbolic formulation for a fixed stage count.
 
     *shielding* defaults to "the architecture has a storage zone", matching
     the paper's handling of Layout 1 (footnote 2).  *backend* selects the
-    SAT backend by registry name (default: the in-process flat core).
+    SAT backend by registry name (default: the in-process flat core);
+    *backend_options* tunes it (e.g. ``chrono`` / ``inprocessing``).
     """
     normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
-    solver = Solver(backend=backend)
+    solver = Solver(backend=backend, backend_options=backend_options)
     variables = StatePrepVariables.create(
         solver, architecture, num_qubits, len(normalised), num_stages
     )
@@ -235,17 +237,19 @@ def encode_incremental_instance(
     max_stages: int,
     shielding: bool | None = None,
     backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> IncrementalInstance:
     """Build a growable instance starting at *num_stages* stages.
 
     The instance can later be extended up to *max_stages* stages without
     re-encoding the stages that already exist.  *backend* selects the SAT
-    backend by registry name (default: the in-process flat core).
+    backend by registry name (default: the in-process flat core);
+    *backend_options* tunes it (e.g. ``chrono`` / ``inprocessing``).
     """
     normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
-    solver = Solver(incremental=True, backend=backend)
+    solver = Solver(incremental=True, backend=backend, backend_options=backend_options)
     variables = StatePrepVariables.create(
         solver,
         architecture,
@@ -266,7 +270,10 @@ def encode_incremental_instance(
 
 
 def encode_problem(
-    problem: "SchedulingProblem", num_stages: int, backend: str | None = None
+    problem: "SchedulingProblem",
+    num_stages: int,
+    backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> EncodedInstance:
     """Cold-start encoding of a :class:`SchedulingProblem` at a fixed S."""
     return encode_instance(
@@ -276,6 +283,7 @@ def encode_problem(
         num_stages,
         shielding=problem.shielding,
         backend=backend,
+        backend_options=backend_options,
     )
 
 
@@ -284,6 +292,7 @@ def encode_incremental_problem(
     num_stages: int,
     max_stages: int,
     backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> IncrementalInstance:
     """Growable encoding of a :class:`SchedulingProblem`."""
     return encode_incremental_instance(
@@ -294,6 +303,7 @@ def encode_incremental_problem(
         max_stages=max_stages,
         shielding=problem.shielding,
         backend=backend,
+        backend_options=backend_options,
     )
 
 

@@ -72,6 +72,8 @@ class SMTScheduler:
         strategy: str = "linear",
         phase_seed: Optional[int] = None,
         sat_backend: Optional[str] = None,
+        sat_chrono: Optional[bool] = None,
+        sat_inprocessing: Optional[bool] = None,
     ) -> None:
         # Resolve eagerly so unknown names and incompatible configurations
         # fail at construction time, not mid-batch.
@@ -94,6 +96,8 @@ class SMTScheduler:
             incremental=incremental,
             phase_seed=phase_seed,
             sat_backend=sat_backend,
+            sat_chrono=sat_chrono,
+            sat_inprocessing=sat_inprocessing,
         )
 
     @property

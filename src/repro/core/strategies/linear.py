@@ -59,7 +59,12 @@ class LinearStrategy(SearchStrategy):
                 result = context.decide(num_stages)
                 report.statistics = context.statistics()
             else:
-                instance = encode_problem(problem, num_stages, backend=limits.sat_backend)
+                instance = encode_problem(
+                    problem,
+                    num_stages,
+                    backend=limits.sat_backend,
+                    backend_options=limits.sat_backend_options or None,
+                )
                 result = instance.check(
                     max_conflicts=limits.max_conflicts, time_limit=limits.time_limit
                 )

@@ -407,12 +407,19 @@ def _execute_smt(spec: dict) -> dict:
         "num_horizons": report.num_horizons,
         "solver_seconds": report.solver_seconds,
     }
-    # Schema v6 fields: hot-loop throughput of the deciding SAT backend
-    # (per-check rates of the last probe), when the backend keeps the
-    # counters — the trend tool tracks these across commits.
-    for rate in ("sat_propagations_per_second", "sat_conflicts_per_second"):
-        if rate in report.statistics:
-            payload[rate] = report.statistics[rate]
+    # Schema v6 fields: hot-loop telemetry of the deciding SAT backend
+    # (per-check rates and search/inprocessing counters of the last probe),
+    # when the backend keeps them — the trend tool tracks these across
+    # commits.
+    for key in (
+        "sat_propagations_per_second",
+        "sat_conflicts_per_second",
+        "sat_chrono_backtracks",
+        "sat_vivified_literals",
+        "sat_subsumed_clauses",
+    ):
+        if key in report.statistics:
+            payload[key] = report.statistics[key]
     if report.winner is not None:
         # Schema v3 field (portfolio runs only); stripped for v2 documents.
         payload["winner"] = report.winner
@@ -861,7 +868,13 @@ def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
 _V3_PAYLOAD_KEYS = ("winner",)
 _V4_PAYLOAD_KEYS = ("sat_backend",)
 _V5_PAYLOAD_KEYS = ("lower_bound_source", "upper_bound_source")
-_V6_PAYLOAD_KEYS = ("sat_propagations_per_second", "sat_conflicts_per_second")
+_V6_PAYLOAD_KEYS = (
+    "sat_propagations_per_second",
+    "sat_conflicts_per_second",
+    "sat_chrono_backtracks",
+    "sat_vivified_literals",
+    "sat_subsumed_clauses",
+)
 
 #: Every version :func:`save_results` can emit.
 BENCH_SCHEMA_VERSIONS = (2, 3, 4, 5, 6)

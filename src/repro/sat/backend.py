@@ -28,9 +28,18 @@ Built-in backends:
 
 =====================  =====================================================
 ``flat`` (default)     :class:`repro.sat.solver.CDCLSolver`, the flat-array
-                       hot-path rewrite
+                       hot-path rewrite (chronological backtracking and
+                       inprocessing on; both tunable via backend options)
+``flat-nochrono``      the same core with chronological backtracking and
+                       inprocessing hard-disabled — the microbench baseline
+                       proving the knobs keep paying for themselves
 ``reference``          :class:`repro.sat.reference.ReferenceCDCLSolver`, the
                        preserved seed core (differential oracle / baseline)
+``ipasir``             :class:`repro.sat.ipasir.IpasirBackend`, a ctypes
+                       binding of a native IPASIR library (set
+                       ``REPRO_IPASIR_LIB`` or have ``libcadical.so`` /
+                       ``libkissat.so`` loadable); natively incremental —
+                       learned clauses survive across assumption probes
 ``dimacs-subprocess``  external solver binary via DIMACS pipe (set
                        ``REPRO_SAT_BINARY`` or have one of the well-known
                        binaries on ``PATH``)
@@ -55,6 +64,12 @@ from typing import (
 )
 
 from repro.sat.cnf import CNF
+from repro.sat.ipasir import (
+    IPASIR_LIB_ENV,
+    IpasirBackend,
+    KNOWN_IPASIR_LIBRARIES,
+    find_ipasir_library,
+)
 from repro.sat.reference import ReferenceCDCLSolver
 from repro.sat.solver import CDCLSolver, SolveResult
 
@@ -142,6 +157,11 @@ class BackendInfo:
     #: of its bound-driven configurations.  The seed reference core is kept
     #: out: it exists to stay slow, racing it only burns a worker.
     race_variant: bool = True
+    #: Keyword options the factory accepts.  :func:`create_backend` forwards
+    #: only these and silently drops the rest: backend options tune search
+    #: heuristics, never semantics, so a backend that lacks a knob simply
+    #: runs without it (mirroring how phase hints degrade).
+    option_names: tuple[str, ...] = ()
 
 
 _REGISTRY: dict[str, BackendInfo] = {}
@@ -177,8 +197,14 @@ def backend_info(name: Optional[str] = None) -> BackendInfo:
         raise ValueError(f"unknown SAT backend {key!r} (available: {known})") from None
 
 
-def create_backend(name: Optional[str] = None) -> SatBackend:
+def create_backend(name: Optional[str] = None, **options: object) -> SatBackend:
     """Instantiate the backend registered under *name* (default: ``flat``).
+
+    Keyword *options* (e.g. ``chrono=False``, ``inprocessing=False`` for the
+    flat core) are forwarded when the backend declares them in
+    :attr:`BackendInfo.option_names`; undeclared options and ``None`` values
+    are silently dropped — options tune heuristics, never semantics, so a
+    backend without the knob just runs its defaults.
 
     Raises ``ValueError`` for unknown names and ``RuntimeError`` when the
     backend is registered but its runtime requirements are not met (e.g. no
@@ -191,7 +217,12 @@ def create_backend(name: Optional[str] = None) -> SatBackend:
             f"SAT backend {info.name!r} is registered but unavailable: "
             f"{info.description or 'runtime requirements not met'}"
         )
-    return info.factory()
+    accepted = {
+        key: value
+        for key, value in options.items()
+        if key in info.option_names and value is not None
+    }
+    return info.factory(**accepted) if accepted else info.factory()
 
 
 # --------------------------------------------------------------------------- #
@@ -260,6 +291,7 @@ class DimacsSubprocessBackend:
         self._model: dict[int, bool] = {}
         self._solves = 0
         self._solve_seconds = 0.0
+        self._dump_cache_hits = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -314,6 +346,7 @@ class DimacsSubprocessBackend:
         return {
             "subprocess_solves": self._solves,
             "solve_seconds": self._solve_seconds,
+            "dimacs_dump_cache_hits": self._dump_cache_hits,
         }
 
     # ------------------------------------------------------------------ #
@@ -345,10 +378,17 @@ class DimacsSubprocessBackend:
         with tempfile.TemporaryDirectory(prefix="repro-sat-") as tmp:
             cnf_path = os.path.join(tmp, "instance.cnf")
             with open(cnf_path, "w", encoding="utf-8") as handle:
-                clauses = self._cnf.clauses
-                handle.write(f"p cnf {num_vars} {len(clauses) + len(assumptions)}\n")
-                for clause in clauses:
-                    handle.write(" ".join(map(str, clause)) + " 0\n")
+                # Consecutive probes of an unchanged clause DB (the normal
+                # shape of assumption emulation: only the appended unit
+                # clauses differ between horizons) reuse the memoised clause
+                # body instead of re-serialising the whole formula.
+                if self._cnf.dimacs_body_cached:
+                    self._dump_cache_hits += 1
+                body = self._cnf.dimacs_body()
+                handle.write(
+                    f"p cnf {num_vars} {self._cnf.num_clauses + len(assumptions)}\n"
+                )
+                handle.write(body)
                 for lit in assumptions:
                     handle.write(f"{lit} 0\n")
             command = [self._binary, cnf_path]
@@ -446,6 +486,23 @@ register_backend(
         name="flat",
         factory=CDCLSolver,
         description="in-process flat-array CDCL core (the default hot path)",
+        option_names=(
+            "chrono",
+            "inprocessing",
+            "chrono_threshold",
+            "inprocess_interval",
+        ),
+    )
+)
+register_backend(
+    BackendInfo(
+        name="flat-nochrono",
+        factory=lambda: CDCLSolver(chrono=False, inprocessing=False),
+        description=(
+            "flat core with chronological backtracking and inprocessing "
+            "disabled (microbench baseline for the chrono gate)"
+        ),
+        race_variant=False,
     )
 )
 register_backend(
@@ -454,6 +511,18 @@ register_backend(
         factory=ReferenceCDCLSolver,
         description="preserved seed CDCL core (benchmark baseline / oracle)",
         race_variant=False,
+    )
+)
+register_backend(
+    BackendInfo(
+        name="ipasir",
+        factory=IpasirBackend,
+        description=(
+            "ctypes IPASIR binding (natively incremental); needs "
+            f"${IPASIR_LIB_ENV} or a loadable soname such as "
+            f"{KNOWN_IPASIR_LIBRARIES[0]} / libkissat.so"
+        ),
+        is_available=lambda: find_ipasir_library() is not None,
     )
 )
 register_backend(

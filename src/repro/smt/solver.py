@@ -137,8 +137,16 @@ class Solver:
     """Finite-domain SMT solver with a Z3-like interface."""
 
     def __init__(
-        self, incremental: bool = False, backend: Optional[str] = None
+        self,
+        incremental: bool = False,
+        backend: Optional[str] = None,
+        backend_options: Optional[dict] = None,
     ) -> None:
+        """*backend_options* are forwarded to
+        :func:`repro.sat.backend.create_backend` (e.g. ``chrono`` /
+        ``inprocessing`` for the flat core); options a backend does not
+        declare are dropped there — they tune heuristics, never answers.
+        """
         self._constraints: list[T.BoolExpr] = []
         self._scopes: list[int] = []
         self._variables: list[T.Expr] = []
@@ -147,13 +155,16 @@ class Solver:
         self._incremental = incremental
         # Resolve the name eagerly so typos fail at construction time.
         self._backend_name = backend_info(backend).name
+        self._backend_options = dict(backend_options or {})
         self._sat_solver: Optional[SatBackend] = None
         self._encoder: Optional[ExpressionEncoder] = None
         self._encoded_constraints = 0
         self._encoded_variables = 0
         self._pending_phase_hints: dict = {}
         if incremental:
-            self._sat_solver = create_backend(self._backend_name)
+            self._sat_solver = create_backend(
+                self._backend_name, **self._backend_options
+            )
             self._encoder = ExpressionEncoder(self._sat_solver)
 
     @property
@@ -165,6 +176,11 @@ class Solver:
     def backend(self) -> str:
         """Registry name of the SAT backend deciding the formulas."""
         return self._backend_name
+
+    @property
+    def backend_options(self) -> dict:
+        """Options forwarded to the backend factory (heuristics only)."""
+        return dict(self._backend_options)
 
     # ------------------------------------------------------------------ #
     # Variable creation helpers
@@ -295,7 +311,7 @@ class Solver:
             new_variables = self._variables[self._encoded_variables :]
             new_constraints = self._constraints[self._encoded_constraints :]
         else:
-            sat_solver = create_backend(self._backend_name)
+            sat_solver = create_backend(self._backend_name, **self._backend_options)
             encoder = ExpressionEncoder(sat_solver)
             new_variables = self._variables
             new_constraints = self._constraints
@@ -351,14 +367,17 @@ class Solver:
             **deltas,
         }
         # Per-check throughput of the CDCL hot loop, derived from the deltas
-        # (the SolverStatistics rates are lifetime averages).
+        # (the SolverStatistics rates are lifetime averages).  The denominator
+        # is floored at 1 ns: trivially-fast probes can measure a wall-clock
+        # small enough that the division overflows to inf, which would poison
+        # the throughput fields consumed by bench-trend.
         for rate, counter in (
             ("sat_propagations_per_second", "sat_propagations"),
             ("sat_conflicts_per_second", "sat_conflicts"),
         ):
             if counter in deltas:
                 self._last_statistics[rate] = (
-                    deltas[counter] / solve_time if solve_time > 0 else 0.0
+                    deltas[counter] / max(solve_time, 1e-9) if solve_time > 0 else 0.0
                 )
         if result is SolveResult.UNSAT:
             self._model = None

@@ -402,19 +402,24 @@ def _fake_smt_result(
 _SCHEMA_STRIP_TABLE = {
     2: {"winner": False, "sat_backend": False,
         "lower_bound_source": False, "upper_bound_source": False,
-        "sat_propagations_per_second": False},
+        "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
     3: {"winner": True, "sat_backend": False,
         "lower_bound_source": False, "upper_bound_source": False,
-        "sat_propagations_per_second": False},
+        "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
     4: {"winner": True, "sat_backend": True,
         "lower_bound_source": False, "upper_bound_source": False,
-        "sat_propagations_per_second": False},
+        "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
     5: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
-        "sat_propagations_per_second": False},
+        "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
     6: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
-        "sat_propagations_per_second": True},
+        "sat_propagations_per_second": True, "sat_chrono_backtracks": True,
+        "sat_vivified_literals": True, "sat_subsumed_clauses": True},
 }
 
 
@@ -426,6 +431,9 @@ def test_save_results_version_gates_are_symmetric(version, tmp_path):
     results[0].payload["lower_bound_source"] = "clique+transfer"
     results[0].payload["upper_bound_source"] = "structured-airborne"
     results[0].payload["sat_propagations_per_second"] = 1.5e6
+    results[0].payload["sat_chrono_backtracks"] = 12
+    results[0].payload["sat_vivified_literals"] = 7
+    results[0].payload["sat_subsumed_clauses"] = 3
     path = tmp_path / f"v{version}.json"
     save_results(results, path, schema_version=version)
     document = json.loads(path.read_text())

@@ -55,9 +55,32 @@ def no_solver(monkeypatch):
 def test_builtin_backends_are_registered():
     names = available_backends()
     assert "flat" in names
+    assert "flat-nochrono" in names
     assert "reference" in names
     assert "dimacs-subprocess" in names
+    assert "ipasir" in names
     assert DEFAULT_BACKEND == "flat"
+
+
+def test_flat_nochrono_is_the_flat_core_with_both_knobs_off():
+    solver = create_backend("flat-nochrono")
+    assert isinstance(solver, CDCLSolver)
+    assert solver._chrono is False
+    assert solver._inprocessing is False
+    # Not raced by the portfolio: it exists for differential measurement.
+    assert backend_info("flat-nochrono").race_variant is False
+
+
+def test_create_backend_filters_options_by_declaration():
+    # Declared options reach the factory; undeclared ones and Nones are
+    # dropped (options are heuristics — never a reason to fail a solve).
+    solver = create_backend(
+        "flat", chrono=False, inprocessing=None, bogus_option=3
+    )
+    assert solver._chrono is False
+    assert solver._inprocessing is True  # None fell back to the default
+    reference = create_backend("reference", chrono=False)
+    assert isinstance(reference, ReferenceCDCLSolver)  # silently dropped
 
 
 def test_create_backend_instantiates_the_registered_classes():
@@ -129,6 +152,74 @@ def test_every_available_backend_agrees_with_brute_force(name, seed):
     assert (result is SolveResult.SAT) == expected, name
     if result is SolveResult.SAT:
         assert cnf.evaluate(solver.model()), name
+
+
+def _unsat_heavy_cnf(rng: random.Random) -> CNF:
+    """Dense random 3-CNF at ~5.2 clauses per variable: mostly UNSAT, with
+    real refutation work (conflict analysis, not single-clause
+    contradictions) — the regime chronological backtracking and
+    inprocessing actually exercise."""
+    n_vars = rng.randint(5, 9)
+    cnf = CNF(num_vars=n_vars)
+    for _ in range(int(5.2 * n_vars)):
+        chosen = rng.sample(range(1, n_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_chrono_reference_and_ipasir_agree_on_unsat_heavy_formulas(seed):
+    """Differential fuzz on UNSAT-heavy formulas: the flat core with
+    *aggressive* chrono + inprocessing (threshold/interval 1), the plain
+    chrono-off core, the seed reference, and — when a library is loadable —
+    the IPASIR backend must return identical verdicts, with every SAT model
+    genuinely satisfying the formula."""
+    cnf = _unsat_heavy_cnf(random.Random(31000 + seed))
+    expected = brute_force_satisfiable(cnf)
+    solvers = [
+        create_backend("flat", chrono_threshold=1, inprocess_interval=1),
+        create_backend("flat-nochrono"),
+        create_backend("reference"),
+    ]
+    if "ipasir" in usable_backends():
+        solvers.append(create_backend("ipasir"))
+    for solver in solvers:
+        solver.add_cnf(cnf)
+        result = solver.solve()
+        assert result is not SolveResult.UNKNOWN
+        assert (result is SolveResult.SAT) == expected, solver.backend_name
+        if result is SolveResult.SAT:
+            assert cnf.evaluate(solver.model()), solver.backend_name
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_backends_agree_under_assumptions_on_unsat_heavy_formulas(seed):
+    """Same differential net under assumption literals (the incremental
+    surface the SMT layer drives): identical verdicts, and every model
+    honours both the formula and the assumptions."""
+    rng = random.Random(32000 + seed)
+    cnf = _unsat_heavy_cnf(rng)
+    assumptions = [
+        v if rng.random() < 0.5 else -v
+        for v in rng.sample(range(1, cnf.num_vars + 1), 2)
+    ]
+    solvers = [
+        create_backend("flat", chrono_threshold=1, inprocess_interval=1),
+        create_backend("reference"),
+    ]
+    if "ipasir" in usable_backends():
+        solvers.append(create_backend("ipasir"))
+    verdicts = set()
+    for solver in solvers:
+        solver.add_cnf(cnf)
+        result = solver.solve(assumptions=assumptions)
+        if result is SolveResult.SAT:
+            model = solver.model()
+            assert cnf.evaluate(model), solver.backend_name
+            for lit in assumptions:
+                assert model[abs(lit)] is (lit > 0), solver.backend_name
+        verdicts.add(result)
+    assert len(verdicts) == 1, verdicts
 
 
 @pytest.mark.parametrize("style", ["competition", "result-file"])
@@ -205,6 +296,25 @@ def test_subprocess_backend_statistics_count_solves(fake_solver):
     assert counters["subprocess_solves"] == 2
     assert counters["solve_seconds"] > 0
     assert "propagations" not in counters  # not observable through a pipe
+
+
+def test_subprocess_backend_caches_the_dimacs_dump_between_probes(fake_solver):
+    """Repeated probes on an unchanged clause DB reuse the memoised DIMACS
+    body (assumption units only touch the header clause count); adding a
+    clause invalidates the cache."""
+    backend = create_backend("dimacs-subprocess")
+    a, b = backend.new_var(), backend.new_var()
+    backend.add_clause([a, b])
+    assert backend.solve() is SolveResult.SAT  # cold dump
+    assert backend.statistics()["dimacs_dump_cache_hits"] == 0
+    assert backend.solve(assumptions=[-a]) is SolveResult.SAT
+    assert backend.solve(assumptions=[-b]) is SolveResult.SAT
+    assert backend.statistics()["dimacs_dump_cache_hits"] == 2
+    backend.add_clause([-a])  # clause DB changed: dump must be rebuilt
+    assert backend.solve(assumptions=[-b]) is SolveResult.UNSAT
+    assert backend.statistics()["dimacs_dump_cache_hits"] == 2
+    assert backend.solve() is SolveResult.SAT
+    assert backend.statistics()["dimacs_dump_cache_hits"] == 3
 
 
 def test_subprocess_backend_model_before_solve_raises(fake_solver):

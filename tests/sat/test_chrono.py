@@ -1,0 +1,167 @@
+"""Tests for chronological backtracking + inprocessing in the flat core.
+
+Chronological backtracking and inprocessing (clause vivification +
+subsumption) are pure search heuristics: with the knobs off the solver must
+behave exactly like the pre-chrono core (counters present but zero), and
+with them on — even at pathologically aggressive settings — every verdict
+and model must match the chrono-off solver and the brute-force oracle.
+"""
+
+import random
+
+import pytest
+
+from test_sat_solver import brute_force_satisfiable
+
+from repro.sat import CNF, CDCLSolver, SolveResult
+from repro.sat.solver import SolverStatistics
+
+
+def php_cnf(pigeons: int, holes: int) -> CNF:
+    """The pigeonhole formula: UNSAT iff pigeons > holes, with real
+    refutation depth — the classic chrono/inprocessing workout."""
+    cnf = CNF(num_vars=pigeons * holes)
+    var = lambda i, j: i * holes + j + 1  # noqa: E731
+    for i in range(pigeons):
+        cnf.add_clause([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                cnf.add_clause([-var(i1, j), -var(i2, j)])
+    return cnf
+
+
+def random_cnf(rng: random.Random, n_vars: int = 8, density: float = 4.8) -> CNF:
+    cnf = CNF(num_vars=n_vars)
+    for _ in range(int(density * n_vars)):
+        size = rng.randint(1, 3)
+        chosen = rng.sample(range(1, n_vars + 1), size)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+# --------------------------------------------------------------------------- #
+# Knobs and counters
+# --------------------------------------------------------------------------- #
+def test_chrono_counters_exist_and_stay_zero_when_off():
+    solver = CDCLSolver(chrono=False, inprocessing=False)
+    solver.add_cnf(php_cnf(4, 3))
+    assert solver.solve() is SolveResult.UNSAT
+    counters = solver.statistics()
+    assert counters["chrono_backtracks"] == 0
+    assert counters["vivified_literals"] == 0
+    assert counters["subsumed_clauses"] == 0
+
+
+def test_chrono_fires_on_a_deep_unsat_refutation():
+    solver = CDCLSolver(chrono=True, chrono_threshold=1, inprocessing=False)
+    solver.add_cnf(php_cnf(5, 4))
+    assert solver.solve() is SolveResult.UNSAT
+    assert solver.statistics()["chrono_backtracks"] > 0
+
+
+def test_inprocessing_vivifies_on_a_long_search():
+    solver = CDCLSolver(chrono=False, inprocessing=True, inprocess_interval=1)
+    solver.add_cnf(php_cnf(6, 5))
+    assert solver.solve() is SolveResult.UNSAT
+    assert solver.statistics()["vivified_literals"] > 0
+
+
+def test_subsumption_kills_and_strengthens_clauses():
+    # [1, 2] subsumes [1, 2, 3]; [-1, 2] self-subsumes [1, 2, 4] to [2, 4].
+    solver = CDCLSolver(inprocessing=True)
+    for _ in range(4):
+        solver.new_var()
+    solver.add_clause([1, 2, 3])
+    solver.add_clause([1, 2])
+    solver.add_clause([1, 2, 4])
+    solver.add_clause([-1, 2])
+    assert solver._inprocess()
+    counters = solver.statistics()
+    assert counters["subsumed_clauses"] >= 1
+    assert solver.solve() is SolveResult.SAT
+    assert solver.model()[2] is True
+
+
+def test_inprocessed_clause_db_export_stays_equisatisfiable():
+    """After aggressive inprocessing, to_cnf() must still be equisatisfiable
+    with the original formula (promoted subsumers replace their victims)."""
+    for seed in range(8):
+        cnf = random_cnf(random.Random(5100 + seed))
+        expected = brute_force_satisfiable(cnf)
+        solver = CDCLSolver(chrono_threshold=1, inprocess_interval=1)
+        solver.add_cnf(cnf)
+        first = solver.solve()
+        assert (first is SolveResult.SAT) == expected
+        exported = solver.to_cnf()
+        check = CDCLSolver(chrono=False, inprocessing=False)
+        check.add_cnf(exported)
+        assert (check.solve() is SolveResult.SAT) == expected
+
+
+# --------------------------------------------------------------------------- #
+# Differential soundness
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(12))
+def test_aggressive_chrono_agrees_with_chrono_off(seed):
+    cnf = random_cnf(random.Random(6200 + seed))
+    expected = brute_force_satisfiable(cnf)
+    aggressive = CDCLSolver(chrono_threshold=1, inprocess_interval=1)
+    plain = CDCLSolver(chrono=False, inprocessing=False)
+    for solver in (aggressive, plain):
+        solver.add_cnf(cnf)
+        result = solver.solve()
+        assert (result is SolveResult.SAT) == expected
+        if result is SolveResult.SAT:
+            assert cnf.evaluate(solver.model())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_incremental_assumption_reuse_survives_inprocessing(seed):
+    """Probing under assumptions after inprocessing rounds must keep
+    answering like a fresh chrono-off solver — learned-clause surgery must
+    never leak into assumption-level semantics."""
+    rng = random.Random(7300 + seed)
+    cnf = random_cnf(rng, n_vars=7, density=4.0)
+    solver = CDCLSolver(chrono_threshold=1, inprocess_interval=1)
+    solver.add_cnf(cnf)
+    solver.solve()
+    for _ in range(3):
+        assumptions = [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, cnf.num_vars + 1), 2)
+        ]
+        fresh = CDCLSolver(chrono=False, inprocessing=False)
+        fresh.add_cnf(cnf)
+        assert solver.solve(assumptions=assumptions) is fresh.solve(
+            assumptions=assumptions
+        )
+
+
+def test_chrono_respects_resource_limits():
+    solver = CDCLSolver(chrono_threshold=1, inprocess_interval=1)
+    solver.add_cnf(php_cnf(7, 6))
+    assert solver.solve(max_conflicts=5) is SolveResult.UNKNOWN
+    # The solver stays usable after an interrupted probe.
+    assert solver.solve() is SolveResult.UNSAT
+
+
+# --------------------------------------------------------------------------- #
+# Statistics rate guards (the solve_seconds == 0 satellite)
+# --------------------------------------------------------------------------- #
+def test_statistics_rates_are_zero_before_any_solve():
+    stats = SolverStatistics()
+    stats.propagations = 1000
+    stats.conflicts = 10
+    assert stats.propagations_per_second == 0.0
+    assert stats.conflicts_per_second == 0.0
+
+
+def test_statistics_rates_stay_finite_on_instant_solves():
+    stats = SolverStatistics()
+    stats.propagations = 1000
+    stats.conflicts = 10
+    stats.solve_seconds = 5e-10  # below clock granularity, but non-zero
+    assert stats.propagations_per_second > 0
+    assert stats.propagations_per_second != float("inf")
+    assert stats.conflicts_per_second != float("inf")

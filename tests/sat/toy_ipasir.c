@@ -1,0 +1,213 @@
+/* A deliberately tiny IPASIR implementation used as a test fixture.
+ *
+ * Implements the required IPASIR surface (signature/init/release/add/
+ * assume/solve/val/failed/set_terminate) over an exponential DPLL with
+ * unit propagation — correct on the small formulas the test suite feeds
+ * it, and enough to exercise the real ctypes marshalling of
+ * repro.sat.ipasir.IpasirBackend without shipping a solver binary.
+ *
+ * Build: cc -shared -fPIC -O1 toy_ipasir.c -o libtoyipasir.so
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    int32_t **clauses;
+    int *sizes;
+    int nclauses, clause_cap;
+    int32_t *current;
+    int cur_len, cur_cap;
+    int nvars;
+    int32_t *assumptions;
+    int nassume, assume_cap;
+    signed char *model; /* 1-based; -1 false, 0 unknown, +1 true */
+    int model_vars;
+    int ok; /* 0 once an empty clause was added */
+    long solves;
+} Solver;
+
+const char *ipasir_signature(void) { return "toy-dpll-1.0"; }
+
+void *ipasir_init(void) {
+    Solver *s = (Solver *)calloc(1, sizeof(Solver));
+    s->ok = 1;
+    return s;
+}
+
+void ipasir_release(void *p) {
+    Solver *s = (Solver *)p;
+    int i;
+    if (!s)
+        return;
+    for (i = 0; i < s->nclauses; i++)
+        free(s->clauses[i]);
+    free(s->clauses);
+    free(s->sizes);
+    free(s->current);
+    free(s->assumptions);
+    free(s->model);
+    free(s);
+}
+
+static void track_var(Solver *s, int32_t lit) {
+    int v = lit < 0 ? -lit : lit;
+    if (v > s->nvars)
+        s->nvars = v;
+}
+
+void ipasir_add(void *p, int32_t lit) {
+    Solver *s = (Solver *)p;
+    if (lit != 0) {
+        if (s->cur_len == s->cur_cap) {
+            s->cur_cap = s->cur_cap ? 2 * s->cur_cap : 8;
+            s->current = (int32_t *)realloc(s->current, s->cur_cap * sizeof(int32_t));
+        }
+        s->current[s->cur_len++] = lit;
+        track_var(s, lit);
+        return;
+    }
+    if (s->nclauses == s->clause_cap) {
+        s->clause_cap = s->clause_cap ? 2 * s->clause_cap : 16;
+        s->clauses = (int32_t **)realloc(s->clauses, s->clause_cap * sizeof(int32_t *));
+        s->sizes = (int *)realloc(s->sizes, s->clause_cap * sizeof(int));
+    }
+    s->clauses[s->nclauses] = (int32_t *)malloc((s->cur_len ? s->cur_len : 1) * sizeof(int32_t));
+    memcpy(s->clauses[s->nclauses], s->current, s->cur_len * sizeof(int32_t));
+    s->sizes[s->nclauses] = s->cur_len;
+    s->nclauses++;
+    if (s->cur_len == 0)
+        s->ok = 0;
+    s->cur_len = 0;
+}
+
+void ipasir_assume(void *p, int32_t lit) {
+    Solver *s = (Solver *)p;
+    if (s->nassume == s->assume_cap) {
+        s->assume_cap = s->assume_cap ? 2 * s->assume_cap : 8;
+        s->assumptions = (int32_t *)realloc(s->assumptions, s->assume_cap * sizeof(int32_t));
+    }
+    s->assumptions[s->nassume++] = lit;
+    track_var(s, lit);
+}
+
+static int lit_value(const signed char *assign, int32_t lit) {
+    int v = assign[lit < 0 ? -lit : lit];
+    return lit < 0 ? -v : v;
+}
+
+/* Unit propagation: returns 0 on conflict, 1 at fixpoint. */
+static int propagate(Solver *s, signed char *assign) {
+    int changed = 1, i, j;
+    while (changed) {
+        changed = 0;
+        for (i = 0; i < s->nclauses; i++) {
+            int unassigned = 0, satisfied = 0;
+            int32_t unit = 0;
+            for (j = 0; j < s->sizes[i]; j++) {
+                int v = lit_value(assign, s->clauses[i][j]);
+                if (v > 0) {
+                    satisfied = 1;
+                    break;
+                }
+                if (v == 0) {
+                    unassigned++;
+                    unit = s->clauses[i][j];
+                }
+            }
+            if (satisfied)
+                continue;
+            if (unassigned == 0)
+                return 0;
+            if (unassigned == 1) {
+                assign[unit < 0 ? -unit : unit] = unit < 0 ? -1 : 1;
+                changed = 1;
+            }
+        }
+    }
+    return 1;
+}
+
+static int dpll(Solver *s, signed char *assign) {
+    int var, v;
+    signed char *copy;
+    if (!propagate(s, assign))
+        return 0;
+    var = 0;
+    for (v = 1; v <= s->nvars; v++)
+        if (!assign[v]) {
+            var = v;
+            break;
+        }
+    if (!var)
+        return 1;
+    copy = (signed char *)malloc(s->nvars + 1);
+    memcpy(copy, assign, s->nvars + 1);
+    copy[var] = 1;
+    if (dpll(s, copy)) {
+        memcpy(assign, copy, s->nvars + 1);
+        free(copy);
+        return 1;
+    }
+    memcpy(copy, assign, s->nvars + 1);
+    copy[var] = -1;
+    if (dpll(s, copy)) {
+        memcpy(assign, copy, s->nvars + 1);
+        free(copy);
+        return 1;
+    }
+    free(copy);
+    return 0;
+}
+
+int ipasir_solve(void *p) {
+    Solver *s = (Solver *)p;
+    signed char *assign = (signed char *)calloc(s->nvars + 1, 1);
+    int i, sat = s->ok;
+    s->solves++;
+    for (i = 0; sat && i < s->nassume; i++) {
+        int32_t lit = s->assumptions[i];
+        int v = lit_value(assign, lit);
+        if (v < 0)
+            sat = 0;
+        else
+            assign[lit < 0 ? -lit : lit] = lit < 0 ? -1 : 1;
+    }
+    s->nassume = 0; /* assumptions hold for one solve call (IPASIR spec) */
+    if (sat)
+        sat = dpll(s, assign);
+    if (sat) {
+        free(s->model);
+        s->model = assign;
+        s->model_vars = s->nvars;
+        return 10;
+    }
+    free(assign);
+    return 20;
+}
+
+int32_t ipasir_val(void *p, int32_t lit) {
+    Solver *s = (Solver *)p;
+    int var = lit < 0 ? -lit : lit;
+    int v = (s->model && var <= s->model_vars) ? s->model[var] : 0;
+    if (v == 0)
+        return 0;
+    return (v > 0) == (lit > 0) ? lit : -lit;
+}
+
+int ipasir_failed(void *p, int32_t lit) {
+    (void)p;
+    (void)lit;
+    return 0; /* no failed-assumption analysis in the toy solver */
+}
+
+void ipasir_set_terminate(void *p, void *state, int (*terminate)(void *)) {
+    (void)p;
+    (void)state;
+    (void)terminate; /* toy solves are instant; the callback is never polled */
+}
+
+/* Coarse statistics getter mirroring CaDiCaL's ccadical_* C API shape, so
+ * the optional-stats probing path of the backend is exercisable too. */
+int64_t ccadical_conflicts(void *p) { return ((Solver *)p)->solves; }
