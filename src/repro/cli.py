@@ -107,12 +107,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-horizon solver wall-clock budget for the SMT strategies",
     )
     schedule.add_argument(
-        "--sat-backend",
-        choices=available_backends(),
+        "--deadline",
+        type=float,
         default=None,
-        help="SAT backend deciding the SMT probes (default: the in-process "
-        "flat-array core; 'dimacs-subprocess' pipes DIMACS to an external "
-        "solver binary)",
+        help="whole-search wall-clock budget in seconds for the SMT "
+        "strategies (unlike --timeout, which caps each horizon "
+        "independently); on expiry the search degrades gracefully — "
+        "best-known schedule, sound bound interval, and a termination "
+        "verdict — instead of failing",
+    )
+    schedule.add_argument(
+        "--sat-backend",
+        metavar="BACKEND",
+        default=None,
+        help="SAT backend deciding the SMT probes (one of: "
+        f"{', '.join(available_backends())}; default: the in-process "
+        "flat-array core; 'chaos:BACKEND' wraps BACKEND in the "
+        "fault-injection proxy)",
     )
     schedule.add_argument(
         "--sat-chrono",
@@ -193,10 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--sat-backend",
-        choices=available_backends(),
+        metavar="BACKEND",
         default=None,
-        help="SAT backend for the smt suite's SMT probes (default: the "
-        "in-process flat-array core)",
+        help="SAT backend for the smt suite's SMT probes (one of: "
+        f"{', '.join(available_backends())}; default: the in-process "
+        "flat-array core; 'chaos:BACKEND' wraps BACKEND in the "
+        "fault-injection proxy)",
     )
     bench.add_argument(
         "--jobs",
@@ -216,11 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--schema-version",
         type=int,
-        choices=[2, 3, 4, 5, 6],
-        default=6,
-        help="bench JSON schema (5 strips the v6-only fleet fields "
-        "shard/attempts/journal_digest/throughput, 4 additionally strips "
-        "the bound-source fields, 3 the backend field, 2 the portfolio "
+        choices=[2, 3, 4, 5, 6, 7],
+        default=7,
+        help="bench JSON schema (6 strips the v7-only robustness fields "
+        "termination/backend_retries, 5 additionally strips the fleet "
+        "fields shard/attempts/journal_digest/throughput, 4 the "
+        "bound-source fields, 3 the backend field, 2 the portfolio "
         "fields)",
     )
     bench.add_argument(
@@ -385,10 +399,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         report = None
         if args.strategy == "structured":
-            if args.timeout is not None or args.sat_backend is not None:
+            if (
+                args.timeout is not None
+                or args.deadline is not None
+                or args.sat_backend is not None
+            ):
                 print(
-                    "warning: --timeout/--sat-backend only apply to the SMT "
-                    "strategies; the structured backend runs unbounded",
+                    "warning: --timeout/--deadline/--sat-backend only apply "
+                    "to the SMT strategies; the structured backend runs "
+                    "unbounded",
                     file=sys.stderr,
                 )
             schedule = StructuredScheduler().schedule(problem)
@@ -400,6 +419,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     sat_backend=args.sat_backend,
                     sat_chrono=_tristate(args.sat_chrono),
                     sat_inprocessing=_tristate(args.sat_inprocessing),
+                    deadline=args.deadline,
                 )
             except ValueError as exc:
                 # E.g. the requested SAT backend has no solver binary.
@@ -409,7 +429,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             if not report.found:
                 print(
                     f"no schedule within the stage/time budget "
-                    f"(horizons tried: {report.stages_tried})",
+                    f"(termination: {report.termination}, "
+                    f"horizons tried: {report.stages_tried}, "
+                    f"bounds: [{report.lower_bound}, "
+                    f"{'-' if report.upper_bound is None else report.upper_bound}])",
                     file=sys.stderr,
                 )
                 return 1
@@ -428,6 +451,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(
                     f"search: strategy={report.strategy} "
                     f"backend={report.sat_backend} optimal={report.optimal} "
+                    f"termination={report.termination} "
                     f"bounds=[{report.lower_bound},{upper}] "
                     f"sources=[{report.lower_bound_source},{upper_source}] "
                     f"horizons={report.stages_tried}"
@@ -532,6 +556,25 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "bench":
         from repro.evaluation.runner import shard_info, shard_suite
+        from repro.sat.backend import backend_info
+
+        if args.sat_backend is not None:
+            # Resolve eagerly (parameterised names like 'chaos:flat' are
+            # derived, so argparse cannot enumerate them as choices): an
+            # unknown or unavailable backend must fail before the suite
+            # runs, not inside every worker.
+            try:
+                info = backend_info(args.sat_backend)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if not info.is_available():
+                print(
+                    f"error: SAT backend {info.name!r} is unavailable: "
+                    f"{info.description or 'runtime requirements not met'}",
+                    file=sys.stderr,
+                )
+                return 2
 
         instances = build_suite(
             args.suite,

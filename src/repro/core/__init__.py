@@ -26,9 +26,18 @@ Every schedule can be checked independently with
 :func:`repro.core.validator.validate_schedule`.
 """
 
+from repro.core.budget import Deadline, DeadlineExceeded
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
 from repro.core.problem import BoundBreakdown, SchedulingProblem, ZoneCapacities
-from repro.core.report import SchedulerReport, SchedulerResult
+from repro.core.report import (
+    TERMINATION_BACKEND_ERROR,
+    TERMINATION_CERTIFIED,
+    TERMINATION_DEADLINE,
+    TERMINATION_INFEASIBLE,
+    TERMINATIONS,
+    SchedulerReport,
+    SchedulerResult,
+)
 from repro.core.validator import ValidationError, validate_schedule
 from repro.core.structured import StructuredScheduler
 from repro.core.scheduler import SMTScheduler
@@ -37,8 +46,15 @@ from repro.core.visualize import render_schedule, render_stage
 
 __all__ = [
     "BoundBreakdown",
+    "Deadline",
+    "DeadlineExceeded",
     "QubitPlacement",
     "SMTScheduler",
+    "TERMINATIONS",
+    "TERMINATION_BACKEND_ERROR",
+    "TERMINATION_CERTIFIED",
+    "TERMINATION_DEADLINE",
+    "TERMINATION_INFEASIBLE",
     "Schedule",
     "SchedulerReport",
     "SchedulerResult",

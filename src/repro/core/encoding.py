@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.arch.architecture import ZonedArchitecture
 from repro.core import constraints as C
+from repro.core.budget import Deadline
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
 from repro.core.variables import StatePrepVariables
 from repro.smt import CheckResult, Implies, Not, Solver
@@ -56,9 +57,12 @@ class EncodedInstance:
         self,
         max_conflicts: Optional[int] = None,
         time_limit: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> CheckResult:
         """Decide the instance."""
-        return self.solver.check(max_conflicts=max_conflicts, time_limit=time_limit)
+        return self.solver.check(
+            max_conflicts=max_conflicts, time_limit=time_limit, deadline=deadline
+        )
 
     def statistics(self) -> dict[str, float]:
         """Statistics of the most recent check."""
@@ -135,12 +139,15 @@ class IncrementalInstance:
         max_conflicts: Optional[int] = None,
         time_limit: Optional[float] = None,
         horizon: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> CheckResult:
         """Decide the instance at *horizon* stages (default: all of them).
 
         *horizon* may be any value in ``[1, num_stages]``; smaller horizons
         are decided on the already-encoded larger instance through their
         activation literal (see the class docstring for why this is exact).
+        A *deadline* caps the check's effective limits at the remaining
+        whole-search budget (see :meth:`repro.smt.solver.Solver.check`).
         """
         if horizon is None:
             horizon = self.variables.num_stages
@@ -154,6 +161,7 @@ class IncrementalInstance:
             assumptions=[literal],
             max_conflicts=max_conflicts,
             time_limit=time_limit,
+            deadline=deadline,
         )
         if result is CheckResult.UNSAT:
             # UNSAT under the assumption proves the formula entails the
@@ -202,18 +210,25 @@ def encode_instance(
     shielding: bool | None = None,
     backend: str | None = None,
     backend_options: dict | None = None,
+    backend_retries: int | None = None,
 ) -> EncodedInstance:
     """Build the symbolic formulation for a fixed stage count.
 
     *shielding* defaults to "the architecture has a storage zone", matching
     the paper's handling of Layout 1 (footnote 2).  *backend* selects the
     SAT backend by registry name (default: the in-process flat core);
-    *backend_options* tunes it (e.g. ``chrono`` / ``inprocessing``).
+    *backend_options* tunes it (e.g. ``chrono`` / ``inprocessing``);
+    *backend_retries* bounds per-check transient-failure retries (``None``
+    keeps the solver default).
     """
     normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
-    solver = Solver(backend=backend, backend_options=backend_options)
+    solver = Solver(
+        backend=backend,
+        backend_options=backend_options,
+        **({} if backend_retries is None else {"backend_retries": backend_retries}),
+    )
     variables = StatePrepVariables.create(
         solver, architecture, num_qubits, len(normalised), num_stages
     )
@@ -238,18 +253,26 @@ def encode_incremental_instance(
     shielding: bool | None = None,
     backend: str | None = None,
     backend_options: dict | None = None,
+    backend_retries: int | None = None,
 ) -> IncrementalInstance:
     """Build a growable instance starting at *num_stages* stages.
 
     The instance can later be extended up to *max_stages* stages without
     re-encoding the stages that already exist.  *backend* selects the SAT
     backend by registry name (default: the in-process flat core);
-    *backend_options* tunes it (e.g. ``chrono`` / ``inprocessing``).
+    *backend_options* tunes it (e.g. ``chrono`` / ``inprocessing``);
+    *backend_retries* bounds per-check transient-failure retries (``None``
+    keeps the solver default).
     """
     normalised = _normalised_gates(num_qubits, gates)
     if shielding is None:
         shielding = architecture.has_storage
-    solver = Solver(incremental=True, backend=backend, backend_options=backend_options)
+    solver = Solver(
+        incremental=True,
+        backend=backend,
+        backend_options=backend_options,
+        **({} if backend_retries is None else {"backend_retries": backend_retries}),
+    )
     variables = StatePrepVariables.create(
         solver,
         architecture,
@@ -274,6 +297,7 @@ def encode_problem(
     num_stages: int,
     backend: str | None = None,
     backend_options: dict | None = None,
+    backend_retries: int | None = None,
 ) -> EncodedInstance:
     """Cold-start encoding of a :class:`SchedulingProblem` at a fixed S."""
     return encode_instance(
@@ -284,6 +308,7 @@ def encode_problem(
         shielding=problem.shielding,
         backend=backend,
         backend_options=backend_options,
+        backend_retries=backend_retries,
     )
 
 
@@ -293,6 +318,7 @@ def encode_incremental_problem(
     max_stages: int,
     backend: str | None = None,
     backend_options: dict | None = None,
+    backend_retries: int | None = None,
 ) -> IncrementalInstance:
     """Growable encoding of a :class:`SchedulingProblem`."""
     return encode_incremental_instance(
@@ -304,6 +330,7 @@ def encode_incremental_problem(
         shielding=problem.shielding,
         backend=backend,
         backend_options=backend_options,
+        backend_retries=backend_retries,
     )
 
 

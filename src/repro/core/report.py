@@ -7,6 +7,26 @@ from typing import Optional
 
 from repro.core.schedule import Schedule
 
+#: The search certified the minimum stage count (``optimal=True``).
+TERMINATION_CERTIFIED = "certified"
+#: The deadline (or a per-probe resource limit) expired before the optimum
+#: was certified; the report carries the best-known witness and the interval
+#: proven by the probes that did complete.
+TERMINATION_DEADLINE = "deadline"
+#: The search proved no schedule exists within ``limits.max_stages``.
+TERMINATION_INFEASIBLE = "infeasible"
+#: A permanent SAT-backend failure (after bounded retries) ended the search;
+#: the analytic interval and any structured witness are still reported.
+TERMINATION_BACKEND_ERROR = "backend-error"
+
+#: Every value the ``termination`` field may take, in severity order.
+TERMINATIONS = (
+    TERMINATION_CERTIFIED,
+    TERMINATION_INFEASIBLE,
+    TERMINATION_DEADLINE,
+    TERMINATION_BACKEND_ERROR,
+)
+
 
 @dataclass
 class SchedulerReport:
@@ -41,6 +61,15 @@ class SchedulerReport:
     upper_bound_source: Optional[str] = None
     stages_tried: list[int] = field(default_factory=list)
     solver_seconds: float = 0.0
+    #: How the search ended — one of :data:`TERMINATIONS`
+    #: (``"certified"`` / ``"deadline"`` / ``"infeasible"`` /
+    #: ``"backend-error"``).  Every strategy honours one graceful-degradation
+    #: contract: on a non-certified termination the report still carries the
+    #: best-known witness (structured fallback or last SAT model) and the
+    #: interval proven by the probes that completed — strategies never raise
+    #: and never lose work.  ``None`` only for reports built outside the
+    #: strategy layer.
+    termination: Optional[str] = None
     statistics: dict[str, float] = field(default_factory=dict)
     #: Set by the portfolio strategy only: the configuration whose
     #: certificate landed first (e.g. ``{"strategy": "warmstart"}`` or

@@ -43,8 +43,10 @@ handling of the paper's evaluation.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
+from repro.core.budget import Deadline
 from repro.core.problem import SchedulingProblem
 from repro.core.report import SchedulerReport, SchedulerResult
 from repro.core.strategies import SearchLimits, get_strategy
@@ -74,7 +76,20 @@ class SMTScheduler:
         sat_backend: Optional[str] = None,
         sat_chrono: Optional[bool] = None,
         sat_inprocessing: Optional[bool] = None,
+        deadline: Optional[float] = None,
+        backend_retries: Optional[int] = None,
     ) -> None:
+        """*deadline* is the whole-search wall-clock budget in seconds:
+        each :meth:`schedule` call starts a fresh
+        :class:`~repro.core.budget.Deadline` and every layer below slices
+        its per-probe budgets from the *remaining* time (unlike
+        *time_limit_per_instance*, which caps each probe independently).
+        On expiry the strategies degrade gracefully instead of raising —
+        see ``SchedulerReport.termination``.  *backend_retries* bounds the
+        per-check retries of transient SAT-backend failures (``None``
+        keeps the solver default of
+        :data:`repro.smt.solver.DEFAULT_BACKEND_RETRIES`).
+        """
         # Resolve eagerly so unknown names and incompatible configurations
         # fail at construction time, not mid-batch.
         if get_strategy(strategy).requires_incremental and not incremental:
@@ -87,8 +102,11 @@ class SMTScheduler:
                 f"SAT backend {info.name!r} is unavailable: "
                 f"{info.description or 'runtime requirements not met'}"
             )
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be non-negative, got {deadline}")
         self._strategy = strategy
         self._backend_name = info.name
+        self._deadline_seconds = deadline
         self._limits = SearchLimits(
             max_stages=max_stages,
             max_conflicts=max_conflicts_per_instance,
@@ -98,6 +116,7 @@ class SMTScheduler:
             sat_backend=sat_backend,
             sat_chrono=sat_chrono,
             sat_inprocessing=sat_inprocessing,
+            backend_retries=backend_retries,
         )
 
     @property
@@ -110,18 +129,30 @@ class SMTScheduler:
         """Registry name of the SAT backend deciding every probe."""
         return self._backend_name
 
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        """The configured whole-search budget (``None`` when unbounded)."""
+        return self._deadline_seconds
+
     def schedule(
         self,
         problem: SchedulingProblem,
         metadata: dict | None = None,
         validate: bool = True,
+        deadline: Optional[float | Deadline] = None,
     ) -> SchedulerReport:
         """Find a schedule of *problem* with the minimum number of stages.
 
         Returns a :class:`SchedulerReport`; ``report.optimal`` is False when
         a per-instance resource limit was hit before satisfiability could be
         decided for some stage count smaller than the one finally used (the
-        schedule, if any, is then feasible but possibly not minimal).
+        schedule, if any, is then feasible but possibly not minimal);
+        ``report.termination`` records how the search ended.
+
+        *deadline* overrides the constructor's whole-search budget for this
+        call only: seconds from now, or an already-ticking
+        :class:`~repro.core.budget.Deadline` (how a service layer imposes
+        one request-level budget across several solves).
         """
         if not isinstance(problem, SchedulingProblem):
             raise TypeError(
@@ -129,7 +160,17 @@ class SMTScheduler:
                 "with SchedulingProblem.from_gates(architecture, num_qubits, "
                 "cz_gates) or SchedulingProblem.from_circuit(...)"
             )
-        report = get_strategy(self._strategy).run(problem, self._limits, metadata)
+        limits = self._limits
+        if deadline is None:
+            deadline = self._deadline_seconds
+        if deadline is not None:
+            ticking = (
+                deadline
+                if isinstance(deadline, Deadline)
+                else Deadline.after(deadline)
+            )
+            limits = replace(limits, deadline=ticking)
+        report = get_strategy(self._strategy).run(problem, limits, metadata)
         report.sat_backend = self._backend_name
         if validate and report.schedule is not None:
             validate_schedule(report.schedule, require_shielding=problem.shielding)

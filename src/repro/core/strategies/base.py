@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.budget import Deadline
 from repro.core.encoding import IncrementalInstance, encode_incremental_problem
 from repro.core.problem import SchedulingProblem
 from repro.smt import CheckResult
@@ -70,6 +71,17 @@ class SearchLimits:
     #: Inprocessing (clause vivification + subsumption) in the flat core;
     #: same ``None``/``True``/``False`` semantics as :attr:`sat_chrono`.
     sat_inprocessing: Optional[bool] = None
+    #: Whole-search wall-clock governance (:class:`repro.core.budget.Deadline`).
+    #: Unlike :attr:`time_limit` — a *per-probe* cap handed identically to
+    #: every probe — the deadline is absolute: every probe's effective time
+    #: budget is sliced from the remaining whole-search time, strategies
+    #: check it between probes, and on expiry they degrade along the
+    #: graceful-degradation contract (``report.termination``).  ``None``
+    #: means unbounded.
+    deadline: Optional[Deadline] = None
+    #: Per-check retry budget for transient SAT-backend failures (``None``
+    #: keeps :data:`repro.smt.solver.DEFAULT_BACKEND_RETRIES`).
+    backend_retries: Optional[int] = None
 
     @property
     def sat_backend_options(self) -> dict:
@@ -106,7 +118,13 @@ class SearchContext:
         return self._instance
 
     def decide(self, horizon: int) -> CheckResult:
-        """Decide satisfiability at *horizon* stages, growing as needed."""
+        """Decide satisfiability at *horizon* stages, growing as needed.
+
+        With a deadline in the limits, the probe's effective time and
+        conflict budgets are sliced from the *remaining* whole-search time
+        (an expired deadline short-circuits to UNKNOWN inside the SMT
+        facade), so no single probe can overrun the search budget.
+        """
         instance = self._ensure_capacity(horizon)
         if horizon > instance.num_stages:
             instance.extend_to(horizon)
@@ -114,6 +132,7 @@ class SearchContext:
             max_conflicts=self.limits.max_conflicts,
             time_limit=self.limits.time_limit,
             horizon=horizon,
+            deadline=self.limits.deadline,
         )
 
     def extract(self, horizon: int, metadata: dict | None = None) -> "Schedule":
@@ -158,6 +177,7 @@ class SearchContext:
             max_stages=max(capacity, horizon),
             backend=self.limits.sat_backend,
             backend_options=self.limits.sat_backend_options or None,
+            backend_retries=self.limits.backend_retries,
         )
         if self._hint_provider is not None:
             instance.set_phase_hints(self._hint_provider(instance))

@@ -23,7 +23,13 @@ import time
 from typing import Optional
 
 from repro.core.problem import SchedulingProblem
-from repro.core.report import SchedulerReport
+from repro.core.report import (
+    TERMINATION_BACKEND_ERROR,
+    TERMINATION_CERTIFIED,
+    TERMINATION_DEADLINE,
+    TERMINATION_INFEASIBLE,
+    SchedulerReport,
+)
 from repro.core.schedule import Schedule
 from repro.core.strategies.base import (
     SearchContext,
@@ -33,7 +39,11 @@ from repro.core.strategies.base import (
 )
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import ValidationError, validate_schedule
+from repro.sat.errors import BackendError
 from repro.smt import CheckResult
+
+#: ``lower_bound_source`` suffix marking a probe-lifted (tightened) bound.
+UNSAT_PROBE_SOURCE = "unsat-probes"
 
 
 @register_strategy
@@ -62,6 +72,7 @@ class BisectionStrategy(SearchStrategy):
             raise ValueError(
                 f"the {self.name!r} strategy requires an incremental scheduler"
             )
+        deadline = limits.deadline
         breakdown = problem.bound_breakdown()
         lower_bound = breakdown.total
         report = SchedulerReport(
@@ -72,6 +83,7 @@ class BisectionStrategy(SearchStrategy):
             lower_bound_source=breakdown.source,
         )
         if lower_bound > limits.max_stages:
+            report.termination = TERMINATION_INFEASIBLE
             report.solver_seconds = time.monotonic() - start
             return report
 
@@ -87,22 +99,44 @@ class BisectionStrategy(SearchStrategy):
         context = self._make_context(problem, limits, witness, high)
 
         low = lower_bound
+        # The search-control cursor ``low`` advances past UNSAT *and*
+        # UNKNOWN horizons (an undecided horizon may hide the optimum, so
+        # the search must continue above it); ``proven_low`` advances past
+        # UNSAT horizons only — it is the lower bound the completed probes
+        # actually *proved*, and the only value that may tighten the
+        # reported interval (treating an UNKNOWN as refuted would be
+        # unsound).
+        proven_low = lower_bound
         best: Optional[Schedule] = None
         optimal = True
+        backend_error = False
+        expired = False
         # Identical provenance no matter which path produces the schedule:
         # SMT extractions carry the problem metadata just like the witness
         # does, and the winning strategy is recorded either way.
         merged = {"strategy": self.name, **problem.metadata, **(metadata or {})}
         while low < high:
+            if deadline is not None and deadline.expired():
+                expired = True
+                optimal = False
+                break
             mid = (low + high) // 2
             report.stages_tried.append(mid)
-            result = context.decide(mid)
-            report.statistics = context.statistics()
+            try:
+                result = context.decide(mid)
+                report.statistics = context.statistics()
+            except BackendError as exc:
+                backend_error = True
+                optimal = False
+                report.statistics = {**report.statistics, "backend_error": 1.0}
+                merged.setdefault("backend_error", str(exc))
+                break
             if result is CheckResult.SAT:
                 high = mid
                 best = context.extract(mid, metadata=dict(merged))
             elif result is CheckResult.UNSAT:
                 low = mid + 1
+                proven_low = max(proven_low, mid + 1)
             else:
                 # Undecided horizons may hide the true optimum below the
                 # final answer; search above, like the linear strategy does.
@@ -111,25 +145,71 @@ class BisectionStrategy(SearchStrategy):
 
         if best is not None:
             # ``high`` only ever decreases onto a SAT probe, so the last
-            # extraction is exactly the ``low == high`` horizon.
+            # extraction is exactly the ``low == high`` horizon (or, when
+            # the search was cut short, the tightest SAT horizon reached).
             report.schedule = best
-        elif witness is not None and low == witness.num_stages:
-            # Never probed below SAT: the structured witness *is* the answer.
-            witness.metadata.update(merged)
-            report.schedule = witness
-        elif low <= limits.max_stages:
-            # No witness available (or it overshot the budget): the final
-            # horizon was never confirmed satisfiable — decide it directly.
-            report.stages_tried.append(low)
-            result = context.decide(low)
-            report.statistics = context.statistics()
-            if result is CheckResult.SAT:
-                report.schedule = context.extract(low, metadata=dict(merged))
-            else:
+        elif not (expired or backend_error):
+            if witness is not None and low == witness.num_stages:
+                # Never probed below SAT: the structured witness *is* the
+                # answer.
+                witness.metadata.update(merged)
+                report.schedule = witness
+            elif low <= limits.max_stages:
+                # No witness available (or it overshot the budget): the
+                # final horizon was never confirmed satisfiable — decide it
+                # directly (under the same deadline/failure guards).
+                if deadline is not None and deadline.expired():
+                    expired = True
+                    optimal = False
+                else:
+                    report.stages_tried.append(low)
+                    try:
+                        result = context.decide(low)
+                        report.statistics = context.statistics()
+                    except BackendError as exc:
+                        backend_error = True
+                        optimal = False
+                        report.statistics = {
+                            **report.statistics,
+                            "backend_error": 1.0,
+                        }
+                        merged.setdefault("backend_error", str(exc))
+                    else:
+                        if result is CheckResult.SAT:
+                            report.schedule = context.extract(
+                                low, metadata=dict(merged)
+                            )
+                        elif result is CheckResult.UNSAT:
+                            proven_low = max(proven_low, low + 1)
+                        else:
+                            optimal = False
+        if report.schedule is None and (expired or backend_error or not optimal):
+            # Degraded without a SAT model: the structured witness (when it
+            # fits the stage budget) is still a correct, validated schedule.
+            if witness is not None:
+                witness.metadata.update(merged)
+                report.schedule = witness
                 optimal = False
         if report.schedule is not None:
             report.schedule.metadata.setdefault("optimal", optimal)
             report.optimal = optimal
+
+        if report.optimal and report.schedule is not None:
+            report.termination = TERMINATION_CERTIFIED
+        elif backend_error:
+            report.termination = TERMINATION_BACKEND_ERROR
+        elif report.schedule is not None or expired or not optimal:
+            report.termination = TERMINATION_DEADLINE
+        else:
+            # Every horizon up to the stage budget was genuinely refuted.
+            report.termination = TERMINATION_INFEASIBLE
+        if report.termination in (TERMINATION_DEADLINE, TERMINATION_BACKEND_ERROR):
+            lift_lower_bound(report, proven_low)
+            if best is not None and (
+                report.upper_bound is None or best.num_stages < report.upper_bound
+            ):
+                report.upper_bound = best.num_stages
+                report.upper_bound_source = "sat-probe"
         report.solver_seconds = time.monotonic() - start
         return report
 
@@ -205,3 +285,47 @@ def structured_upper_bound(problem: SchedulingProblem) -> Optional[Schedule]:
 def witness_source(schedule: Schedule) -> str:
     """Provenance label of a structured witness (for ``upper_bound_source``)."""
     return f"structured-{schedule.metadata.get('choreography', 'homes')}"
+
+
+def lift_lower_bound(report: SchedulerReport, proven_low: int) -> None:
+    """Tighten the report's lower bound from completed UNSAT probes.
+
+    Sound by stage-count monotonicity: an UNSAT answer at ``S`` refutes
+    every horizon ``<= S``, so the optimum is at least ``S + 1``.  Only
+    genuinely refuted horizons may feed *proven_low* — treating an UNKNOWN
+    probe as refuted would report an unsound interval, which is why the
+    strategies track ``proven_low`` separately from their search cursor.
+    """
+    if proven_low > report.lower_bound:
+        report.lower_bound = proven_low
+        base = report.lower_bound_source or "analytic"
+        report.lower_bound_source = f"{base}+{UNSAT_PROBE_SOURCE}"
+
+
+def attach_fallback_witness(
+    report: SchedulerReport,
+    problem: SchedulingProblem,
+    limits: SearchLimits,
+    merged: dict,
+) -> None:
+    """Attach the structured witness as a best-known non-optimal schedule.
+
+    Used by degradation paths that did not already compute a witness: when
+    a search ends without a SAT model, the validated structured schedule
+    (when one exists and fits the stage budget) is still a correct answer —
+    just not a certified-minimal one.  The report's upper bound is set from
+    the witness even when it overshoots ``limits.max_stages`` (it bounds
+    the optimum either way; it just cannot serve as a schedule).
+    """
+    if report.schedule is not None:
+        return
+    witness = structured_upper_bound(problem)
+    if witness is None:
+        return
+    if report.upper_bound is None or witness.num_stages < report.upper_bound:
+        report.upper_bound = witness.num_stages
+        report.upper_bound_source = witness_source(witness)
+    if witness.num_stages <= limits.max_stages:
+        witness.metadata.update(merged)
+        witness.metadata.setdefault("optimal", False)
+        report.schedule = witness

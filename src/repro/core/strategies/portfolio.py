@@ -29,13 +29,21 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.core.problem import SchedulingProblem
-from repro.core.report import SchedulerReport
+from repro.core.report import (
+    TERMINATION_BACKEND_ERROR,
+    TERMINATION_DEADLINE,
+    SchedulerReport,
+)
 from repro.core.strategies.base import (
     SearchLimits,
     SearchStrategy,
     register_strategy,
 )
-from repro.core.strategies.bisection import BisectionStrategy, structured_upper_bound
+from repro.core.strategies.bisection import (
+    BisectionStrategy,
+    structured_upper_bound,
+    witness_source,
+)
 
 #: The default racing configurations, in priority order (ties in the race go
 #: to the earliest index).  Phase-seed variants restart the same bound-driven
@@ -52,6 +60,10 @@ DEFAULT_CONFIGS: tuple[dict, ...] = (
 #: Minimum width of the [lower bound, structured upper bound] interval for
 #: which racing worker processes beats running bisection inline.
 RACE_THRESHOLD = 3
+
+#: Minimum remaining deadline budget for which process fan-out still pays;
+#: below this the portfolio delegates inline (startup would eat the budget).
+MIN_RACE_SECONDS = 1.0
 
 
 def run_portfolio_config(task: tuple) -> SchedulerReport:
@@ -115,7 +127,7 @@ class PortfolioStrategy(SearchStrategy):
         jobs = self._jobs if self._jobs is not None else (os.cpu_count() or 1)
         jobs = max(1, min(jobs, len(configs)))
         witness = structured_upper_bound(problem)
-        if jobs > 1 and self._should_race(problem, witness):
+        if jobs > 1 and self._should_race(problem, witness, limits):
             report = self._run_race(problem, limits, metadata, jobs, witness, configs)
         else:
             report = self._run_inline(problem, limits, metadata, witness)
@@ -147,7 +159,9 @@ class PortfolioStrategy(SearchStrategy):
             if name != DEFAULT_BACKEND and backend_info(name).race_variant
         )
 
-    def _should_race(self, problem: SchedulingProblem, witness) -> bool:
+    def _should_race(
+        self, problem: SchedulingProblem, witness, limits: SearchLimits
+    ) -> bool:
         """Whether the analytic interval is wide enough to pay for fan-out.
 
         With a structured *witness* within :data:`RACE_THRESHOLD` stages of
@@ -157,10 +171,17 @@ class PortfolioStrategy(SearchStrategy):
         search.  Racing is also disabled inside another pool's worker
         process (e.g. ``repro-nasp bench --jobs N``): the batch is already
         parallel there, and a harness-terminated worker cannot clean up a
-        nested pool, which would orphan the grandchild solvers.
+        nested pool, which would orphan the grandchild solvers.  An
+        (almost) expired deadline likewise delegates inline — process
+        startup would eat the remaining budget before any worker probes.
         """
         if multiprocessing.parent_process() is not None:
             return False
+        deadline = limits.deadline
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None and remaining < MIN_RACE_SECONDS:
+                return False
         if witness is None:
             return True
         return witness.num_stages - problem.lower_bound() >= RACE_THRESHOLD
@@ -194,19 +215,29 @@ class PortfolioStrategy(SearchStrategy):
             (problem, config, limits, dict(metadata), witness)
             for config in configs
         ]
+        # Workers enforce the deadline cooperatively through the limits they
+        # receive (Deadline pickles as an absolute monotonic instant, which
+        # CLOCK_MONOTONIC keeps meaningful across processes); the race-level
+        # timeout is a backstop against a worker that cannot reach its next
+        # cooperative check in time.
+        race_timeout = None
+        if limits.deadline is not None:
+            race_timeout = limits.deadline.remaining()
         outcome = race_to_first(
             run_portfolio_config,
             tasks,
             jobs=jobs,
+            timeout=race_timeout,
             accept=lambda report: report.found and report.optimal,
         )
         report = outcome.winner
         if report is None:
             # No certificate: every configuration finished non-optimal (or
             # failed).  Keep the best effort — the first finished report
-            # with a schedule, else the first finished, else give up with
-            # the analytic bound, exactly like the single strategies do.
-            report = self._best_effort(problem, outcome.finished)
+            # with a schedule, else the first finished, else degrade with
+            # the analytic interval and the structured witness, exactly
+            # like the single strategies do.
+            report = self._best_effort(problem, limits, metadata, witness, outcome)
         if outcome.winner_index is not None:
             report.winner = {
                 **configs[outcome.winner_index],
@@ -227,18 +258,48 @@ class PortfolioStrategy(SearchStrategy):
         return report
 
     def _best_effort(
-        self, problem: SchedulingProblem, finished: dict[int, SchedulerReport]
+        self,
+        problem: SchedulingProblem,
+        limits: SearchLimits,
+        metadata: dict,
+        witness,
+        outcome,
     ) -> SchedulerReport:
+        """The graceful-degradation report when no configuration certified.
+
+        Finished worker reports already honour the degradation contract
+        (termination verdict, witness fallback, tightened interval), so the
+        first one with a schedule is the best effort.  With nothing
+        finished — the race expired or every worker failed — the portfolio
+        degrades itself: analytic interval, structured witness as the
+        schedule, and a termination verdict telling deadline expiry apart
+        from backend failure.
+        """
+        finished: dict[int, SchedulerReport] = outcome.finished
         for index in sorted(finished):
             if finished[index].found:
                 return finished[index]
         if finished:
             return finished[min(finished)]
         breakdown = problem.bound_breakdown()
-        return SchedulerReport(
+        report = SchedulerReport(
             schedule=None,
             optimal=False,
             strategy=self.name,
             lower_bound=breakdown.total,
             lower_bound_source=breakdown.source,
         )
+        expired = limits.deadline is not None and limits.deadline.expired()
+        report.termination = (
+            TERMINATION_DEADLINE
+            if expired or not outcome.errors
+            else TERMINATION_BACKEND_ERROR
+        )
+        if witness is not None:
+            report.upper_bound = witness.num_stages
+            report.upper_bound_source = witness_source(witness)
+            if witness.num_stages <= limits.max_stages:
+                witness.metadata.update(metadata)
+                witness.metadata.setdefault("optimal", False)
+                report.schedule = witness
+        return report

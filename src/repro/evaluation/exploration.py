@@ -11,7 +11,7 @@ given code, using the same pipeline as the Table I harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.arch import (
     bottom_storage_layout,
@@ -19,6 +19,7 @@ from repro.arch import (
     no_shielding_layout,
 )
 from repro.arch.architecture import ZonedArchitecture
+from repro.core.budget import Deadline
 from repro.core.problem import SchedulingProblem
 from repro.core.structured import StructuredScheduler
 from repro.core.validator import validate_schedule
@@ -53,13 +54,22 @@ def run_architecture_exploration(
     code_name: str,
     designs: dict[str, ZonedArchitecture] | None = None,
     validate: bool = True,
+    deadline: Optional[Deadline] = None,
 ) -> list[ExplorationResult]:
-    """Schedule *code_name*'s preparation circuit on every design point."""
+    """Schedule *code_name*'s preparation circuit on every design point.
+
+    *deadline* makes the sweep cooperatively preemptible: the budget is
+    checked before every design point and expiry raises
+    :class:`~repro.core.budget.DeadlineExceeded` (how the bench harness's
+    serial ``--timeout`` interrupts a sweep mid-flight).
+    """
     designs = designs or default_design_space()
     code = get_code(code_name)
     prep = state_preparation_circuit(code)
     results: list[ExplorationResult] = []
     for name, architecture in designs.items():
+        if deadline is not None:
+            deadline.check(f"exploration {code_name}/{name}")
         problem = SchedulingProblem.from_circuit(
             architecture, prep, metadata={"code": code.name}
         )

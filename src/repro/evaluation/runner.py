@@ -36,13 +36,14 @@ take the whole pool down with a ``BrokenProcessPool``.  Teardown
 (normal, timeout, ``KeyboardInterrupt``) terminates **and joins** every
 live worker in a ``finally`` block so no child outlives the batch.
 
-The timeout is enforced on two levels: SMT specs forward it to the solver's
-anytime time limit (the worker stops by itself, in serial and parallel mode
-alike), and in parallel mode the harness additionally terminates any worker
-whose *execution* exceeds the budget — the cell is recorded as
-``timeout``.  Caveat: specs without a cooperative solver limit (table1,
-exploration) cannot be interrupted in serial mode; run those with
-``jobs >= 2`` if a hard budget matters.
+The timeout is enforced on two levels: every spec kind receives it as a
+cooperative :class:`~repro.core.budget.Deadline` (SMT cells degrade
+gracefully and report ``termination: "deadline"`` with their best-known
+witness; table1/exploration cells raise
+:class:`~repro.core.budget.DeadlineExceeded` between sub-instances and are
+recorded as ``timeout`` — in serial and parallel mode alike), and in
+parallel mode the harness additionally terminates any worker whose
+*execution* exceeds the budget — the cell is recorded as ``timeout``.
 """
 
 from __future__ import annotations
@@ -58,6 +59,7 @@ from dataclasses import asdict, dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Optional, Sequence
 
+from repro.core.budget import DeadlineExceeded
 from repro.evaluation.journal import (
     BenchJournal,
     file_digest,
@@ -381,6 +383,7 @@ def _execute_smt(spec: dict) -> dict:
         incremental=strategy != "coldstart",
         phase_seed=spec.get("phase_seed"),
         sat_backend=spec.get("sat_backend"),
+        deadline=spec.get("deadline"),
     )
     gates = [tuple(g) for g in spec["gates"]]
     problem = SchedulingProblem.from_gates(
@@ -406,6 +409,10 @@ def _execute_smt(spec: dict) -> dict:
         "stages_tried": report.stages_tried,
         "num_horizons": report.num_horizons,
         "solver_seconds": report.solver_seconds,
+        # Schema v7 fields: how the search ended (the graceful-degradation
+        # verdict) and how many transient backend failures were retried.
+        "termination": report.termination,
+        "backend_retries": int(report.statistics.get("backend_retries", 0)),
     }
     # Schema v6 fields: hot-loop telemetry of the deciding SAT backend
     # (per-check rates and search/inprocessing counters of the last probe),
@@ -442,7 +449,11 @@ def _execute_table1(spec: dict) -> dict:
     layout_name = spec["layout"]
     if layout_name not in layouts:
         raise ValueError(f"unknown layout {layout_name!r}")
-    row = run_table1_row(spec["code"], layouts={layout_name: layouts[layout_name]})
+    row = run_table1_row(
+        spec["code"],
+        layouts={layout_name: layouts[layout_name]},
+        deadline=_spec_deadline(spec),
+    )
     cell = row.layouts[layout_name]
     return {
         "code": spec["code"],
@@ -461,11 +472,26 @@ def _execute_table1(spec: dict) -> dict:
 def _execute_exploration(spec: dict) -> dict:
     from repro.evaluation.exploration import run_architecture_exploration
 
-    results = run_architecture_exploration(spec["code"])
+    results = run_architecture_exploration(
+        spec["code"], deadline=_spec_deadline(spec)
+    )
     return {
         "code": spec["code"],
         "design_points": [asdict(result) for result in results],
     }
+
+
+def _spec_deadline(spec: dict):
+    """Start the cooperative :class:`Deadline` encoded in a spec (or None).
+
+    The budget starts ticking when the cell *executes*, not when the spec
+    was built — queueing time behind a busy pool must not count against
+    the cell.
+    """
+    from repro.core.budget import Deadline
+
+    seconds = spec.get("deadline")
+    return None if seconds is None else Deadline.after(seconds)
 
 
 # --------------------------------------------------------------------------- #
@@ -476,7 +502,7 @@ def run_batch(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     output_path: str | os.PathLike | None = None,
-    schema_version: int = 6,
+    schema_version: int = 7,
     journal_path: str | os.PathLike | None = None,
     resume: bool = False,
     max_retries: int = 2,
@@ -487,12 +513,13 @@ def run_batch(
     ``jobs=None`` or ``jobs <= 1`` runs serially in this process (no pickling
     round-trips, easiest to debug); larger values fan out across that many
     worker processes, one :class:`multiprocessing.Process` per in-flight
-    cell.  *timeout* bounds each instance's execution time: SMT instances
-    enforce it cooperatively through the solver's anytime limit, and in
-    parallel mode the harness additionally terminates any worker that
-    overruns (status ``"timeout"``).  Non-SMT instances cannot be preempted
-    in serial mode.  When *output_path* is given the results are
-    additionally persisted as JSON.
+    cell.  *timeout* bounds each instance's execution time: every spec
+    enforces it cooperatively through a :class:`~repro.core.budget.Deadline`
+    (SMT cells degrade gracefully to ``termination: "deadline"``;
+    table1/exploration cells are preempted between sub-instances with
+    status ``"timeout"``), and in parallel mode the harness additionally
+    terminates any worker that overruns (status ``"timeout"``).  When
+    *output_path* is given the results are additionally persisted as JSON.
 
     *journal_path* appends a per-cell completion journal
     (:mod:`repro.evaluation.journal`); with ``resume=True`` the journal is
@@ -574,6 +601,18 @@ def _run_serial(
         start = time.monotonic()
         try:
             payload = execute_spec(spec)
+        except DeadlineExceeded as exc:
+            # A cooperative preemption (table1/exploration cells check the
+            # budget between sub-instances) is a timeout, not an error —
+            # ``--resume`` re-queues it just like a harness-killed worker.
+            result = BenchResult(
+                name=instance.name,
+                suite=instance.suite,
+                status="timeout",
+                seconds=time.monotonic() - start,
+                error=str(exc),
+                attempts=attempt,
+            )
         except Exception as exc:  # noqa: BLE001 - reported per instance
             result = BenchResult(
                 name=instance.name,
@@ -607,6 +646,10 @@ def _pool_worker(spec: dict, conn) -> None:
     start = time.monotonic()
     try:
         payload = execute_spec(spec)
+    except DeadlineExceeded as exc:
+        # Cooperative preemption beats the parent's terminate(): the cell
+        # is recorded as a clean timeout instead of a crash.
+        message = ("timeout", str(exc), time.monotonic() - start)
     except BaseException as exc:  # noqa: BLE001 - reported per instance
         message = ("error", f"{type(exc).__name__}: {exc}", time.monotonic() - start)
     else:
@@ -851,12 +894,25 @@ def race_to_first(
 
 
 def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
-    """Forward the harness timeout to specs that support a solver limit."""
-    if timeout is None or spec.get("kind") != "smt":
+    """Forward the harness timeout into the spec's cooperative budget.
+
+    Every executable spec kind understands ``spec["deadline"]`` (a budget in
+    seconds, started by :func:`_spec_deadline` when the cell executes): SMT
+    cells hand it to :class:`~repro.core.scheduler.SMTScheduler`, which
+    degrades gracefully on expiry (``termination: "deadline"``);
+    table1/exploration cells check it between sub-instances and raise
+    :class:`DeadlineExceeded`, recorded as ``status: "timeout"``.  SMT specs
+    additionally clamp their per-probe solver ``time_limit``, preserving
+    the pre-deadline anytime behaviour.
+    """
+    if timeout is None or spec.get("kind") == "selftest":
         return spec
     spec = dict(spec)
-    limit = spec.get("time_limit")
-    spec["time_limit"] = timeout if limit is None else min(limit, timeout)
+    existing = spec.get("deadline")
+    spec["deadline"] = timeout if existing is None else min(existing, timeout)
+    if spec.get("kind") == "smt":
+        limit = spec.get("time_limit")
+        spec["time_limit"] = timeout if limit is None else min(limit, timeout)
     return spec
 
 
@@ -875,15 +931,16 @@ _V6_PAYLOAD_KEYS = (
     "sat_vivified_literals",
     "sat_subsumed_clauses",
 )
+_V7_PAYLOAD_KEYS = ("termination", "backend_retries")
 
 #: Every version :func:`save_results` can emit.
-BENCH_SCHEMA_VERSIONS = (2, 3, 4, 5, 6)
+BENCH_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7)
 
 
 def save_results(
     results: Sequence[BenchResult],
     path: str | os.PathLike,
-    schema_version: int = 6,
+    schema_version: int = 7,
     shard: Optional[dict] = None,
     journal_path: str | os.PathLike | None = None,
 ) -> None:
@@ -894,18 +951,23 @@ def save_results(
     added the portfolio's ``winner`` configuration; version 4 added the SAT
     backend (``sat_backend``) that decided the probes; version 5 added the
     bound-certificate provenance (``lower_bound_source`` /
-    ``upper_bound_source``); version 6 (default) is the bench-fleet schema:
+    ``upper_bound_source``); version 6 is the bench-fleet schema:
     per-result ``attempts`` and the ``"failed"`` status, per-payload SAT
     throughput rates, and the document-level ``shard`` descriptor plus
     ``journal_digest`` (SHA-256 of the completion journal that produced the
-    run, ``None`` when it ran unjournalled).  Requesting an older version
-    strips the newer fields so downstream consumers pinned to it keep
-    loading byte-compatible payloads.
+    run, ``None`` when it ran unjournalled); version 7 (default) added the
+    robustness verdicts of SMT payloads — ``termination`` (how the search
+    ended, see :data:`repro.core.report.TERMINATIONS`) and
+    ``backend_retries`` (transient SAT-backend failures retried).
+    Requesting an older version strips the newer fields so downstream
+    consumers pinned to it keep loading byte-compatible payloads.
     """
     if schema_version not in BENCH_SCHEMA_VERSIONS:
         raise ValueError(f"unknown bench schema version {schema_version}")
     serialised = [asdict(result) for result in results]
     stripped_keys: tuple[str, ...] = ()
+    if schema_version <= 6:
+        stripped_keys += _V7_PAYLOAD_KEYS
     if schema_version <= 5:
         stripped_keys += _V6_PAYLOAD_KEYS
         for entry in serialised:

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.arch import evaluation_layouts
 from repro.arch.architecture import ZonedArchitecture
+from repro.core.budget import Deadline
 from repro.circuit.state_prep_circuit import StatePrepCircuit
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import Schedule
@@ -77,8 +78,15 @@ def run_table1_row(
     layouts: dict[str, ZonedArchitecture] | None = None,
     backend: Callable[[ZonedArchitecture, StatePrepCircuit], Schedule] | None = None,
     validate: bool = True,
+    deadline: Optional[Deadline] = None,
 ) -> Table1Row:
-    """Evaluate one code on every layout."""
+    """Evaluate one code on every layout.
+
+    *deadline* makes the per-layout loop cooperatively preemptible: the
+    budget is checked before every cell and expiry raises
+    :class:`~repro.core.budget.DeadlineExceeded` (how the bench harness's
+    serial ``--timeout`` interrupts a row mid-flight).
+    """
     layouts = layouts or evaluation_layouts()
     backend = backend or schedule_with_structured_backend
     code = get_code(code_name)
@@ -90,6 +98,8 @@ def run_table1_row(
         num_cz_gates=prep.num_cz_gates,
     )
     for layout_name, architecture in layouts.items():
+        if deadline is not None:
+            deadline.check(f"table1 {code_name}/{layout_name}")
         start = time.monotonic()
         schedule = backend(architecture, prep)
         elapsed = time.monotonic() - start
@@ -115,11 +125,18 @@ def run_table1(
     layouts: dict[str, ZonedArchitecture] | None = None,
     backend: Callable[[ZonedArchitecture, StatePrepCircuit], Schedule] | None = None,
     validate: bool = True,
+    deadline: Optional[Deadline] = None,
 ) -> list[Table1Row]:
     """Evaluate all (or the given) codes on every layout."""
     code_names = list(codes) if codes is not None else available_codes()
     return [
-        run_table1_row(code, layouts=layouts, backend=backend, validate=validate)
+        run_table1_row(
+            code,
+            layouts=layouts,
+            backend=backend,
+            validate=validate,
+            deadline=deadline,
+        )
         for code in code_names
     ]
 

@@ -21,7 +21,9 @@ The default gate trips (:attr:`TrendReport.ok` is ``False``) when
 * a cell's wall-clock grows by more than ``wall_clock_threshold``
   (default **+25 %**) and the cell is slow enough to measure
   (``min_seconds`` floor filters timing noise on near-instant cells),
-* a cell that was ``ok`` stops being ``ok`` (timeout/error/failed), or
+* a cell that was ``ok`` stops being ``ok`` (timeout/error/failed — or a
+  schema-v7 SMT cell that degrades to ``termination: "deadline"``, the
+  cooperative form of a timeout), or
 * a cell disappears entirely (coverage loss), unless *allow_missing*.
 
 ``repro-nasp bench-trend old.json new.json`` wraps this with a
@@ -106,6 +108,23 @@ def _certified(payload: dict) -> bool:
     return bool(payload.get("found") and payload.get("optimal"))
 
 
+def _effective_status(entry: dict) -> str:
+    """The gate-relevant status of a cell.
+
+    Schema v7 SMT cells that hit the harness budget end *cooperatively*:
+    the worker returns a degraded payload with ``termination: "deadline"``
+    and the harness records ``status: "ok"`` (the payload is valid — best
+    known witness plus a sound interval).  For the ok→non-ok gate those
+    cells count like timeouts: a cell that used to certify within budget
+    and now runs out of time is a regression, however gracefully it
+    degraded.
+    """
+    status = entry.get("status", "?")
+    if status == "ok" and entry.get("payload", {}).get("termination") == "deadline":
+        return "deadline"
+    return status
+
+
 def _index_results(document: dict) -> dict[str, dict]:
     entries: dict[str, dict] = {}
     for entry in document.get("results", []):
@@ -162,8 +181,8 @@ def compare_documents(
         certified = _certified(old_payload) and _certified(new_payload)
         delta = CellDelta(
             name=name,
-            status_old=old.get("status", "?"),
-            status_new=new.get("status", "?"),
+            status_old=_effective_status(old),
+            status_new=_effective_status(new),
             seconds_old=seconds_old,
             seconds_new=seconds_new,
             seconds_ratio=ratio,
@@ -173,9 +192,9 @@ def compare_documents(
             throughput_new=new_payload.get("sat_propagations_per_second"),
             certified=certified,
         )
-        if old.get("status") == "ok" and new.get("status") != "ok":
+        if delta.status_old == "ok" and delta.status_new != "ok":
             delta.regressions.append(
-                f"{name}: was ok, now {new.get('status')}"
+                f"{name}: was ok, now {delta.status_new}"
                 + (f" ({new.get('error')})" if new.get("error") else "")
             )
         if certified:

@@ -37,18 +37,29 @@ from repro.sat.backend import (
     register_backend,
     usable_backends,
 )
+from repro.sat.chaos import ChaosBackend, FaultPlan
 from repro.sat.cnf import CNF
+from repro.sat.errors import (
+    BackendError,
+    PermanentBackendError,
+    TransientBackendError,
+)
 from repro.sat.reference import ReferenceCDCLSolver
 from repro.sat.solver import CDCLSolver, SolveResult, SolverStatistics
 from repro.sat.tseitin import TseitinEncoder
 
 __all__ = [
+    "BackendError",
     "CNF",
     "CDCLSolver",
+    "ChaosBackend",
     "DEFAULT_BACKEND",
     "DimacsSubprocessBackend",
+    "FaultPlan",
+    "PermanentBackendError",
     "ReferenceCDCLSolver",
     "SatBackend",
+    "TransientBackendError",
     "SolveResult",
     "SolverStatistics",
     "TseitinEncoder",

@@ -43,6 +43,10 @@ Built-in backends:
 ``dimacs-subprocess``  external solver binary via DIMACS pipe (set
                        ``REPRO_SAT_BINARY`` or have one of the well-known
                        binaries on ``PATH``)
+``chaos``              :class:`repro.sat.chaos.ChaosBackend`, a
+                       fault-injecting proxy for robustness testing;
+                       parameterised lookups (``chaos:flat``,
+                       ``chaos:ipasir``, ...) pick the wrapped backend
 =====================  =====================================================
 """
 
@@ -53,7 +57,8 @@ import shutil
 import subprocess
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import (
     Callable,
     Iterable,
@@ -64,6 +69,11 @@ from typing import (
 )
 
 from repro.sat.cnf import CNF
+from repro.sat.errors import (
+    BackendError,
+    PermanentBackendError,
+    TransientBackendError,
+)
 from repro.sat.ipasir import (
     IPASIR_LIB_ENV,
     IpasirBackend,
@@ -162,6 +172,11 @@ class BackendInfo:
     #: heuristics, never semantics, so a backend that lacks a knob simply
     #: runs without it (mirroring how phase hints degrade).
     option_names: tuple[str, ...] = ()
+    #: Whether ``name:argument`` lookups derive a parameterised entry whose
+    #: factory receives the argument as ``inner=`` (e.g. ``chaos:flat``
+    #: wraps the flat core).  The argument must itself be a registered
+    #: backend name.
+    accepts_argument: bool = False
 
 
 _REGISTRY: dict[str, BackendInfo] = {}
@@ -188,13 +203,32 @@ def usable_backends() -> list[str]:
 
 
 def backend_info(name: Optional[str] = None) -> BackendInfo:
-    """Registry entry for *name* (default backend when ``None``)."""
+    """Registry entry for *name* (default backend when ``None``).
+
+    ``name`` may be a parameterised lookup ``base:argument`` when the base
+    backend is registered with ``accepts_argument=True`` (e.g.
+    ``chaos:flat``): the derived entry binds the argument as the factory's
+    ``inner=`` backend and inherits the inner backend's availability.
+    """
     key = name or DEFAULT_BACKEND
-    try:
+    if key in _REGISTRY:
         return _REGISTRY[key]
-    except KeyError:
-        known = ", ".join(available_backends())
-        raise ValueError(f"unknown SAT backend {key!r} (available: {known})") from None
+    base, sep, argument = key.partition(":")
+    if sep and argument and base in _REGISTRY and _REGISTRY[base].accepts_argument:
+        base_info = _REGISTRY[base]
+        inner_info = backend_info(argument)  # raises for unknown inner names
+        return replace(
+            base_info,
+            name=key,
+            factory=partial(base_info.factory, inner=inner_info.name),
+            description=f"{base_info.description} wrapping {inner_info.name!r}",
+            is_available=inner_info.is_available,
+            option_names=tuple(
+                option for option in base_info.option_names if option != "inner"
+            ),
+        )
+    known = ", ".join(available_backends())
+    raise ValueError(f"unknown SAT backend {key!r} (available: {known})") from None
 
 
 def create_backend(name: Optional[str] = None, **options: object) -> SatBackend:
@@ -206,14 +240,16 @@ def create_backend(name: Optional[str] = None, **options: object) -> SatBackend:
     are silently dropped — options tune heuristics, never semantics, so a
     backend without the knob just runs its defaults.
 
-    Raises ``ValueError`` for unknown names and ``RuntimeError`` when the
-    backend is registered but its runtime requirements are not met (e.g. no
-    external solver binary on ``PATH``) — callers that want to degrade
-    instead of failing should consult :func:`usable_backends` first.
+    Raises ``ValueError`` for unknown names and
+    :class:`~repro.sat.errors.PermanentBackendError` (a ``RuntimeError``
+    subclass) when the backend is registered but its runtime requirements
+    are not met (e.g. no external solver binary on ``PATH``) — callers that
+    want to degrade instead of failing should consult
+    :func:`usable_backends` first.
     """
     info = backend_info(name)
     if not info.is_available():
-        raise RuntimeError(
+        raise PermanentBackendError(
             f"SAT backend {info.name!r} is registered but unavailable: "
             f"{info.description or 'runtime requirements not met'}"
         )
@@ -430,7 +466,9 @@ class DimacsSubprocessBackend:
         if unsat:
             return SolveResult.UNSAT
         if not sat:
-            raise RuntimeError(
+            # A crashed/killed binary is retryable: the clause database is
+            # intact on our side, so a fresh subprocess may well succeed.
+            raise TransientBackendError(
                 f"external SAT solver {self._binary!r} returned neither "
                 f"SAT nor UNSAT (exit code {returncode}): "
                 f"{stderr.strip()[:200] or output.strip()[:200]}"
@@ -463,8 +501,9 @@ class DimacsSubprocessBackend:
         if num_vars and not parsed:
             # An all-default model would decode into garbage far from the
             # cause; a SAT answer without model literals is a solver whose
-            # output convention we misread — fail loudly at the source.
-            raise RuntimeError(
+            # output convention we misread — a retry would misread it the
+            # same way, so fail permanently at the source.
+            raise PermanentBackendError(
                 f"external SAT solver {self._binary!r} reported SAT but "
                 "printed no parseable model literals (unsupported output "
                 "convention?)"
@@ -537,3 +576,41 @@ register_backend(
         is_available=lambda: find_solver_binary() is not None,
     )
 )
+
+# Imported here (not at the top) because the chaos module needs the registry
+# above to build its inner backend; only the registration below needs the
+# class, after everything it imports from this module exists.
+from repro.sat.chaos import CHAOS_SPEC_ENV, ChaosBackend  # noqa: E402
+
+register_backend(
+    BackendInfo(
+        name="chaos",
+        factory=ChaosBackend,
+        description=(
+            "fault-injecting proxy (seeded transient/UNKNOWN/delay/crash "
+            f"faults, tunable via ${CHAOS_SPEC_ENV}); wrap a specific "
+            "backend with a parameterised name such as 'chaos:flat'"
+        ),
+        # Racing an intentionally faulty proxy would only burn a worker.
+        race_variant=False,
+        option_names=("inner", "plan"),
+        accepts_argument=True,
+    )
+)
+
+__all__ = [
+    "BackendError",
+    "BackendInfo",
+    "ChaosBackend",
+    "DEFAULT_BACKEND",
+    "DimacsSubprocessBackend",
+    "PermanentBackendError",
+    "SatBackend",
+    "TransientBackendError",
+    "available_backends",
+    "backend_info",
+    "create_backend",
+    "find_solver_binary",
+    "register_backend",
+    "usable_backends",
+]

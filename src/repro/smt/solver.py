@@ -34,17 +34,30 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.sat.backend import SatBackend, backend_info, create_backend
 from repro.sat.cnf import CNF
+from repro.sat.errors import TransientBackendError
 from repro.sat.solver import SolveResult
 from repro.smt import terms as T
 from repro.smt.encoder import ExpressionEncoder
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.budget import Deadline
+
 
 #: Solver statistics that are high-water gauges rather than monotone counters.
 _GAUGE_STATISTICS = frozenset({"max_decision_level"})
+
+#: Base pause of the deterministic linear retry backoff: the n-th retry of a
+#: transient backend failure sleeps ``n * RETRY_BACKOFF_SECONDS`` (capped by
+#: the remaining deadline, when one is set).
+RETRY_BACKOFF_SECONDS = 0.05
+
+#: How many times a transient backend failure is retried per check before it
+#: escalates to the caller.
+DEFAULT_BACKEND_RETRIES = 2
 
 
 class CheckResult(enum.Enum):
@@ -141,11 +154,19 @@ class Solver:
         incremental: bool = False,
         backend: Optional[str] = None,
         backend_options: Optional[dict] = None,
+        backend_retries: int = DEFAULT_BACKEND_RETRIES,
+        retry_backoff: float = RETRY_BACKOFF_SECONDS,
     ) -> None:
         """*backend_options* are forwarded to
         :func:`repro.sat.backend.create_backend` (e.g. ``chrono`` /
         ``inprocessing`` for the flat core); options a backend does not
         declare are dropped there — they tune heuristics, never answers.
+
+        *backend_retries* bounds how often a
+        :class:`~repro.sat.errors.TransientBackendError` raised by a solve
+        is retried within one :meth:`check` (with deterministic linear
+        backoff of *retry_backoff* seconds per attempt) before escalating;
+        permanent failures are never retried.
         """
         self._constraints: list[T.BoolExpr] = []
         self._scopes: list[int] = []
@@ -153,6 +174,9 @@ class Solver:
         self._model: Optional[Model] = None
         self._last_statistics: dict[str, float] = {}
         self._incremental = incremental
+        self._backend_retries = max(0, backend_retries)
+        self._retry_backoff = max(0.0, retry_backoff)
+        self._backend_retries_total = 0
         # Resolve the name eagerly so typos fail at construction time.
         self._backend_name = backend_info(backend).name
         self._backend_options = dict(backend_options or {})
@@ -296,6 +320,7 @@ class Solver:
         assumptions: Iterable[T.BoolExpr] = (),
         max_conflicts: Optional[int] = None,
         time_limit: Optional[float] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> CheckResult:
         """Decide the asserted constraints, optionally under *assumptions*.
 
@@ -303,7 +328,25 @@ class Solver:
         only; they are not retained.  In incremental mode only the delta
         since the previous check is bit-blasted and the underlying SAT
         solver's learned clauses survive between calls.
+
+        *deadline* (a :class:`~repro.core.budget.Deadline`) caps this
+        check's effective limits at the remaining whole-search budget:
+        *time_limit* is sliced to ``min(time_limit, remaining)``,
+        *max_conflicts* shrinks proportionally, and an already-expired
+        deadline returns :data:`CheckResult.UNKNOWN` without touching the
+        backend (the pending constraint delta stays pending).
         """
+        if deadline is not None:
+            if deadline.expired():
+                self._model = None
+                self._last_statistics = {
+                    **self._last_statistics,
+                    "deadline_expired": 1.0,
+                    "backend_retries": float(self._backend_retries_total),
+                }
+                return CheckResult.UNKNOWN
+            max_conflicts = deadline.compose_conflicts(max_conflicts, time_limit)
+            time_limit = deadline.slice(time_limit)
         start = time.monotonic()
         if self._incremental:
             sat_solver = self._sat_solver
@@ -342,10 +385,8 @@ class Solver:
             )
         encode_time = time.monotonic() - start
         stats_before = sat_solver.statistics()
-        result = sat_solver.solve(
-            assumptions=assumption_literals,
-            max_conflicts=max_conflicts,
-            time_limit=time_limit,
+        result = self._solve_with_retries(
+            sat_solver, assumption_literals, max_conflicts, time_limit, deadline
         )
         solve_time = time.monotonic() - start - encode_time
         stats_after = sat_solver.statistics()
@@ -364,6 +405,7 @@ class Solver:
             "solve_seconds": solve_time,
             "sat_variables": sat_solver.num_vars,
             "sat_clauses": sat_solver.num_clauses,
+            "backend_retries": float(self._backend_retries_total),
             **deltas,
         }
         # Per-check throughput of the CDCL hot loop, derived from the deltas
@@ -387,6 +429,51 @@ class Solver:
             return CheckResult.UNKNOWN
         self._model = self._extract_model(sat_solver, encoder)
         return CheckResult.SAT
+
+    def _solve_with_retries(
+        self,
+        sat_solver: SatBackend,
+        assumption_literals: list[int],
+        max_conflicts: Optional[int],
+        time_limit: Optional[float],
+        deadline: Optional["Deadline"],
+    ) -> SolveResult:
+        """Run one solve, retrying transient backend failures with backoff.
+
+        A transient failure leaves the backend's clause database intact by
+        contract, so the retry re-solves the identical formula.  Retries
+        are bounded (``backend_retries`` per check) and deterministic
+        (linear backoff, no jitter); the pause never overruns the deadline.
+        Permanent failures and exhausted retry budgets propagate to the
+        caller, which degrades to ``termination="backend-error"``.
+        """
+        attempt = 0
+        while True:
+            try:
+                return sat_solver.solve(
+                    assumptions=assumption_literals,
+                    max_conflicts=max_conflicts,
+                    time_limit=time_limit,
+                )
+            except TransientBackendError:
+                attempt += 1
+                if attempt > self._backend_retries:
+                    raise
+                if deadline is not None and deadline.expired():
+                    raise
+                self._backend_retries_total += 1
+                pause = attempt * self._retry_backoff
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining is not None:
+                        pause = min(pause, remaining)
+                if pause > 0:
+                    time.sleep(pause)
+
+    @property
+    def backend_retries(self) -> int:
+        """Cumulative transient-failure retries across this solver's checks."""
+        return self._backend_retries_total
 
     def statistics(self) -> dict[str, float]:
         """Statistics of the most recent :meth:`check` call."""

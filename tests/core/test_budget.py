@@ -1,0 +1,116 @@
+"""Unit tests for the deadline/budget governance primitive.
+
+Every test drives the :class:`~repro.core.budget.Deadline` with an
+injectable fake clock, so the accounting, slicing, and conflict-budget
+composition are exercised deterministically — no sleeps, no wall-clock
+flakiness.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.budget import Deadline, DeadlineExceeded
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_unbounded_deadline_never_expires():
+    deadline = Deadline.unbounded()
+    assert not deadline.bounded
+    assert deadline.remaining() is None
+    assert not deadline.expired()
+    deadline.check("anything")  # must not raise
+
+
+def test_after_none_is_unbounded():
+    assert not Deadline.after(None).bounded
+
+
+def test_remaining_shrinks_with_the_clock_and_floors_at_zero():
+    clock = FakeClock()
+    deadline = Deadline.after(10.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(10.0)
+    clock.advance(4.0)
+    assert deadline.remaining() == pytest.approx(6.0)
+    assert not deadline.expired()
+    clock.advance(100.0)
+    assert deadline.remaining() == 0.0
+    assert deadline.expired()
+
+
+def test_check_raises_with_context_after_expiry():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    deadline.check("probe")
+    clock.advance(2.0)
+    with pytest.raises(DeadlineExceeded, match="probe"):
+        deadline.check("probe")
+
+
+def test_slice_takes_the_tighter_of_cap_and_remaining():
+    clock = FakeClock()
+    deadline = Deadline.after(10.0, clock=clock)
+    # Remaining dominates a looser per-probe cap.
+    assert deadline.slice(30.0) == pytest.approx(10.0)
+    # A tighter per-probe cap dominates the remaining time.
+    assert deadline.slice(2.0) == pytest.approx(2.0)
+    # No per-probe cap: the remaining time is the budget.
+    assert deadline.slice(None) == pytest.approx(10.0)
+    # Unbounded deadline passes the cap through (None stays None).
+    assert Deadline.unbounded().slice(5.0) == 5.0
+    assert Deadline.unbounded().slice(None) is None
+
+
+def test_slice_of_an_expired_deadline_is_zero():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    clock.advance(5.0)
+    assert deadline.slice(30.0) == 0.0
+
+
+def test_compose_conflicts_scales_by_remaining_fraction():
+    clock = FakeClock()
+    deadline = Deadline.after(10.0, clock=clock)
+    # Remaining covers the whole per-probe window: budget unchanged.
+    assert deadline.compose_conflicts(1000, per_probe=10.0) == 1000
+    clock.advance(7.5)  # 2.5s of a 10s window left -> quarter budget
+    assert deadline.compose_conflicts(1000, per_probe=10.0) == 250
+    clock.advance(2.499)  # nearly nothing left -> floored at 1
+    assert deadline.compose_conflicts(1000, per_probe=10.0) >= 1
+
+
+def test_compose_conflicts_passthrough_cases():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    assert deadline.compose_conflicts(None, per_probe=10.0) is None
+    # Nothing to scale against without a per-probe time cap.
+    assert deadline.compose_conflicts(1000, per_probe=None) == 1000
+    assert Deadline.unbounded().compose_conflicts(1000, per_probe=10.0) == 1000
+
+
+def test_pickle_drops_the_custom_clock_and_keeps_the_instant():
+    clock = FakeClock(now=100.0)
+    deadline = Deadline.after(5.0, clock=clock)
+    restored = pickle.loads(pickle.dumps(deadline))
+    # The absolute instant survives; the clock reverts to time.monotonic
+    # (the only clock meaningful across processes).
+    assert restored.expires_at == deadline.expires_at
+    assert restored.remaining() is not None
+
+
+def test_pickled_unbounded_deadline_stays_unbounded():
+    restored = pickle.loads(pickle.dumps(Deadline.unbounded()))
+    assert not restored.bounded
+    assert restored.remaining() is None

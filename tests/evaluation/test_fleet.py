@@ -380,13 +380,13 @@ def _shard_documents(tmp_path, count, cells=None):
     return cells, paths
 
 
-def test_document_v6_records_shard_journal_digest_and_attempts(tmp_path):
+def test_document_records_shard_journal_digest_and_attempts(tmp_path):
     journal_path = tmp_path / "run.jsonl"
     output = tmp_path / "run.json"
     cells = [_selftest("selftest/a", op="ok")]
     run_batch(cells, jobs=1, journal_path=journal_path, output_path=output)
     document = load_document(output)
-    assert document["version"] == 6
+    assert document["version"] == 7
     assert document["shard"] == shard_info(["selftest/a"])
     assert document["journal_digest"] == file_digest(journal_path)
     assert document["results"][0]["attempts"] == 1

@@ -225,7 +225,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
-    assert document["version"] == 6
+    assert document["version"] == 7
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -403,23 +403,33 @@ _SCHEMA_STRIP_TABLE = {
     2: {"winner": False, "sat_backend": False,
         "lower_bound_source": False, "upper_bound_source": False,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
-        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False,
+        "termination": False, "backend_retries": False},
     3: {"winner": True, "sat_backend": False,
         "lower_bound_source": False, "upper_bound_source": False,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
-        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False,
+        "termination": False, "backend_retries": False},
     4: {"winner": True, "sat_backend": True,
         "lower_bound_source": False, "upper_bound_source": False,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
-        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False,
+        "termination": False, "backend_retries": False},
     5: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
-        "sat_vivified_literals": False, "sat_subsumed_clauses": False},
+        "sat_vivified_literals": False, "sat_subsumed_clauses": False,
+        "termination": False, "backend_retries": False},
     6: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
         "sat_propagations_per_second": True, "sat_chrono_backtracks": True,
-        "sat_vivified_literals": True, "sat_subsumed_clauses": True},
+        "sat_vivified_literals": True, "sat_subsumed_clauses": True,
+        "termination": False, "backend_retries": False},
+    7: {"winner": True, "sat_backend": True,
+        "lower_bound_source": True, "upper_bound_source": True,
+        "sat_propagations_per_second": True, "sat_chrono_backtracks": True,
+        "sat_vivified_literals": True, "sat_subsumed_clauses": True,
+        "termination": True, "backend_retries": True},
 }
 
 
@@ -434,6 +444,8 @@ def test_save_results_version_gates_are_symmetric(version, tmp_path):
     results[0].payload["sat_chrono_backtracks"] = 12
     results[0].payload["sat_vivified_literals"] = 7
     results[0].payload["sat_subsumed_clauses"] = 3
+    results[0].payload["termination"] = "certified"
+    results[0].payload["backend_retries"] = 0
     path = tmp_path / f"v{version}.json"
     save_results(results, path, schema_version=version)
     document = json.loads(path.read_text())

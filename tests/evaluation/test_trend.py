@@ -114,6 +114,31 @@ def test_ok_to_not_ok_status_change_trips_the_gate():
     assert any("was ok, now timeout" in m for m in report.regressions)
 
 
+def test_cooperative_deadline_cells_count_as_not_ok():
+    """A schema-v7 SMT cell that degrades to ``termination: "deadline"``
+    keeps ``status: "ok"`` (its payload is a valid best-effort answer), but
+    the gate must treat it like a timeout: certifying within budget before
+    and running out of time now is a regression."""
+    old_cell = _cell("smt/a")
+    old_cell["payload"]["termination"] = "certified"
+    new_cell = _cell("smt/a", certified=False)
+    new_cell["payload"]["termination"] = "deadline"
+    report = compare_documents(_doc([old_cell], version=7), _doc([new_cell], version=7))
+    assert not report.ok
+    assert any("was ok, now deadline" in m for m in report.regressions)
+
+
+def test_deadline_cells_in_both_runs_do_not_trip_the_gate():
+    """deadline -> deadline is not an ok -> non-ok transition."""
+    cells = []
+    for _ in range(2):
+        cell = _cell("smt/a", certified=False)
+        cell["payload"]["termination"] = "deadline"
+        cells.append(cell)
+    report = compare_documents(_doc([cells[0]], version=7), _doc([cells[1]], version=7))
+    assert report.ok
+
+
 def test_missing_cells_trip_the_gate_unless_allowed():
     old = _doc([_cell("smt/a"), _cell("smt/b")])
     new = _doc([_cell("smt/a")])
