@@ -229,13 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--schema-version",
         type=int,
-        choices=[2, 3, 4, 5, 6, 7],
-        default=7,
-        help="bench JSON schema (6 strips the v7-only robustness fields "
-        "termination/backend_retries, 5 additionally strips the fleet "
-        "fields shard/attempts/journal_digest/throughput, 4 the "
-        "bound-source fields, 3 the backend field, 2 the portfolio "
-        "fields)",
+        choices=[2, 3, 4, 5, 6, 7, 8],
+        default=8,
+        help="bench JSON schema (7 strips the v8-only service fields "
+        "latency_p50_seconds/latency_p99_seconds/cache_hit_rate, 6 "
+        "additionally the v7 robustness fields termination/"
+        "backend_retries, 5 the fleet fields shard/attempts/"
+        "journal_digest/throughput, 4 the bound-source fields, 3 the "
+        "backend field, 2 the portfolio fields)",
+    )
+    bench.add_argument(
+        "--dedupe",
+        action="store_true",
+        help="drop SMT cells whose problem is isomorphic to an earlier "
+        "cell under the same strategy/backend/budget (canonical-hash "
+        "dedup; the kept cell's certificate covers the dropped ones)",
     )
     bench.add_argument(
         "--shard",
@@ -354,6 +362,116 @@ def build_parser() -> argparse.ArgumentParser:
     )
     microbench.add_argument(
         "--output", default=None, help="persist the comparison as JSON to this path"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scheduling service: an HTTP/JSON server streaming "
+        "anytime responses, backed by a warm worker pool and the "
+        "certified-result cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8537, help="bind port")
+    serve.add_argument(
+        "--jobs", type=int, default=2, help="persistent solver workers"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="bounded request queue depth; further submissions get 503",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persist the certified-result cache as JSONL at PATH "
+        "(loaded on start, appended on every new certificate)",
+    )
+    serve.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append the request ledger (bench-journal JSONL) to PATH",
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=list(SMT_STRATEGIES),
+        default="bisection",
+        help="default search strategy for requests that do not name one",
+    )
+    serve.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="default per-SMT-instance time limit in seconds",
+    )
+    serve.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        help="per-request wall-clock ceiling; an overrunning worker is "
+        "terminated and restarted (termination: deadline)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="fire seeded isomorphically-relabeled traffic at an "
+        "in-process service; report p50/p99 latency and cache hit-rate",
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=24, help="total requests to send"
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=4, help="in-flight request cap"
+    )
+    loadtest.add_argument(
+        "--jobs", type=int, default=2, help="service worker processes"
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=0, help="relabeling/traffic seed"
+    )
+    loadtest.add_argument(
+        "--instances",
+        nargs="*",
+        choices=sorted(SMT_INSTANCES),
+        default=None,
+        help="base instances to relabel (default: the fast-certifying mix)",
+    )
+    loadtest.add_argument(
+        "--layout", choices=sorted(_LAYOUTS), default="bottom"
+    )
+    loadtest.add_argument(
+        "--strategy",
+        choices=list(SMT_STRATEGIES),
+        default="bisection",
+        help="search strategy for every request",
+    )
+    loadtest.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (anytime degradation)",
+    )
+    loadtest.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail (exit 1) when the cache hit-rate falls below this",
+    )
+    loadtest.add_argument(
+        "--output",
+        default=None,
+        help="persist the payload as bench JSON to this path",
+    )
+    loadtest.add_argument(
+        "--schema-version",
+        type=int,
+        choices=[2, 3, 4, 5, 6, 7, 8],
+        default=8,
+        help="bench JSON schema for --output (v8 carries the latency "
+        "percentiles and cache hit-rate; older versions strip them)",
     )
     return parser
 
@@ -598,6 +716,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
                 return 2
             instances = shard_suite(instances, index, count)
+        if args.dedupe:
+            from repro.evaluation.runner import dedupe_instances
+
+            instances, dropped = dedupe_instances(instances)
+            if dropped:
+                print(
+                    f"dedupe: dropped {len(dropped)} isomorphic cell(s): "
+                    + ", ".join(
+                        f"{name} (duplicate of {kept_name})"
+                        for name, kept_name in sorted(dropped.items())
+                    ),
+                    file=sys.stderr,
+                )
         if args.resume is not None and args.journal is not None:
             if args.resume != args.journal:
                 print(
@@ -735,6 +866,77 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.chrono:
             return 0 if document["chrono_gate_passed"] else 1
         return 0 if document["candidate_faster_everywhere"] else 1
+
+    if args.command == "serve":
+        from repro.service import run_service
+
+        print(
+            f"serving on http://{args.host}:{args.port} "
+            f"({args.jobs} worker(s), queue limit {args.queue_limit})",
+            file=sys.stderr,
+        )
+        run_service(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            queue_limit=args.queue_limit,
+            cache_path=args.cache,
+            ledger_path=args.ledger,
+            default_strategy=args.strategy,
+            default_time_limit=args.time_limit,
+            hard_timeout=args.hard_timeout,
+        )
+        return 0
+
+    if args.command == "loadtest":
+        from repro.service import format_loadtest, loadtest_result, run_loadtest
+        from repro.service.loadtest import (
+            DEFAULT_INSTANCES as DEFAULT_LOADTEST_INSTANCES,
+        )
+
+        try:
+            payload = run_loadtest(
+                requests=args.requests,
+                concurrency=args.concurrency,
+                jobs=args.jobs,
+                seed=args.seed,
+                instances=tuple(args.instances)
+                if args.instances
+                else DEFAULT_LOADTEST_INSTANCES,
+                layout_kind=args.layout,
+                strategy=args.strategy,
+                deadline=args.deadline,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_loadtest(payload))
+        if args.output:
+            from repro.evaluation.runner import save_results
+
+            try:
+                save_results(
+                    [loadtest_result(payload)],
+                    args.output,
+                    schema_version=args.schema_version,
+                )
+            except OSError as exc:
+                print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+                return 1
+            print(f"results written to {args.output}")
+        if payload.get("errors", 0) or payload.get("transport_errors", 0):
+            return 1
+        if (
+            args.min_hit_rate is not None
+            and payload.get("cache_hit_rate", 0.0) < args.min_hit_rate
+        ):
+            print(
+                f"error: cache hit-rate {payload.get('cache_hit_rate', 0.0):.2%} "
+                f"below the --min-hit-rate floor {args.min_hit_rate:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -27,6 +27,14 @@ Every schedule can be checked independently with
 """
 
 from repro.core.budget import Deadline, DeadlineExceeded
+from repro.core.canonical import (
+    CANONICAL_VERSION,
+    architecture_fingerprint,
+    canonical_document,
+    canonical_form,
+    canonical_key,
+    canonical_relabeling,
+)
 from repro.core.schedule import QubitPlacement, Schedule, Stage, StageKind
 from repro.core.problem import BoundBreakdown, SchedulingProblem, ZoneCapacities
 from repro.core.report import (
@@ -46,6 +54,12 @@ from repro.core.visualize import render_schedule, render_stage
 
 __all__ = [
     "BoundBreakdown",
+    "CANONICAL_VERSION",
+    "architecture_fingerprint",
+    "canonical_document",
+    "canonical_form",
+    "canonical_key",
+    "canonical_relabeling",
     "Deadline",
     "DeadlineExceeded",
     "QubitPlacement",

@@ -1,0 +1,244 @@
+"""Canonical form and content hashes for the :class:`SchedulingProblem` IR.
+
+Two scheduling problems are *isomorphic* when a relabeling of their qubits
+maps one gate multiset onto the other and they agree on everything the
+solver actually consumes: the structural architecture (grid extents, AOD
+limits, interaction radius, zone bands, operation parameters — but not
+display names), the qubit count, and the shielding policy.  Isomorphic
+problems have identical optimal schedules up to the same relabeling, so a
+certified optimum for one is a certified optimum for all of them.
+
+This module computes a **canonical form** — a normal-form relabeling under
+which all isomorphic problems become literally equal — and a **canonical
+key**, the SHA-256 of that normal form's JSON serialisation.  The key is
+deliberately independent of Python's randomised ``hash()`` so it is stable
+across processes, machines and runs: the service's certified-result cache
+(:mod:`repro.service.cache`) persists it to disk, and the bench runner uses
+it to deduplicate isomorphic cells.
+
+The relabeling is exact graph canonicalisation, not a heuristic invariant:
+individualisation-refinement on the gate multigraph.  Colour refinement
+(1-WL with edge multiplicities) partitions the qubits; while a colour class
+has more than one member, each member is individualised in turn and the
+lexicographically smallest relabeled gate list over all branches wins.
+The instances this repository schedules are tiny (tens of qubits, highly
+irregular), so the search tree stays small; there is intentionally **no**
+branch cap, because a cap would break canonicality on the instances it
+triggered on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.arch.architecture import ZonedArchitecture
+    from repro.core.problem import SchedulingProblem
+
+#: Version of the canonical document layout.  Bump on any change to
+#: :func:`canonical_document`'s shape — a bump invalidates every persisted
+#: cache entry, which is exactly what a layout change must do.
+CANONICAL_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Architecture fingerprint
+# --------------------------------------------------------------------------- #
+def architecture_fingerprint(architecture: "ZonedArchitecture") -> dict:
+    """Structural identity of an architecture, display names excluded.
+
+    Two architectures with the same fingerprint admit exactly the same
+    schedules: the fingerprint covers the grid extents, AOD limits, the
+    interaction radius, the zone bands (kind + row range, sorted by row so
+    declaration order cannot matter), and every operation parameter.  The
+    ``name`` of the architecture and of its zones is presentation-only and
+    deliberately omitted.
+    """
+    return {
+        "x_max": architecture.x_max,
+        "y_max": architecture.y_max,
+        "h_max": architecture.h_max,
+        "v_max": architecture.v_max,
+        "c_max": architecture.c_max,
+        "r_max": architecture.r_max,
+        "interaction_radius": architecture.interaction_radius,
+        "zones": sorted(
+            (zone.y_min, zone.y_max, zone.kind.value) for zone in architecture.zones
+        ),
+        "parameters": {
+            field.name: getattr(architecture.parameters, field.name)
+            for field in dataclass_fields(architecture.parameters)
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Exact multigraph canonicalisation (individualisation-refinement)
+# --------------------------------------------------------------------------- #
+def _adjacency(
+    num_qubits: int, gates: Sequence[tuple[int, int]]
+) -> list[dict[int, int]]:
+    """Multigraph adjacency: ``adj[q][r]`` = number of gates between q and r."""
+    adjacency: list[dict[int, int]] = [{} for _ in range(num_qubits)]
+    for a, b in gates:
+        adjacency[a][b] = adjacency[a].get(b, 0) + 1
+        adjacency[b][a] = adjacency[b].get(a, 0) + 1
+    return adjacency
+
+
+def _refine(colours: list[int], adjacency: list[dict[int, int]]) -> list[int]:
+    """Colour refinement (1-WL with edge multiplicities) to a fixed point.
+
+    Each round recolours every qubit by its current colour plus the sorted
+    multiset of ``(multiplicity, neighbour colour)`` pairs; colours are
+    re-ranked into ``0..k-1`` by signature order, which keeps the result a
+    function of the partition alone (not of the incoming colour values).
+    """
+    while True:
+        signatures = [
+            (
+                colours[q],
+                tuple(sorted((mult, colours[r]) for r, mult in adjacency[q].items())),
+            )
+            for q in range(len(colours))
+        ]
+        ranking = {sig: rank for rank, sig in enumerate(sorted(set(signatures)))}
+        refined = [ranking[sig] for sig in signatures]
+        if refined == colours:
+            return refined
+        colours = refined
+
+
+def _relabeled_gates(
+    gates: Sequence[tuple[int, int]], label: Sequence[int]
+) -> tuple[tuple[int, int], ...]:
+    """Apply a relabeling and normalise: endpoints sorted, gates sorted."""
+    return tuple(
+        sorted(
+            (min(label[a], label[b]), max(label[a], label[b])) for a, b in gates
+        )
+    )
+
+
+def canonical_relabeling(problem: "SchedulingProblem") -> tuple[int, ...]:
+    """Return the canonical qubit relabeling ``old label -> new label``.
+
+    The relabeling is a pure function of the isomorphism class: applying
+    any permutation to the problem's qubits first changes nothing about the
+    relabeled gate list it produces.  Qubits that participate in gates are
+    ordered by the individualisation-refinement search below; isolated
+    qubits are interchangeable (no gate can tell them apart) and receive
+    the trailing labels in ascending original order.
+    """
+    num_qubits = problem.num_qubits
+    adjacency = _adjacency(num_qubits, problem.gates)
+    active = [q for q in range(num_qubits) if adjacency[q]]
+    isolated = [q for q in range(num_qubits) if not adjacency[q]]
+    gates = list(problem.gates)
+
+    best: Optional[tuple[tuple[tuple[int, int], ...], list[int]]] = None
+
+    def search(colours: list[int]) -> None:
+        nonlocal best
+        cells: dict[int, list[int]] = {}
+        for q in active:
+            cells.setdefault(colours[q], []).append(q)
+        target: Optional[list[int]] = None
+        for colour in sorted(cells):
+            if len(cells[colour]) > 1:
+                target = cells[colour]
+                break
+        if target is None:
+            # Discrete partition on the active qubits.  Their colours are
+            # pairwise distinct but not contiguous — isolated qubits (and
+            # sentinels) consume ranks too — so re-rank onto
+            # 0..len(active)-1 before relabeling.
+            label = [0] * len(colours)
+            for rank, q in enumerate(sorted(active, key=colours.__getitem__)):
+                label[q] = rank
+            relabeled = _relabeled_gates(gates, label)
+            if best is None or relabeled < best[0]:
+                best = (relabeled, label)
+            return
+        for q in target:
+            branched = list(colours)
+            branched[q] = -1  # individualise: strictly smallest colour
+            search(_refine(branched, adjacency))
+
+    if active:
+        # Start monochromatic; the first refinement separates by degree
+        # profile.  Isolated qubits are excluded from the search entirely.
+        initial = [0] * num_qubits
+        search(_refine(initial, adjacency))
+        assert best is not None
+        label = best[1]
+    else:
+        label = [0] * num_qubits
+
+    relabeling = [0] * num_qubits
+    for q in active:
+        relabeling[q] = label[q]
+    for offset, q in enumerate(isolated):
+        relabeling[q] = len(active) + offset
+    return tuple(relabeling)
+
+
+# --------------------------------------------------------------------------- #
+# Canonical documents, keys, and forms
+# --------------------------------------------------------------------------- #
+def canonical_document(problem: "SchedulingProblem") -> dict:
+    """The JSON-serialisable normal form hashed by :func:`canonical_key`.
+
+    Isomorphic problems produce byte-identical documents; any difference
+    the solver can observe (gate structure, qubit count, shielding,
+    structural architecture) produces a different document.  Problem
+    ``metadata`` is provenance, not semantics, and is excluded.
+    """
+    relabeling = canonical_relabeling(problem)
+    return {
+        "version": CANONICAL_VERSION,
+        "architecture": architecture_fingerprint(problem.architecture),
+        "num_qubits": problem.num_qubits,
+        "shielding": problem.shielding,
+        "gates": [list(gate) for gate in _relabeled_gates(problem.gates, relabeling)],
+    }
+
+
+def canonical_key(problem: "SchedulingProblem") -> str:
+    """SHA-256 hex digest of the problem's canonical document.
+
+    Stable across processes and machines (no reliance on Python ``hash()``):
+    the document is serialised with sorted keys and compact separators
+    before hashing, so the key doubles as a persistent cache key.
+    """
+    document = canonical_document(problem)
+    serialised = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(serialised.encode("utf-8")).hexdigest()
+
+
+def canonical_form(
+    problem: "SchedulingProblem",
+) -> tuple["SchedulingProblem", tuple[int, ...]]:
+    """Return ``(canonical problem, relabeling)`` for *problem*.
+
+    The returned problem is the normal-form representative of the
+    isomorphism class (isomorphic inputs yield equal gate lists); the
+    relabeling maps each original qubit label to its canonical label, so a
+    schedule solved on the canonical problem can be mapped back by
+    inverting it.
+    """
+    from repro.core.problem import SchedulingProblem
+
+    relabeling = canonical_relabeling(problem)
+    relabeled = _relabeled_gates(problem.gates, relabeling)
+    canonical = SchedulingProblem.from_gates(
+        problem.architecture,
+        problem.num_qubits,
+        list(relabeled),
+        shielding=problem.shielding,
+        metadata=dict(problem.metadata),
+    )
+    return canonical, relabeling

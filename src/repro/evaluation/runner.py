@@ -4,9 +4,10 @@ The reproduction's evaluation surfaces (Table I cells, Figure 4 bars,
 exploration sweeps, and the exact-SMT benchmark instances) are all
 embarrassingly parallel: every instance is an independent (circuit,
 architecture, backend) triple.  This module turns each surface into a list
-of picklable :class:`BenchInstance` specs and fans them out across worker
-processes with :mod:`concurrent.futures`, collecting per-instance wall-clock,
-status (``ok`` / ``timeout`` / ``error``) and a JSON-serialisable payload.
+of picklable :class:`BenchInstance` specs and fans them out across the
+persistent warm worker pool of :mod:`repro.evaluation.executor`, collecting
+per-instance wall-clock, status (``ok`` / ``timeout`` / ``error``) and a
+JSON-serialisable payload.
 
 Entry points
 ------------
@@ -27,14 +28,18 @@ Entry points
 * ``repro-nasp bench`` — the CLI wrapper around all of it (see
   :mod:`repro.cli`).
 
-Fault tolerance: each parallel cell runs in its own
-:class:`multiprocessing.Process`.  A worker that *crashes* (killed,
-OOM-ed, ``os._exit``) is detected via its exit code and the cell is
-retried up to ``1 + max_retries`` attempts before being recorded as
-``status: "failed"`` — a poisoned cell can no longer wedge the suite or
-take the whole pool down with a ``BrokenProcessPool``.  Teardown
-(normal, timeout, ``KeyboardInterrupt``) terminates **and joins** every
-live worker in a ``finally`` block so no child outlives the batch.
+Fault tolerance: parallel cells run on a fixed pool of *persistent*
+worker processes (:class:`~repro.evaluation.executor.WorkerPool`) that
+import the scheduling stack once and then execute cells back to back —
+the old one-process-per-cell path re-paid the fork and backend warm-up
+for every cell.  The fault contract is unchanged: a worker that
+*crashes* (killed, OOM-ed, ``os._exit``) is detected via its exit code,
+a replacement worker is spawned, and the cell is retried up to
+``1 + max_retries`` attempts before being recorded as ``status:
+"failed"`` — a poisoned cell can neither wedge the suite nor take the
+pool down with a ``BrokenProcessPool``.  Teardown (normal, timeout,
+``KeyboardInterrupt``) terminates **and joins** every live worker so no
+child outlives the batch.
 
 The timeout is enforced on two levels: every spec kind receives it as a
 cooperative :class:`~repro.core.budget.Deadline` (SMT cells degrade
@@ -50,16 +55,23 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
-from multiprocessing.connection import wait as connection_wait
 from typing import Optional, Sequence
 
 from repro.core.budget import DeadlineExceeded
+# RaceOutcome/race_to_first moved to the executor in PR 9; re-exported here
+# because the portfolio strategy and downstream code import them from the
+# runner, which remains their documented home.
+from repro.evaluation.executor import (
+    TASK_CRASHED,
+    TASK_OK,
+    RaceOutcome,  # noqa: F401 - re-export
+    WorkerPool,
+    race_to_first,  # noqa: F401 - re-export
+)
 from repro.evaluation.journal import (
     BenchJournal,
     file_digest,
@@ -316,6 +328,54 @@ def shard_info(
 # --------------------------------------------------------------------------- #
 # Workers (module-level so they pickle for ProcessPoolExecutor)
 # --------------------------------------------------------------------------- #
+def dedupe_instances(
+    instances: Sequence[BenchInstance],
+) -> tuple[list[BenchInstance], dict[str, str]]:
+    """Drop SMT cells that are isomorphic duplicates of an earlier cell.
+
+    Two cells are duplicates when their scheduling problems share a
+    canonical key (:func:`repro.core.canonical.canonical_key` — invariant
+    under qubit relabeling and gate reordering) *and* their solver
+    configuration (strategy, backend, time limit, phase seed) is
+    identical: solving both can only reproduce the same certified answer.
+    Returns ``(kept, dropped)`` where *dropped* maps each dropped cell
+    name to the kept cell it duplicates.  Non-SMT cells are never dropped
+    (their specs name circuits, not gate lists, and are already unique).
+    """
+    from repro.arch import reduced_layout
+    from repro.core.canonical import canonical_key
+    from repro.core.problem import SchedulingProblem
+
+    kept: list[BenchInstance] = []
+    dropped: dict[str, str] = {}
+    seen: dict[tuple, str] = {}
+    for instance in instances:
+        spec = instance.spec
+        if spec.get("kind") != "smt":
+            kept.append(instance)
+            continue
+        architecture = reduced_layout(spec["layout_kind"], **spec["layout_kwargs"])
+        problem = SchedulingProblem.from_gates(
+            architecture,
+            spec["num_qubits"],
+            [tuple(gate) for gate in spec["gates"]],
+            shielding=spec.get("shielding"),
+        )
+        key = (
+            canonical_key(problem),
+            spec["strategy"],
+            spec.get("sat_backend"),
+            spec.get("time_limit"),
+            spec.get("phase_seed"),
+        )
+        if key in seen:
+            dropped[instance.name] = seen[key]
+        else:
+            seen[key] = instance.name
+            kept.append(instance)
+    return kept, dropped
+
+
 def execute_spec(spec: dict) -> dict:
     """Run one instance spec and return its JSON-serialisable payload."""
     kind = spec["kind"]
@@ -337,17 +397,20 @@ def _execute_selftest(spec: dict) -> dict:
     directly to prove crash retry, timeout preemption, journal resume, and
     worker teardown against *real* worker processes instead of mocks.
 
-    Ops: ``ok`` returns immediately; ``error`` raises; ``sleep`` blocks
-    for ``seconds`` (optionally writing its PID to ``pid_file`` first, so
-    a test can verify the worker was really killed); ``crash`` dies via
-    ``os._exit`` without a result — indistinguishable from an OOM kill;
-    ``crash-once`` crashes only while the ``marker`` file does not exist
-    (it creates it first), so exactly the first attempt dies and a retry
-    succeeds.
+    Ops: ``ok`` returns immediately; ``pid`` returns the worker's PID (the
+    worker-reuse regression test proves the warm pool executes many cells
+    on few processes); ``error`` raises; ``sleep`` blocks for ``seconds``
+    (optionally writing its PID to ``pid_file`` first, so a test can
+    verify the worker was really killed); ``crash`` dies via ``os._exit``
+    without a result — indistinguishable from an OOM kill; ``crash-once``
+    crashes only while the ``marker`` file does not exist (it creates it
+    first), so exactly the first attempt dies and a retry succeeds.
     """
     op = spec.get("op")
     if op == "ok":
         return {"op": "ok", "value": spec.get("value")}
+    if op == "pid":
+        return {"op": "pid", "pid": os.getpid(), "value": spec.get("value")}
     if op == "error":
         raise RuntimeError(spec.get("message", "injected error"))
     if op == "sleep":
@@ -502,7 +565,7 @@ def run_batch(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     output_path: str | os.PathLike | None = None,
-    schema_version: int = 7,
+    schema_version: int = 8,
     journal_path: str | os.PathLike | None = None,
     resume: bool = False,
     max_retries: int = 2,
@@ -636,40 +699,18 @@ def _run_serial(
     return results
 
 
-def _pool_worker(spec: dict, conn) -> None:
-    """Entry point of one cell's worker process.
+def _warm_worker() -> None:
+    """Warm-up hook run once per pool worker before its first cell.
 
-    Reports ``("ok", payload, seconds)`` or ``("error", message, seconds)``
-    through the pipe; a worker that dies without reporting is a crash and
-    the parent decides retry-or-fail from its exit code.
+    Imports the scheduling stack (scheduler, structured baseline, SMT and
+    SAT layers) so cells pay solver time only — the pool amortises this
+    across every cell the worker executes instead of re-paying it per
+    cell as the old one-process-per-cell path did.
     """
-    start = time.monotonic()
-    try:
-        payload = execute_spec(spec)
-    except DeadlineExceeded as exc:
-        # Cooperative preemption beats the parent's terminate(): the cell
-        # is recorded as a clean timeout instead of a crash.
-        message = ("timeout", str(exc), time.monotonic() - start)
-    except BaseException as exc:  # noqa: BLE001 - reported per instance
-        message = ("error", f"{type(exc).__name__}: {exc}", time.monotonic() - start)
-    else:
-        message = ("ok", payload, time.monotonic() - start)
-    try:
-        conn.send(message)
-    finally:
-        conn.close()
-
-
-@dataclass
-class _Inflight:
-    """One live worker process and the cell it is executing."""
-
-    index: int
-    instance: BenchInstance
-    attempt: int
-    process: multiprocessing.Process
-    conn: object
-    started: float
+    import repro.core.scheduler  # noqa: F401
+    import repro.core.structured  # noqa: F401
+    import repro.sat.backend  # noqa: F401
+    import repro.smt.solver  # noqa: F401
 
 
 def _run_parallel(
@@ -679,218 +720,71 @@ def _run_parallel(
     journal: Optional[BenchJournal],
     max_attempts: int,
 ) -> dict[int, BenchResult]:
-    """Fault-tolerant pool: one process per in-flight cell.
+    """Fan cells out across a persistent warm worker pool.
 
-    Unlike a shared :class:`~concurrent.futures.ProcessPoolExecutor`, a
-    worker crash here is an isolated, attributable event: the dead
-    process's cell is re-queued (up to *max_attempts* total attempts, then
-    ``status: "failed"``) while every other cell keeps running — no
-    ``BrokenProcessPool`` cascade.  Teardown terminates and joins every
-    live worker in ``finally``, so a ``KeyboardInterrupt`` cannot leak
-    children past the batch.
+    The pool (:class:`~repro.evaluation.executor.WorkerPool`) keeps its
+    workers alive across cells, so the interpreter fork and the backend
+    imports are paid once per worker instead of once per cell.  The fault
+    contract of the old one-process-per-cell path is preserved: a worker
+    crash is an isolated, attributable event — the dead worker's cell is
+    re-queued (up to *max_attempts* total attempts, then ``status:
+    "failed"``), a replacement worker is spawned, and every other cell
+    keeps running.  Submission is throttled to idle workers so the
+    journal's ``start`` event stays adjacent to actual execution — a
+    resume must only re-queue cells that truly began.  Teardown
+    terminates and joins every worker (``KeyboardInterrupt`` included),
+    so no child outlives the batch.
     """
-    ctx = multiprocessing.get_context()
     queue: deque[tuple[int, BenchInstance, int]] = deque(pending)
-    live: list[_Inflight] = []
     results: dict[int, BenchResult] = {}
-    try:
-        while queue or live:
-            while queue and len(live) < jobs:
+    inflight: dict[int, tuple[int, BenchInstance, int]] = {}
+    with WorkerPool(
+        max(1, min(jobs, len(pending) or 1)), warmup=_warm_worker, name="bench"
+    ) as pool:
+        while queue or inflight:
+            while queue and pool.idle_count() > 0:
                 index, instance, attempt = queue.popleft()
                 if journal is not None:
                     journal.record_start(instance.name, attempt)
-                recv_conn, send_conn = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_pool_worker,
-                    args=(_with_timeout(instance.spec, timeout), send_conn),
-                    daemon=True,
+                task_id = pool.submit(
+                    execute_spec,
+                    _with_timeout(instance.spec, timeout),
+                    timeout=timeout,
                 )
-                process.start()
-                send_conn.close()
-                live.append(
-                    _Inflight(index, instance, attempt, process, recv_conn,
-                              time.monotonic())
-                )
-            if live:
-                # Block until a worker reports, dies, or the poll interval
-                # elapses (the interval also paces timeout enforcement).
-                handles = [inflight.conn for inflight in live]
-                handles += [inflight.process.sentinel for inflight in live]
-                connection_wait(handles, timeout=0.2)
-            now = time.monotonic()
-            still_running: list[_Inflight] = []
-            for inflight in live:
-                instance, attempt = inflight.instance, inflight.attempt
-                message = None
-                if inflight.conn.poll():
-                    try:
-                        message = inflight.conn.recv()
-                    except (EOFError, OSError):
-                        message = None  # died mid-send: treat as a crash
-                if message is not None:
-                    status, body, seconds = message
-                    _reap_worker(inflight.process)
-                    result = BenchResult(
-                        name=instance.name,
-                        suite=instance.suite,
-                        status=status,
-                        seconds=seconds,
-                        payload=body if status == "ok" else {},
-                        error=None if status == "ok" else body,
-                        attempts=attempt,
-                    )
-                elif not inflight.process.is_alive():
-                    exitcode = inflight.process.exitcode
-                    _reap_worker(inflight.process)
-                    if attempt < max_attempts:
-                        # Crash: re-queue the cell for a fresh attempt.  No
-                        # result is recorded yet — the journal will see a new
-                        # `start` event when the retry launches.
-                        queue.append((inflight.index, instance, attempt + 1))
-                        inflight.conn.close()
-                        continue
+                inflight[task_id] = (index, instance, attempt)
+            for event in pool.poll(timeout=0.2):
+                index, instance, attempt = inflight.pop(event.task_id)
+                if event.status == TASK_CRASHED and attempt < max_attempts:
+                    # Crash: re-queue the cell for a fresh attempt.  No
+                    # result is recorded yet — the journal will see a new
+                    # `start` event when the retry launches.
+                    queue.append((index, instance, attempt + 1))
+                    continue
+                if event.status == TASK_CRASHED:
                     result = BenchResult(
                         name=instance.name,
                         suite=instance.suite,
                         status="failed",
-                        seconds=now - inflight.started,
+                        seconds=event.seconds,
                         error=(
-                            f"worker crashed (exit code {exitcode}) on "
+                            f"worker crashed (exit code {event.exitcode}) on "
                             f"attempt {attempt}/{max_attempts}"
                         ),
                         attempts=attempt,
                     )
-                elif timeout is not None and now - inflight.started > timeout:
-                    _terminate_worker(inflight.process)
+                else:
                     result = BenchResult(
                         name=instance.name,
                         suite=instance.suite,
-                        status="timeout",
-                        seconds=now - inflight.started,
-                        error=f"exceeded {timeout:.0f}s harness timeout",
+                        status=event.status,
+                        seconds=event.seconds,
+                        payload=event.value if event.status == TASK_OK else {},
+                        error=event.error,
                         attempts=attempt,
                     )
-                else:
-                    still_running.append(inflight)
-                    continue
-                inflight.conn.close()
-                results[inflight.index] = result
+                results[index] = result
                 _journal_done(journal, attempt, result)
-            live = still_running
-    finally:
-        # Nothing may outlive the batch: terminate AND join every live
-        # worker (KeyboardInterrupt and errors included).
-        for inflight in live:
-            try:
-                _terminate_worker(inflight.process)
-            finally:
-                inflight.conn.close()
     return results
-
-
-def _reap_worker(process: multiprocessing.Process) -> None:
-    """Join a finished worker (it exited or is exiting after reporting)."""
-    process.join(timeout=10.0)
-    if process.is_alive():  # pragma: no cover - defensive
-        process.kill()
-        process.join(timeout=10.0)
-
-
-def _terminate_worker(process: multiprocessing.Process) -> None:
-    """Terminate a live worker and wait until it is really gone."""
-    if process.is_alive():
-        process.terminate()
-        process.join(timeout=5.0)
-        if process.is_alive():
-            process.kill()
-            process.join(timeout=5.0)
-    else:
-        process.join(timeout=5.0)
-
-
-@dataclass
-class RaceOutcome:
-    """Result of a :func:`race_to_first` run."""
-
-    #: Index of the first task whose result was accepted (None: no winner).
-    winner_index: Optional[int]
-    #: The accepted result itself (None when no winner).
-    winner: object
-    #: Results of every task that completed before the race was decided,
-    #: keyed by task index (includes the winner).
-    finished: dict[int, object] = field(default_factory=dict)
-    #: Tasks that raised, keyed by task index.
-    errors: dict[int, str] = field(default_factory=dict)
-    #: Tasks cancelled or terminated because the race was already won.
-    cancelled: list[int] = field(default_factory=list)
-    seconds: float = 0.0
-
-
-def race_to_first(
-    fn,
-    tasks: Sequence,
-    jobs: Optional[int] = None,
-    timeout: Optional[float] = None,
-    accept=None,
-) -> RaceOutcome:
-    """Run ``fn(task)`` for every task across worker processes; first
-    acceptable result wins and the losers are cancelled/terminated.
-
-    This is the racing counterpart of :func:`run_batch`: same pool
-    machinery, but the batch stops at the first result for which
-    ``accept(result)`` is true (default: any result).  Queued tasks are
-    cancelled; workers still grinding on a loser are terminated.  Among
-    results arriving in the same poll interval the lowest task index wins,
-    which keeps the outcome deterministic when several tasks finish
-    near-simultaneously.  With no acceptable result the race returns
-    ``winner_index=None`` and every completed result in ``finished``.
-    *timeout* bounds the whole race (seconds); on expiry the still-running
-    tasks are treated as cancelled.
-    """
-    if accept is None:
-        def accept(result):  # default: any completed result wins
-            return True
-    start = time.monotonic()
-    jobs = max(1, min(len(tasks), jobs or os.cpu_count() or 1))
-    outcome = RaceOutcome(winner_index=None, winner=None)
-    deadline = start + timeout if timeout is not None else None
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    try:
-        futures = {pool.submit(fn, task): index for index, task in enumerate(tasks)}
-        pending = set(futures)
-        while pending and outcome.winner_index is None:
-            done, pending = wait(pending, timeout=0.5, return_when=FIRST_COMPLETED)
-            for future in sorted(done, key=futures.__getitem__):
-                index = futures[future]
-                try:
-                    result = future.result()
-                except Exception as exc:  # noqa: BLE001 - reported per task
-                    outcome.errors[index] = f"{type(exc).__name__}: {exc}"
-                    continue
-                outcome.finished[index] = result
-                if outcome.winner_index is None and accept(result):
-                    outcome.winner_index = index
-                    outcome.winner = result
-            if deadline is not None and time.monotonic() > deadline:
-                break
-        outcome.cancelled = sorted(futures[future] for future in pending)
-    finally:
-        # Losers must not keep burning CPU, and no worker may outlive the
-        # race (KeyboardInterrupt included): release the queue without
-        # blocking, then terminate AND join every pool process.  Idle
-        # workers die instantly; ones still grinding on a loser are killed.
-        workers = dict(getattr(pool, "_processes", None) or {})
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in workers.values():
-            if process.is_alive():
-                process.terminate()
-        for process in workers.values():
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.kill()
-                process.join(timeout=5.0)
-    outcome.seconds = time.monotonic() - start
-    return outcome
 
 
 def _with_timeout(spec: dict, timeout: Optional[float]) -> dict:
@@ -932,15 +826,20 @@ _V6_PAYLOAD_KEYS = (
     "sat_subsumed_clauses",
 )
 _V7_PAYLOAD_KEYS = ("termination", "backend_retries")
+_V8_PAYLOAD_KEYS = (
+    "latency_p50_seconds",
+    "latency_p99_seconds",
+    "cache_hit_rate",
+)
 
 #: Every version :func:`save_results` can emit.
-BENCH_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7)
+BENCH_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7, 8)
 
 
 def save_results(
     results: Sequence[BenchResult],
     path: str | os.PathLike,
-    schema_version: int = 7,
+    schema_version: int = 8,
     shard: Optional[dict] = None,
     journal_path: str | os.PathLike | None = None,
 ) -> None:
@@ -955,10 +854,14 @@ def save_results(
     per-result ``attempts`` and the ``"failed"`` status, per-payload SAT
     throughput rates, and the document-level ``shard`` descriptor plus
     ``journal_digest`` (SHA-256 of the completion journal that produced the
-    run, ``None`` when it ran unjournalled); version 7 (default) added the
+    run, ``None`` when it ran unjournalled); version 7 added the
     robustness verdicts of SMT payloads — ``termination`` (how the search
     ended, see :data:`repro.core.report.TERMINATIONS`) and
-    ``backend_retries`` (transient SAT-backend failures retried).
+    ``backend_retries`` (transient SAT-backend failures retried); version
+    8 (default) added the service load-test payloads — ``latency_p50_seconds``
+    / ``latency_p99_seconds`` (nearest-rank request latency percentiles)
+    and ``cache_hit_rate`` (certified-result cache hits over lookups, see
+    :mod:`repro.service.loadtest`).
     Requesting an older version strips the newer fields so downstream
     consumers pinned to it keep loading byte-compatible payloads.
     """
@@ -966,6 +869,8 @@ def save_results(
         raise ValueError(f"unknown bench schema version {schema_version}")
     serialised = [asdict(result) for result in results]
     stripped_keys: tuple[str, ...] = ()
+    if schema_version <= 7:
+        stripped_keys += _V8_PAYLOAD_KEYS
     if schema_version <= 6:
         stripped_keys += _V7_PAYLOAD_KEYS
     if schema_version <= 5:

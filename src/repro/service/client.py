@@ -1,0 +1,144 @@
+"""Minimal asyncio HTTP client for the service (stdlib only).
+
+Speaks exactly the dialect :mod:`repro.service.server` emits — HTTP/1.1
+with ``Connection: close``, chunked ``application/x-ndjson`` streams for
+``/v1/schedule`` and plain JSON bodies elsewhere.  Used by the service
+tests and the load-test harness; it is *not* a general HTTP client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Optional
+
+
+async def _read_status_and_headers(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str]]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection before responding")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(f"malformed status line: {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _iter_chunks(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    while True:
+        size_line = await reader.readline()
+        size = int(size_line.strip() or b"0", 16)
+        if size == 0:
+            await reader.readline()  # terminating CRLF
+            return
+        data = await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk CRLF
+        yield data
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str]
+) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        parts = [chunk async for chunk in _iter_chunks(reader)]
+        return b"".join(parts)
+    length = int(headers.get("content-length", "0") or "0")
+    return await reader.readexactly(length) if length else await reader.read()
+
+
+def _parse_ndjson(payload: bytes) -> list[dict]:
+    events = []
+    for line in payload.decode("utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+async def stream_schedule(
+    host: str,
+    port: int,
+    doc: dict,
+    timeout: Optional[float] = 120.0,
+) -> tuple[int, list[dict]]:
+    """POST *doc* to ``/v1/schedule``; return ``(status, events)``.
+
+    On 200 the events are the full anytime stream in arrival order
+    (``accepted``, ``witness``, ``result``); on 4xx/5xx the single error
+    body is returned as a one-element list.  *timeout* bounds the whole
+    exchange.
+    """
+
+    async def _exchange() -> tuple[int, list[dict]]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = json.dumps(doc).encode("utf-8")
+            writer.write(
+                (
+                    "POST /v1/schedule HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+            status, headers = await _read_status_and_headers(reader)
+            payload = await _read_body(reader, headers)
+            return status, _parse_ndjson(payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    if timeout is None:
+        return await _exchange()
+    return await asyncio.wait_for(_exchange(), timeout=timeout)
+
+
+async def get_json(
+    host: str,
+    port: int,
+    path: str,
+    timeout: Optional[float] = 30.0,
+) -> tuple[int, dict]:
+    """GET *path*; return ``(status, parsed JSON body)``."""
+
+    async def _exchange() -> tuple[int, dict]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                (
+                    f"GET {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status, headers = await _read_status_and_headers(reader)
+            payload = await _read_body(reader, headers)
+            return status, json.loads(payload.decode("utf-8"))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    if timeout is None:
+        return await _exchange()
+    return await asyncio.wait_for(_exchange(), timeout=timeout)

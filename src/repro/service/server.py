@@ -1,0 +1,867 @@
+"""Scheduling-as-a-service: asyncio HTTP/JSON front end of the scheduler.
+
+Stdlib only — the server speaks HTTP/1.1 by hand over
+:func:`asyncio.start_server`; there is deliberately no web framework.
+
+Endpoints
+---------
+
+``POST /v1/schedule``
+    Submit a scheduling problem (JSON body, see
+    :func:`problem_from_document`).  The response is an **anytime stream**
+    of chunked JSON lines (``Transfer-Encoding: chunked``,
+    ``application/x-ndjson``), one event object per line, in order:
+
+    1. ``{"event": "accepted", ...}`` — request id, canonical key, cache
+       hit/miss, queue depth;
+    2. ``{"event": "witness", ...}`` — the validated structured witness
+       and the analytic lower bound, streamed immediately while the exact
+       solve is still running (omitted on cache hits — the certified
+       answer is already at hand);
+    3. ``{"event": "result", ...}`` — the final verdict: the certified
+       optimum, a deadline-degraded best-known answer, or an error.
+
+    Every post-accept event is stamped with a ``termination`` field —
+    ``"pending"`` while the solve is in flight, then the report vocabulary
+    of :data:`repro.core.report.TERMINATIONS` — plus the bound values and
+    their provenance (``lower_bound_source`` / ``upper_bound_source``).
+    ``solver_probes`` on the result counts SMT probes spent on *this*
+    request: a cache hit reports ``0`` and ``"cached": true``.
+
+    A full request queue is answered with ``503`` before any work starts;
+    an invalid document with ``400``.
+
+``GET /v1/healthz``
+    Liveness plus per-worker health from the pool's bookkeeping.
+
+``GET /v1/stats``
+    Aggregate counters: requests, cache hits/misses/hit-rate, pool stats.
+
+Architecture: requests land on the asyncio event loop, which performs
+validation, canonicalisation and cache lookups inline (cheap, pure
+Python).  Misses are pushed onto a **bounded** ``queue.Queue`` consumed
+by a dispatcher thread that feeds the persistent
+:class:`~repro.evaluation.executor.WorkerPool` and routes each
+:class:`~repro.evaluation.executor.TaskOutcome` back to its request's
+``asyncio.Queue`` via ``call_soon_threadsafe`` — the event loop never
+blocks on the solver, and backpressure is a 503, not an unbounded buffer.
+A worker crash mid-solve degrades that one request to ``termination:
+"backend-error"`` while the pool replaces the worker underneath.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.budget import Deadline
+from repro.core.canonical import canonical_key
+from repro.core.report import (
+    TERMINATION_BACKEND_ERROR,
+    TERMINATION_CERTIFIED,
+    TERMINATION_DEADLINE,
+)
+from repro.evaluation.executor import (
+    TASK_CRASHED,
+    TASK_OK,
+    TASK_TIMEOUT,
+    TaskOutcome,
+    WorkerPool,
+)
+from repro.service.cache import CertifiedResultCache
+from repro.service.ledger import RequestLedger
+
+#: ``termination`` stamp of events emitted while the solve is in flight.
+TERMINATION_PENDING = "pending"
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+#: Payload keys of a certified solve that are cached and replayed verbatim
+#: to isomorphic re-submissions.  ``num_horizons``/``solver_seconds`` are
+#: provenance of the original solve; the per-request ``solver_probes`` of
+#: a replay is always 0.
+_CACHEABLE_KEYS = (
+    "found",
+    "optimal",
+    "validated",
+    "termination",
+    "num_stages",
+    "num_rydberg_stages",
+    "num_transfer_stages",
+    "lower_bound",
+    "upper_bound",
+    "lower_bound_source",
+    "upper_bound_source",
+    "strategy",
+    "sat_backend",
+    "num_horizons",
+    "solver_seconds",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Request documents
+# --------------------------------------------------------------------------- #
+def problem_from_document(doc: dict):
+    """Build a :class:`~repro.core.problem.SchedulingProblem` from a request.
+
+    Document shape::
+
+        {
+          "num_qubits": 4,
+          "gates": [[0, 1], [1, 2]],
+          "layout": "bottom",                 # reduced-layout kind, or
+          "layout": {"kind": "bottom", "x_max": 2, ...},   # explicit dims, or
+          "layout": "full:(2) Bottom Storage",  # a Table I evaluation layout
+          "shielding": true                   # optional (layout default)
+        }
+
+    ``layout`` defaults to the reduced bottom-storage architecture — the
+    same zone structure as the paper's evaluation at a size the pure-Python
+    exact solver certifies in interactive time.
+    """
+    from repro.arch import evaluation_layouts, reduced_layout
+    from repro.core.problem import SchedulingProblem
+
+    layout = doc.get("layout", "bottom")
+    if isinstance(layout, str):
+        if layout.startswith("full:"):
+            layouts = evaluation_layouts()
+            name = layout[len("full:"):]
+            if name not in layouts:
+                raise ValueError(
+                    f"unknown evaluation layout {name!r} "
+                    f"(choose from {sorted(layouts)})"
+                )
+            architecture = layouts[name]
+        else:
+            architecture = reduced_layout(layout)
+    elif isinstance(layout, dict):
+        kwargs = {k: v for k, v in layout.items() if k != "kind"}
+        architecture = reduced_layout(layout.get("kind", "bottom"), **kwargs)
+    else:
+        raise ValueError(f"layout must be a string or object, got {type(layout)}")
+    gates = [tuple(gate) for gate in doc["gates"]]
+    return SchedulingProblem.from_gates(
+        architecture,
+        int(doc["num_qubits"]),
+        gates,
+        shielding=doc.get("shielding"),
+    )
+
+
+def _execute_service_solve(spec: dict) -> dict:
+    """Worker-side execution of one service request (module-level: pickles).
+
+    Returns the result-event payload (without the ``event``/``cached``
+    stamps the server adds).  ``spec["deadline"]`` is an already-ticking
+    :class:`~repro.core.budget.Deadline` started when the request was
+    accepted, so queueing time counts against the request's budget —
+    a service promises end-to-end latency, not solver latency.
+    """
+    selftest = spec.get("selftest") or {}
+    op = selftest.get("op")
+    if op == "crash":
+        os._exit(int(selftest.get("exit_code", 66)))
+    if op == "sleep":
+        time.sleep(float(selftest.get("seconds", 60.0)))
+
+    from repro.core.scheduler import SMTScheduler
+    from repro.core.validator import validate_schedule
+    from repro.sat.chaos import CHAOS_SPEC_ENV
+
+    chaos_spec = spec.get("chaos_spec")
+    saved_chaos = os.environ.get(CHAOS_SPEC_ENV)
+    if chaos_spec is not None:
+        os.environ[CHAOS_SPEC_ENV] = str(chaos_spec)
+    try:
+        problem = problem_from_document(spec["problem"])
+        scheduler = SMTScheduler(
+            strategy=spec.get("strategy") or "bisection",
+            sat_backend=spec.get("sat_backend"),
+            time_limit_per_instance=spec.get("time_limit"),
+        )
+        report = scheduler.schedule(problem, deadline=spec.get("deadline"))
+    finally:
+        if chaos_spec is not None:
+            # Workers are persistent: a per-request chaos plan must not
+            # leak into the next request's solve.
+            if saved_chaos is None:
+                os.environ.pop(CHAOS_SPEC_ENV, None)
+            else:
+                os.environ[CHAOS_SPEC_ENV] = saved_chaos
+    payload = {
+        "strategy": spec.get("strategy") or "bisection",
+        "sat_backend": report.sat_backend,
+        "found": report.found,
+        "optimal": report.optimal,
+        "lower_bound": report.lower_bound,
+        "upper_bound": report.upper_bound,
+        "lower_bound_source": report.lower_bound_source,
+        "upper_bound_source": report.upper_bound_source,
+        "num_horizons": report.num_horizons,
+        "solver_seconds": report.solver_seconds,
+        "termination": report.termination,
+        "backend_retries": int(report.statistics.get("backend_retries", 0)),
+    }
+    if report.found:
+        validate_schedule(report.schedule, require_shielding=problem.shielding)
+        payload.update(
+            num_stages=report.schedule.num_stages,
+            num_rydberg_stages=report.schedule.num_rydberg_stages,
+            num_transfer_stages=report.schedule.num_transfer_stages,
+            validated=True,
+        )
+    return payload
+
+
+def _warm_service_worker() -> None:
+    """Import the scheduling stack once per worker (fork-time warm-up)."""
+    import repro.core.scheduler  # noqa: F401
+    import repro.core.structured  # noqa: F401
+    import repro.sat.backend  # noqa: F401
+    import repro.smt.solver  # noqa: F401
+
+
+# --------------------------------------------------------------------------- #
+# Service core (pool + queue + dispatcher)
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ServiceJob:
+    """One queued request: its spec plus the route back to its stream."""
+
+    request_id: str
+    spec: dict
+    timeout: Optional[float]
+    loop: asyncio.AbstractEventLoop
+    outcomes: "asyncio.Queue[TaskOutcome]" = field(default=None)  # type: ignore[assignment]
+
+    def deliver(self, outcome: TaskOutcome) -> None:
+        """Called from the dispatcher thread; hops onto the event loop."""
+        try:
+            self.loop.call_soon_threadsafe(self.outcomes.put_nowait, outcome)
+        except RuntimeError:
+            pass  # loop already closed: the client is gone
+
+
+class SchedulingService:
+    """The service core: bounded queue, dispatcher thread, pool, cache.
+
+    Single process, three kinds of threads: the asyncio event loop calls
+    :meth:`try_submit` / cache lookups; the dispatcher thread moves jobs
+    from the bounded queue onto idle pool workers and routes outcomes
+    back; the pool's workers solve.  ``queue_limit`` bounds *waiting*
+    requests — when every worker is busy and the queue is full,
+    :meth:`try_submit` refuses and the server answers 503 instead of
+    accumulating unbounded work it cannot finish.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        queue_limit: int = 8,
+        cache: Optional[CertifiedResultCache] = None,
+        cache_path: str | os.PathLike | None = None,
+        ledger_path: str | os.PathLike | None = None,
+        default_strategy: str = "bisection",
+        default_time_limit: Optional[float] = None,
+        hard_timeout: Optional[float] = None,
+        allow_selftest: bool = False,
+        warm: bool = True,
+    ):
+        if cache is not None and cache_path is not None:
+            raise ValueError("pass either cache or cache_path, not both")
+        self.default_strategy = default_strategy
+        self.default_time_limit = default_time_limit
+        self.hard_timeout = hard_timeout
+        self.allow_selftest = allow_selftest
+        self.queue_limit = max(1, queue_limit)
+        self.cache = (
+            cache if cache is not None else CertifiedResultCache(path=cache_path)
+        )
+        self.ledger: Optional[RequestLedger] = (
+            RequestLedger(ledger_path) if ledger_path is not None else None
+        )
+        self.counters = {
+            "requests_total": 0,
+            "invalid_requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "rejected_queue_full": 0,
+            "results_ok": 0,
+            "results_degraded": 0,
+            "worker_crashes": 0,
+        }
+        # The pool forks its workers eagerly here, before any server
+        # thread exists — forking from a single-threaded parent is the
+        # only portable-safe moment to do it.
+        self._pool = WorkerPool(
+            jobs, warmup=_warm_service_worker if warm else None, name="service"
+        )
+        self._queue: "queue.Queue[_ServiceJob]" = queue.Queue(
+            maxsize=self.queue_limit
+        )
+        self._inflight: dict[int, _ServiceJob] = {}
+        # Request ids carry a per-instance token so ids from successive
+        # service lives never collide in a shared ledger file.
+        self._instance = uuid.uuid4().hex[:8]
+        self._request_ids = itertools.count(1)
+        self._stop = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="service-dispatch", daemon=True
+        )
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._dispatcher.start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._started:
+            self._dispatcher.join(timeout=30.0)
+        self._pool.shutdown()
+        if self.ledger is not None:
+            self.ledger.close()
+        self.cache.close()
+
+    def __enter__(self) -> "SchedulingService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Event-loop side
+    # ------------------------------------------------------------------ #
+    def next_request_id(self) -> str:
+        return f"req-{self._instance}-{next(self._request_ids):06d}"
+
+    def try_submit(self, request_id: str, spec: dict) -> Optional[_ServiceJob]:
+        """Queue a solve; returns None when the bounded queue is full."""
+        job = _ServiceJob(
+            request_id=request_id,
+            spec=spec,
+            timeout=self.hard_timeout,
+            loop=asyncio.get_running_loop(),
+        )
+        job.outcomes = asyncio.Queue()
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            return None
+        return job
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def health(self) -> dict:
+        pool_stats = self._pool.stats()
+        workers = self._pool.health()
+        return {
+            "status": "ok" if any(w["alive"] for w in workers) else "degraded",
+            "workers": workers,
+            "pool": pool_stats,
+            "queue": {"depth": self._queue.qsize(), "limit": self.queue_limit},
+            "cache": self.cache.stats(),
+            "counters": dict(self.counters),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "cache": self.cache.stats(),
+            "pool": self._pool.stats(),
+            "queue": {"depth": self._queue.qsize(), "limit": self.queue_limit},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher thread
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            moved = False
+            while self._pool.idle_count() > 0:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                task_id = self._pool.submit(
+                    _execute_service_solve, job.spec, timeout=job.timeout
+                )
+                self._inflight[task_id] = job
+                moved = True
+            events = self._pool.poll(timeout=0.05)
+            for event in events:
+                job = self._inflight.pop(event.task_id)
+                job.deliver(event)
+            if not moved and not events and self._pool.busy_count() == 0:
+                self._stop.wait(0.02)
+        # Shutdown: fail whatever is still queued or in flight so no
+        # stream hangs waiting for an outcome that will never come.
+        drained = list(self._inflight.values())
+        self._inflight.clear()
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        for job in drained:
+            job.deliver(
+                TaskOutcome(
+                    task_id=-1,
+                    status="error",
+                    error="service shutting down",
+                )
+            )
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[str, str, dict, bytes]]:
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest("malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise _BadRequest("header section too large")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY_BYTES:
+        raise _BadRequest("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def _send_json(
+    writer: asyncio.StreamWriter, status: int, obj: dict
+) -> None:
+    body = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def _start_stream(writer: asyncio.StreamWriter) -> Callable:
+    """Open a chunked ndjson response; returns ``send(event)``."""
+    writer.write(
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/x-ndjson\r\n"
+        b"Transfer-Encoding: chunked\r\n"
+        b"Connection: close\r\n"
+        b"\r\n"
+    )
+
+    async def send(event: dict) -> None:
+        line = (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+        writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+        await writer.drain()
+
+    return send
+
+
+async def _end_stream(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+class ServiceServer:
+    """asyncio HTTP server wired to a :class:`SchedulingService`."""
+
+    def __init__(
+        self,
+        service: SchedulingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except (_BadRequest, ValueError, asyncio.IncompleteReadError) as exc:
+                await _send_json(writer, 400, {"error": str(exc)})
+                return
+            if request is None:
+                return
+            method, target, _headers, body = request
+            if target == "/v1/schedule":
+                if method != "POST":
+                    await _send_json(writer, 405, {"error": "POST required"})
+                    return
+                await self._handle_schedule(body, writer)
+            elif target == "/v1/healthz":
+                await _send_json(writer, 200, self.service.health())
+            elif target == "/v1/stats":
+                await _send_json(writer, 200, self.service.stats())
+            else:
+                await _send_json(writer, 404, {"error": f"no route {target}"})
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_schedule(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        service = self.service
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            if not isinstance(doc, dict):
+                raise ValueError("request body must be a JSON object")
+            if doc.get("selftest") and not service.allow_selftest:
+                raise ValueError("selftest ops are disabled on this server")
+            problem = problem_from_document(doc)
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            service.counters["invalid_requests"] += 1
+            await _send_json(
+                writer, 400, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+
+        request_id = service.next_request_id()
+        service.counters["requests_total"] += 1
+        received = time.monotonic()
+        key = canonical_key(problem)
+
+        cached_entry = service.cache.get(key)
+        if cached_entry is not None:
+            service.counters["cache_hits"] += 1
+            await self._serve_cache_hit(
+                writer, request_id, key, cached_entry, received
+            )
+            return
+        service.counters["cache_misses"] += 1
+
+        spec = {
+            "problem": {
+                "num_qubits": doc["num_qubits"],
+                "gates": [list(gate) for gate in doc["gates"]],
+                "layout": doc.get("layout", "bottom"),
+                "shielding": doc.get("shielding"),
+            },
+            "strategy": doc.get("strategy") or service.default_strategy,
+            "sat_backend": doc.get("sat_backend"),
+            "time_limit": doc.get("time_limit", service.default_time_limit),
+            "chaos_spec": doc.get("chaos_spec"),
+        }
+        if service.allow_selftest and doc.get("selftest"):
+            spec["selftest"] = doc["selftest"]
+        deadline = doc.get("deadline")
+        if deadline is not None:
+            # The budget starts ticking NOW: queueing time counts against
+            # the request, because the service promises end-to-end latency.
+            spec["deadline"] = Deadline.after(float(deadline))
+
+        job = service.try_submit(request_id, spec)
+        if job is None:
+            service.counters["rejected_queue_full"] += 1
+            await _send_json(
+                writer,
+                503,
+                {
+                    "error": "request queue is full",
+                    "queue_limit": service.queue_limit,
+                    "request_id": request_id,
+                },
+            )
+            return
+
+        if service.ledger is not None:
+            service.ledger.record_request(request_id)
+        send = _start_stream(writer)
+        await send(
+            {
+                "event": "accepted",
+                "request_id": request_id,
+                "canonical_key": key,
+                "cache": "miss",
+                "queue_depth": service.queue_depth(),
+                "termination": TERMINATION_PENDING,
+            }
+        )
+        # The structured witness streams while the exact solve runs: the
+        # client holds a validated schedule (an upper-bound certificate)
+        # strictly before the certified optimum lands.
+        loop = asyncio.get_running_loop()
+        witness = await loop.run_in_executor(
+            None, _witness_event, problem, request_id
+        )
+        await send(witness)
+        outcome = await job.outcomes.get()
+        result = self._result_event(outcome, request_id, key)
+        if (
+            outcome.status == TASK_OK
+            and result.get("termination") == TERMINATION_CERTIFIED
+            and result.get("optimal")
+            and result.get("found")
+        ):
+            service.cache.put(
+                key, {k: result[k] for k in _CACHEABLE_KEYS if k in result}
+            )
+        await send(result)
+        await _end_stream(writer)
+        self._finish_ledger(request_id, key, result, received)
+
+    async def _serve_cache_hit(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: str,
+        key: str,
+        entry: dict,
+        received: float,
+    ) -> None:
+        service = self.service
+        if service.ledger is not None:
+            service.ledger.record_request(request_id)
+        send = _start_stream(writer)
+        await send(
+            {
+                "event": "accepted",
+                "request_id": request_id,
+                "canonical_key": key,
+                "cache": "hit",
+                "queue_depth": service.queue_depth(),
+                "termination": entry.get("termination", TERMINATION_CERTIFIED),
+            }
+        )
+        result = {
+            "event": "result",
+            "request_id": request_id,
+            "canonical_key": key,
+            "cached": True,
+            "solver_probes": 0,
+            **entry,
+        }
+        await send(result)
+        await _end_stream(writer)
+        service.counters["results_ok"] += 1
+        self._finish_ledger(request_id, key, result, received)
+
+    def _result_event(
+        self, outcome: TaskOutcome, request_id: str, key: str
+    ) -> dict:
+        service = self.service
+        base = {
+            "event": "result",
+            "request_id": request_id,
+            "canonical_key": key,
+            "cached": False,
+            "worker_seconds": outcome.seconds,
+        }
+        if outcome.status == TASK_OK:
+            payload = dict(outcome.value)
+            service.counters[
+                "results_ok"
+                if payload.get("termination") == TERMINATION_CERTIFIED
+                else "results_degraded"
+            ] += 1
+            return {
+                **base,
+                "solver_probes": payload.get("num_horizons", 0),
+                **payload,
+            }
+        if outcome.status == TASK_CRASHED:
+            # The worker died mid-solve (the pool has already replaced
+            # it); to the client this is a backend error on this request,
+            # not a service outage.
+            service.counters["worker_crashes"] += 1
+            termination = TERMINATION_BACKEND_ERROR
+        elif outcome.status == TASK_TIMEOUT:
+            termination = TERMINATION_DEADLINE
+        else:
+            termination = TERMINATION_BACKEND_ERROR
+        service.counters["results_degraded"] += 1
+        return {
+            **base,
+            "solver_probes": 0,
+            "found": False,
+            "optimal": False,
+            "termination": termination,
+            "error": outcome.error,
+        }
+
+    def _finish_ledger(
+        self, request_id: str, key: str, result: dict, received: float
+    ) -> None:
+        if self.service.ledger is None:
+            return
+        self.service.ledger.record_verdict(
+            request_id,
+            {
+                "canonical_key": key,
+                "cached": bool(result.get("cached")),
+                "termination": result.get("termination"),
+                "status": "ok" if result.get("found") else "degraded",
+                "seconds": time.monotonic() - received,
+            },
+        )
+
+
+def _witness_event(problem, request_id: str) -> dict:
+    """The anytime witness: analytic lower bound + structured upper bound.
+
+    Runs in a thread-pool executor (pure Python, but milliseconds of
+    work the event loop should not absorb under concurrency).
+    """
+    from repro.core.strategies.bisection import (
+        structured_upper_bound,
+        witness_source,
+    )
+
+    breakdown = problem.bound_breakdown()
+    event = {
+        "event": "witness",
+        "request_id": request_id,
+        "termination": TERMINATION_PENDING,
+        "lower_bound": breakdown.total,
+        "lower_bound_source": breakdown.source,
+        "found": False,
+        "validated": False,
+    }
+    witness = structured_upper_bound(problem)
+    if witness is not None:
+        event.update(
+            found=True,
+            validated=True,
+            num_stages=witness.num_stages,
+            num_rydberg_stages=witness.num_rydberg_stages,
+            num_transfer_stages=witness.num_transfer_stages,
+            upper_bound=witness.num_stages,
+            upper_bound_source=witness_source(witness),
+        )
+    return event
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+@dataclass
+class RunningService:
+    """A started service + server pair (tests and the load-test harness)."""
+
+    service: SchedulingService
+    server: ServiceServer
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    async def aclose(self) -> None:
+        await self.server.aclose()
+        self.service.close()
+
+
+async def start_service(
+    host: str = "127.0.0.1", port: int = 0, **config
+) -> RunningService:
+    """Start a service and its HTTP server on *host*:*port* (0 = ephemeral)."""
+    service = SchedulingService(**config)
+    service.start()
+    server = ServiceServer(service, host=host, port=port)
+    try:
+        await server.start()
+    except BaseException:
+        service.close()
+        raise
+    return RunningService(service=service, server=server)
+
+
+def run_service(host: str = "127.0.0.1", port: int = 8537, **config) -> None:
+    """Blocking entry point of ``repro-nasp serve`` (Ctrl-C to stop)."""
+
+    async def _serve() -> None:
+        running = await start_service(host=host, port=port, **config)
+        print(
+            f"repro-nasp service listening on http://{running.host}:{running.port} "
+            f"(jobs={running.service._pool.stats()['jobs']}, "
+            f"queue_limit={running.service.queue_limit})"
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await running.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass

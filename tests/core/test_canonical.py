@@ -1,0 +1,219 @@
+"""Property-based tests of the canonical problem IR (repro.core.canonical).
+
+The canonical key is the service cache's correctness foundation: two
+problems must share a key exactly when they are isomorphic (same gate
+multigraph up to qubit relabeling, same architecture, same shielding).
+A false collision would serve a wrong certificate; a false split merely
+costs a cache miss — so the invariance direction is tested exhaustively
+under random relabelings, and the distinctness direction across every
+mutation a request could plausibly carry.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import reduced_layout
+from repro.core.canonical import (
+    CANONICAL_VERSION,
+    architecture_fingerprint,
+    canonical_document,
+    canonical_form,
+    canonical_key,
+    canonical_relabeling,
+)
+from repro.core.problem import SchedulingProblem
+from repro.evaluation.runner import REDUCED_LAYOUT_KWARGS, SMT_INSTANCES
+
+
+def _arch(kind: str = "bottom"):
+    return reduced_layout(kind, **REDUCED_LAYOUT_KWARGS)
+
+
+def _problem(num_qubits, gates, kind="bottom", shielding=None):
+    return SchedulingProblem.from_gates(
+        _arch(kind), num_qubits, gates, shielding=shielding
+    )
+
+
+def _relabel(num_qubits, gates, rng):
+    """A random isomorphic copy: permuted labels, shuffled gate order."""
+    relabeling = list(range(num_qubits))
+    rng.shuffle(relabeling)
+    relabeled = [(relabeling[a], relabeling[b]) for a, b in gates]
+    rng.shuffle(relabeled)
+    if rng.random() < 0.5:  # endpoint order within a gate is symmetric
+        relabeled = [(b, a) for a, b in relabeled]
+    return relabeled
+
+
+# ---------------------------------------------------------------------------
+# Invariance: isomorphic instances collide.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_property_key_invariant_under_relabeling(data):
+    num_qubits = data.draw(st.integers(min_value=2, max_value=6))
+    possible = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    gates = data.draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=6)
+    )
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+
+    reference = canonical_key(_problem(num_qubits, gates))
+    for _ in range(3):
+        shuffled = _relabel(num_qubits, gates, rng)
+        assert canonical_key(_problem(num_qubits, shuffled)) == reference
+
+
+def test_key_invariant_under_all_permutations_of_ring_4():
+    import itertools
+
+    num_qubits, gates = SMT_INSTANCES["ring-4"]
+    keys = set()
+    for perm in itertools.permutations(range(num_qubits)):
+        relabeled = [(perm[a], perm[b]) for a, b in gates]
+        keys.add(canonical_key(_problem(num_qubits, relabeled)))
+    assert len(keys) == 1
+
+
+def test_key_distinguishes_same_degree_sequence():
+    # C6 and two disjoint triangles are both 2-regular on 6 qubits — the
+    # classic case where naive degree/colour hashing collides.
+    cycle = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+    triangles = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    assert canonical_key(_problem(6, cycle)) != canonical_key(
+        _problem(6, triangles)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Distinctness: non-isomorphic mutations split.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_property_key_splits_on_gate_mutations(data):
+    num_qubits = data.draw(st.integers(min_value=3, max_value=6))
+    possible = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    gates = data.draw(
+        st.lists(
+            st.sampled_from(possible), min_size=1, max_size=5, unique=True
+        )
+    )
+    base = canonical_key(_problem(num_qubits, gates))
+
+    # Duplicating a gate changes the multigraph (multiplicity matters).
+    duplicated = list(gates) + [gates[0]]
+    assert canonical_key(_problem(num_qubits, duplicated)) != base
+
+    # Removing a gate changes the edge count.
+    if len(gates) > 1:
+        removed = list(gates)[1:]
+        assert canonical_key(_problem(num_qubits, removed)) != base
+
+    # Adding a fresh gate changes the edge count.
+    missing = [pair for pair in possible if pair not in set(gates)]
+    if missing:
+        added = list(gates) + [missing[0]]
+        assert canonical_key(_problem(num_qubits, added)) != base
+
+
+def test_key_splits_on_architecture_and_shielding():
+    num_qubits, gates = SMT_INSTANCES["triangle"]
+    bottom = canonical_key(_problem(num_qubits, gates, kind="bottom"))
+    none = canonical_key(_problem(num_qubits, gates, kind="none"))
+    unshielded = canonical_key(
+        _problem(num_qubits, gates, kind="bottom", shielding=False)
+    )
+    assert bottom != none
+    assert bottom != unshielded
+
+
+def test_key_splits_on_qubit_count():
+    # An extra isolated qubit is not the same problem (trap capacity).
+    _, gates = SMT_INSTANCES["triangle"]
+    assert canonical_key(_problem(3, gates)) != canonical_key(
+        _problem(4, gates)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stability: hashes are pinned across processes and releases.
+# ---------------------------------------------------------------------------
+
+GOLDEN_KEYS = {
+    "single-gate": "9bd3875bc641b131989618a163b81040cad9f5e1f0e8e60264e635fcb9bbc2c6",
+    "triangle": "4d9c60995bd33c1853500190a26a196ad7c70b8145c9f033af234cf9f22c59b6",
+    "ring-4": "5e6926bf3d0a51e4aa2cc8ed4731c0a0cf583198da9cc78832244755ff30ebcf",
+}
+
+
+def test_golden_keys_are_stable():
+    # A change here invalidates every persisted cache — bump
+    # CANONICAL_VERSION when the document format changes so old entries
+    # miss instead of colliding wrongly.
+    assert CANONICAL_VERSION == 1
+    for name, expected in GOLDEN_KEYS.items():
+        num_qubits, gates = SMT_INSTANCES[name]
+        assert canonical_key(_problem(num_qubits, gates)) == expected, name
+
+
+def test_golden_key_for_relabeled_triangle():
+    # Byte-distinct relabeling of the same instance → the same pinned key.
+    relabeled = [(2, 1), (0, 2), (1, 0)]
+    assert (
+        canonical_key(_problem(3, relabeled)) == GOLDEN_KEYS["triangle"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mechanics: relabeling, canonical form, document, fingerprint.
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_relabeling_is_a_permutation():
+    num_qubits, gates = SMT_INSTANCES["ring-4"]
+    relabeling = canonical_relabeling(_problem(num_qubits, gates))
+    assert sorted(relabeling) == list(range(num_qubits))
+
+
+def test_canonical_form_is_idempotent():
+    num_qubits, gates = SMT_INSTANCES["ring-4"]
+    first, _ = canonical_form(_problem(num_qubits, [(1, 3), (3, 0), (0, 2), (2, 1)]))
+    second, _ = canonical_form(first)
+    assert sorted(first.gates) == sorted(second.gates)
+    assert canonical_key(first) == canonical_key(second)
+
+
+def test_isolated_qubits_get_trailing_labels():
+    # Gate on (3, 4) of 5 qubits: the two active qubits must canonicalise
+    # to {0, 1}; the isolated ones fill the tail.
+    problem = _problem(5, [(3, 4)])
+    canonical, _ = canonical_form(problem)
+    assert sorted(canonical.gates) == [(0, 1)]
+
+
+def test_canonical_document_shape():
+    num_qubits, gates = SMT_INSTANCES["triangle"]
+    document = canonical_document(_problem(num_qubits, gates))
+    assert document["version"] == CANONICAL_VERSION
+    assert document["num_qubits"] == num_qubits
+    assert document["shielding"] is True
+    assert len(document["gates"]) == len(gates)
+    assert document["architecture"]["zones"]
+
+
+def test_architecture_fingerprint_ignores_display_names():
+    import dataclasses
+
+    reference = architecture_fingerprint(_arch("bottom"))
+    renamed = dataclasses.replace(
+        _arch("bottom"), name="a completely different display name"
+    )
+    assert architecture_fingerprint(renamed) == reference
+    assert architecture_fingerprint(_arch("none")) != reference

@@ -386,7 +386,7 @@ def test_document_records_shard_journal_digest_and_attempts(tmp_path):
     cells = [_selftest("selftest/a", op="ok")]
     run_batch(cells, jobs=1, journal_path=journal_path, output_path=output)
     document = load_document(output)
-    assert document["version"] == 7
+    assert document["version"] == 8
     assert document["shard"] == shard_info(["selftest/a"])
     assert document["journal_digest"] == file_digest(journal_path)
     assert document["results"][0]["attempts"] == 1

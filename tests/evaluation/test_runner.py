@@ -225,7 +225,7 @@ def test_run_batch_serial_with_json_output(tmp_path):
     document = json.loads(output.read_text())
     assert document["num_instances"] == 2
     assert document["num_ok"] == 2
-    assert document["version"] == 7
+    assert document["version"] == 8
     reloaded = load_results(output)
     assert [r.name for r in reloaded] == [r.name for r in results]
 
@@ -404,32 +404,51 @@ _SCHEMA_STRIP_TABLE = {
         "lower_bound_source": False, "upper_bound_source": False,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
         "sat_vivified_literals": False, "sat_subsumed_clauses": False,
-        "termination": False, "backend_retries": False},
+        "termination": False, "backend_retries": False,
+        "latency_p50_seconds": False, "latency_p99_seconds": False,
+        "cache_hit_rate": False},
     3: {"winner": True, "sat_backend": False,
         "lower_bound_source": False, "upper_bound_source": False,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
         "sat_vivified_literals": False, "sat_subsumed_clauses": False,
-        "termination": False, "backend_retries": False},
+        "termination": False, "backend_retries": False,
+        "latency_p50_seconds": False, "latency_p99_seconds": False,
+        "cache_hit_rate": False},
     4: {"winner": True, "sat_backend": True,
         "lower_bound_source": False, "upper_bound_source": False,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
         "sat_vivified_literals": False, "sat_subsumed_clauses": False,
-        "termination": False, "backend_retries": False},
+        "termination": False, "backend_retries": False,
+        "latency_p50_seconds": False, "latency_p99_seconds": False,
+        "cache_hit_rate": False},
     5: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
         "sat_propagations_per_second": False, "sat_chrono_backtracks": False,
         "sat_vivified_literals": False, "sat_subsumed_clauses": False,
-        "termination": False, "backend_retries": False},
+        "termination": False, "backend_retries": False,
+        "latency_p50_seconds": False, "latency_p99_seconds": False,
+        "cache_hit_rate": False},
     6: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
         "sat_propagations_per_second": True, "sat_chrono_backtracks": True,
         "sat_vivified_literals": True, "sat_subsumed_clauses": True,
-        "termination": False, "backend_retries": False},
+        "termination": False, "backend_retries": False,
+        "latency_p50_seconds": False, "latency_p99_seconds": False,
+        "cache_hit_rate": False},
     7: {"winner": True, "sat_backend": True,
         "lower_bound_source": True, "upper_bound_source": True,
         "sat_propagations_per_second": True, "sat_chrono_backtracks": True,
         "sat_vivified_literals": True, "sat_subsumed_clauses": True,
-        "termination": True, "backend_retries": True},
+        "termination": True, "backend_retries": True,
+        "latency_p50_seconds": False, "latency_p99_seconds": False,
+        "cache_hit_rate": False},
+    8: {"winner": True, "sat_backend": True,
+        "lower_bound_source": True, "upper_bound_source": True,
+        "sat_propagations_per_second": True, "sat_chrono_backtracks": True,
+        "sat_vivified_literals": True, "sat_subsumed_clauses": True,
+        "termination": True, "backend_retries": True,
+        "latency_p50_seconds": True, "latency_p99_seconds": True,
+        "cache_hit_rate": True},
 }
 
 
@@ -446,6 +465,9 @@ def test_save_results_version_gates_are_symmetric(version, tmp_path):
     results[0].payload["sat_subsumed_clauses"] = 3
     results[0].payload["termination"] = "certified"
     results[0].payload["backend_retries"] = 0
+    results[0].payload["latency_p50_seconds"] = 0.02
+    results[0].payload["latency_p99_seconds"] = 0.09
+    results[0].payload["cache_hit_rate"] = 0.5
     path = tmp_path / f"v{version}.json"
     save_results(results, path, schema_version=version)
     document = json.loads(path.read_text())

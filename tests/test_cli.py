@@ -208,3 +208,57 @@ def test_parser_has_version():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["--version"])
+
+
+def test_loadtest_command_reports_hit_rate_and_writes_v8(tmp_path, capsys):
+    output = tmp_path / "loadtest.json"
+    exit_code = main(
+        ["loadtest", "--requests", "6", "--concurrency", "2", "--jobs", "2",
+         "--seed", "5", "--instances", "triangle", "--min-hit-rate", "0.01",
+         "--output", str(output)]
+    )
+    text = capsys.readouterr().out
+    assert exit_code == 0
+    assert "cache hit-rate" in text
+    assert "latency p50" in text
+    document = json.loads(output.read_text(encoding="utf-8"))
+    assert document["version"] == 8
+    payload = document["results"][0]["payload"]
+    assert payload["cache_hit_rate"] > 0
+    assert payload["latency_p50_seconds"] <= payload["latency_p99_seconds"]
+
+
+def test_loadtest_command_enforces_min_hit_rate(capsys):
+    # A single request can never hit the cache, so any positive floor trips.
+    exit_code = main(
+        ["loadtest", "--requests", "1", "--jobs", "1",
+         "--instances", "single-gate", "--min-hit-rate", "0.5"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "below the --min-hit-rate floor" in captured.err
+
+
+def test_bench_command_dedupe_drops_isomorphic_cells(capsys):
+    # The stock smoke matrix has no isomorphic duplicates, so --dedupe
+    # must be a no-op on it: same cells, same results, nothing dropped.
+    exit_code = main(
+        ["bench", "--suite", "smt", "--strategy", "bisection", "--dedupe"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "dedupe: dropped" not in captured.err
+
+
+def test_serve_command_parses_arguments():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", "9000", "--jobs", "3", "--queue-limit", "5",
+         "--strategy", "linear", "--hard-timeout", "10"]
+    )
+    assert args.command == "serve"
+    assert args.port == 9000
+    assert args.jobs == 3
+    assert args.queue_limit == 5
+    assert args.strategy == "linear"
+    assert args.hard_timeout == 10.0
